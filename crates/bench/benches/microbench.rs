@@ -1,0 +1,171 @@
+//! Criterion microbenches for the hot paths of the stack:
+//! URL queue operations, charset detection, HTML link extraction,
+//! web-space generation, and end-to-end simulator throughput.
+//!
+//! These are the numbers that justify the perf-relevant design choices
+//! in DESIGN.md (bucketed queue, CSR graph, byte-level HTML scanning).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use langcrawl_charset::encode::{encode_japanese, encode_thai, japanese_demo_tokens, thai_demo_tokens};
+use langcrawl_charset::{detect, Charset};
+use langcrawl_core::classifier::OracleClassifier;
+use langcrawl_core::queue::{Entry, UrlQueue};
+use langcrawl_core::sim::{SimConfig, Simulator};
+use langcrawl_core::strategy::{LimitedDistanceStrategy, SimpleStrategy};
+use langcrawl_html::{extract_links, extract_meta_charset};
+use langcrawl_url::{normalize, resolve, Url};
+use langcrawl_webgraph::GeneratorConfig;
+use std::hint::black_box;
+
+fn bench_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("queue");
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("push_pop_100k_2levels", |b| {
+        b.iter(|| {
+            let mut q = UrlQueue::new(100_000, 2);
+            for i in 0..100_000u32 {
+                q.push(Entry {
+                    page: i,
+                    priority: (i % 2) as u8,
+                    distance: 0,
+                });
+            }
+            let mut n = 0u32;
+            while let Some(e) = q.pop() {
+                n = n.wrapping_add(e.page);
+            }
+            black_box(n)
+        })
+    });
+    g.bench_function("push_pop_100k_reprioritized", |b| {
+        b.iter(|| {
+            let mut q = UrlQueue::new(100_000, 5);
+            // Every page admitted twice: low priority then high.
+            for i in 0..100_000u32 {
+                q.push(Entry {
+                    page: i,
+                    priority: 4,
+                    distance: 4,
+                });
+            }
+            for i in 0..100_000u32 {
+                q.push(Entry {
+                    page: i,
+                    priority: 0,
+                    distance: 0,
+                });
+            }
+            let mut n = 0u32;
+            while let Some(e) = q.pop() {
+                n = n.wrapping_add(e.page);
+            }
+            black_box(n)
+        })
+    });
+    g.finish();
+}
+
+fn bench_detect(c: &mut Criterion) {
+    let mut g = c.benchmark_group("charset_detect");
+    let ja = japanese_demo_tokens();
+    let ja: Vec<_> = ja.iter().cycle().take(2_000).copied().collect();
+    let th = thai_demo_tokens();
+    let th: Vec<_> = th.iter().cycle().take(2_000).copied().collect();
+    let cases = [
+        ("eucjp", encode_japanese(&ja, Charset::EucJp)),
+        ("sjis", encode_japanese(&ja, Charset::ShiftJis)),
+        ("iso2022jp", encode_japanese(&ja, Charset::Iso2022Jp)),
+        ("utf8_ja", encode_japanese(&ja, Charset::Utf8)),
+        ("tis620", encode_thai(&th, Charset::Tis620)),
+        ("ascii", b"the quick brown fox jumps over the lazy dog. ".repeat(80).to_vec()),
+    ];
+    for (name, bytes) in &cases {
+        g.throughput(Throughput::Bytes(bytes.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(name), bytes, |b, bytes| {
+            b.iter(|| black_box(detect(black_box(bytes))).charset)
+        });
+    }
+    g.finish();
+}
+
+fn bench_html(c: &mut Criterion) {
+    let mut g = c.benchmark_group("html");
+    let mut page = String::from(
+        r#"<html><head><meta http-equiv="content-type" content="text/html; charset=tis-620"><title>x</title></head><body>"#,
+    );
+    for i in 0..200 {
+        page.push_str(&format!(
+            r#"<p>lorem ipsum dolor sit amet</p><a href="/dir{}/page{}.html">link</a>"#,
+            i % 17,
+            i
+        ));
+    }
+    page.push_str("</body></html>");
+    let bytes = page.into_bytes();
+    let base = Url::parse("http://www.example.co.th/index.html").unwrap();
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("extract_links_200", |b| {
+        b.iter(|| black_box(extract_links(black_box(&bytes), &base)).len())
+    });
+    g.bench_function("extract_meta", |b| {
+        b.iter(|| black_box(extract_meta_charset(black_box(&bytes))))
+    });
+    g.finish();
+}
+
+fn bench_url(c: &mut Criterion) {
+    let mut g = c.benchmark_group("url");
+    let base = Url::parse("http://www.example.ac.th/a/b/c.html").unwrap();
+    g.bench_function("resolve_relative", |b| {
+        b.iter(|| black_box(resolve(&base, black_box("../img/x/../y.gif"))))
+    });
+    let u = Url::parse("HTTP://Example.AC.TH:80/a/./b/%7Euser/index.html?x=1").unwrap();
+    g.bench_function("normalize", |b| b.iter(|| black_box(normalize(black_box(&u)))));
+    g.finish();
+}
+
+fn bench_generate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("webgraph_generate");
+    g.sample_size(10);
+    for scale in [10_000u32, 50_000] {
+        g.throughput(Throughput::Elements(scale as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(scale), &scale, |b, &scale| {
+            b.iter(|| {
+                black_box(GeneratorConfig::thai_like().scaled(scale).build(7)).num_edges()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_simulate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulate");
+    g.sample_size(10);
+    let ws = GeneratorConfig::thai_like().scaled(50_000).build(7);
+    let oracle = OracleClassifier::target(ws.target_language());
+    g.throughput(Throughput::Elements(ws.num_pages() as u64));
+    g.bench_function("soft_focused_full_crawl_50k", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(&ws, SimConfig::default());
+            black_box(sim.run(&mut SimpleStrategy::soft(), &oracle)).crawled
+        })
+    });
+    g.bench_function("prioritized_limited3_full_crawl_50k", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(&ws, SimConfig::default());
+            black_box(sim.run(&mut LimitedDistanceStrategy::prioritized(3), &oracle)).crawled
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_queue,
+    bench_detect,
+    bench_html,
+    bench_url,
+    bench_generate,
+    bench_simulate
+);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Ablation A — is *language locality* really what makes focused
+//! crawling work?
+//!
+//! The paper's §3 argues focused crawling transfers to language-specific
+//! crawling **because** the Web exhibits language locality. This ablation
+//! sweeps the generator's locality knob (probability that an inter-host
+//! link stays within its language) and measures the focused crawler's
+//! early-harvest advantage over breadth-first. Expectation: the advantage
+//! shrinks toward zero as locality decays toward the unbiased level.
+
+use langcrawl_bench::figures::ok;
+use langcrawl_bench::runner::{self, StrategyFactory};
+use langcrawl_core::classifier::OracleClassifier;
+use langcrawl_core::sim::SimConfig;
+use langcrawl_core::strategy::{BreadthFirst, SimpleStrategy, Strategy};
+use langcrawl_webgraph::{GeneratorConfig, WebSpace};
+
+fn main() {
+    let scale = runner::env_scale(80_000);
+    let seed = runner::env_seed();
+    println!("== Ablation A: locality sweep, Thai dataset (n={scale}, seed={seed}) ==\n");
+    println!(
+        "{:>9} {:>14} {:>14} {:>14} {:>12}",
+        "locality", "bf harvest", "soft harvest", "hard harvest", "advantage"
+    );
+
+    let mut advantages = Vec::new();
+    for locality in [0.40f64, 0.55, 0.70, 0.82, 0.92, 0.98] {
+        let ws = GeneratorConfig::thai_like()
+            .scaled(scale)
+            .with_locality(locality)
+            .build(seed);
+        let classifier = OracleClassifier::target(ws.target_language());
+        let factories: Vec<(&str, StrategyFactory)> = vec![
+            ("bf", Box::new(|_: &WebSpace| {
+                Box::new(BreadthFirst::new()) as Box<dyn Strategy>
+            })),
+            ("soft", Box::new(|_: &WebSpace| {
+                Box::new(SimpleStrategy::soft()) as Box<dyn Strategy>
+            })),
+            ("hard", Box::new(|_: &WebSpace| {
+                Box::new(SimpleStrategy::hard()) as Box<dyn Strategy>
+            })),
+        ];
+        let reports = runner::run_parallel(
+            &ws,
+            &factories,
+            &classifier,
+            &SimConfig::default().with_url_filter(),
+        );
+        let early = ws.num_pages() as u64 / 6;
+        let bf = reports[0].harvest_at(early);
+        let soft = reports[1].harvest_at(early);
+        let hard = reports[2].harvest_at(early);
+        let adv = soft.max(hard) - bf;
+        advantages.push(adv);
+        println!(
+            "{:>9.2} {:>13.1}% {:>13.1}% {:>13.1}% {:>11.1}pt",
+            locality,
+            100.0 * bf,
+            100.0 * soft,
+            100.0 * hard,
+            100.0 * adv
+        );
+    }
+
+    let rising = advantages.first().unwrap() < advantages.last().unwrap();
+    println!(
+        "\nfocused advantage grows with language locality  [{}]",
+        ok(rising)
+    );
+    println!(
+        "(the paper's premise: no locality, no point focusing — observed \
+         advantage ranges {:.1}pt → {:.1}pt)",
+        100.0 * advantages.first().unwrap(),
+        100.0 * advantages.last().unwrap()
+    );
+}

@@ -1,0 +1,89 @@
+//! Extension 2 — the related-work strategies the paper describes but
+//! does not evaluate: the HITS distiller (§2.1) and the context-graph
+//! crawler (§2.2), side by side with the paper's own strategies.
+//!
+//! The context-graph crawler here is *idealized* (perfect layer
+//! classifier computed from the LinkDB), so it upper-bounds what
+//! Diligenti et al.'s approach could achieve on this space; the
+//! limited-distance strategy competing within a few points of it — with
+//! no reverse-link requirement — is the paper's §2.2 argument made
+//! quantitative.
+
+use langcrawl_bench::figures::ok;
+use langcrawl_bench::runner::{self, StrategyFactory};
+use langcrawl_core::classifier::MetaClassifier;
+use langcrawl_core::sim::SimConfig;
+use langcrawl_core::strategy::{
+    ContextGraphStrategy, HitsStrategy, LimitedDistanceStrategy, SimpleStrategy, Strategy,
+};
+use langcrawl_webgraph::{GeneratorConfig, WebSpace};
+
+fn main() {
+    let scale = runner::env_scale(80_000);
+    let seed = runner::env_seed();
+    println!("== Extensions: HITS distiller & context-graph vs paper strategies, Thai (n={scale}, seed={seed}) ==\n");
+    let ws = GeneratorConfig::thai_like().scaled(scale).build(seed);
+    let classifier = MetaClassifier::target(ws.target_language());
+
+    let factories: Vec<(&str, StrategyFactory)> = vec![
+        ("soft", Box::new(|_: &WebSpace| {
+            Box::new(SimpleStrategy::soft()) as Box<dyn Strategy>
+        })),
+        ("prior-limited-3", Box::new(|_: &WebSpace| {
+            Box::new(LimitedDistanceStrategy::prioritized(3)) as Box<dyn Strategy>
+        })),
+        ("soft+hits", Box::new(|_: &WebSpace| {
+            Box::new(HitsStrategy::with_params(2_000, 20, 5)) as Box<dyn Strategy>
+        })),
+        ("context-graph", Box::new(|ws: &WebSpace| {
+            Box::new(ContextGraphStrategy::new(ws, 4)) as Box<dyn Strategy>
+        })),
+        ("context-graph-noisy", Box::new(|ws: &WebSpace| {
+            Box::new(ContextGraphStrategy::new(ws, 4).with_noise(150)) as Box<dyn Strategy>
+        })),
+    ];
+    let reports = runner::run_parallel(
+        &ws,
+        &factories,
+        &classifier,
+        &SimConfig::default().with_url_filter(),
+    );
+
+    let early = ws.num_pages() as u64 / 6;
+    println!(
+        "{:<34} {:>10} {:>12} {:>12} {:>12} {:>12}",
+        "strategy", "crawled", "harvest@⅙", "harvest", "coverage", "max queue"
+    );
+    for r in &reports {
+        println!(
+            "{:<34} {:>10} {:>11.1}% {:>11.1}% {:>11.1}% {:>12}",
+            r.strategy,
+            r.crawled,
+            100.0 * r.harvest_at(early),
+            100.0 * r.final_harvest(),
+            100.0 * r.final_coverage(),
+            r.max_queue
+        );
+        runner::write_csv(r, &format!("ext_{}", r.strategy.replace([' ', '=', '.'], "_")));
+    }
+
+    let soft = &reports[0];
+    let limited = &reports[1];
+    let cg = &reports[3];
+    println!("\nObservations:");
+    println!(
+        "  prioritized limited-distance holds its own against the idealized \
+         context-graph crawler: coverage {:.1}% vs {:.1}%, early harvest {:.1}% vs {:.1}%  [{}]",
+        100.0 * limited.final_coverage(),
+        100.0 * cg.final_coverage(),
+        100.0 * limited.harvest_at(early),
+        100.0 * cg.harvest_at(early),
+        ok(limited.final_coverage() + 0.15 > cg.final_coverage())
+    );
+    println!(
+        "  limited-distance needs {:.0}% of soft's queue memory ({} vs {})",
+        100.0 * limited.max_queue as f64 / soft.max_queue as f64,
+        limited.max_queue,
+        soft.max_queue
+    );
+}

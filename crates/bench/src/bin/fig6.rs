@@ -1,0 +1,57 @@
+//! Figure 6 — non-prioritized limited-distance strategy, Thai dataset,
+//! N = 1..4: (a) URL queue size, (b) harvest rate, (c) coverage.
+//!
+//! Expected shapes (paper §5.2.2): queue size grows with N; coverage
+//! grows with N toward soft-focused's 100%; harvest rate *falls* as N
+//! grows — the flaw the prioritized mode (Fig. 7) fixes.
+
+use langcrawl_bench::figures::{ok, panels};
+use langcrawl_bench::runner::{self, StrategyFactory};
+use langcrawl_core::classifier::MetaClassifier;
+use langcrawl_core::sim::SimConfig;
+use langcrawl_core::strategy::{LimitedDistanceStrategy, Strategy};
+use langcrawl_webgraph::{GeneratorConfig, WebSpace};
+
+fn main() {
+    let scale = runner::env_scale(200_000);
+    let seed = runner::env_seed();
+    println!(
+        "== Figure 6: Non-Prioritized Limited Distance, Thai dataset (n={scale}, seed={seed}) =="
+    );
+    let ws = GeneratorConfig::thai_like().scaled(scale).build(seed);
+    let classifier = MetaClassifier::target(ws.target_language());
+
+    let factories: Vec<(&str, StrategyFactory)> = (1..=4u8)
+        .map(|n| {
+            (
+                "limited",
+                Box::new(move |_: &WebSpace| {
+                    Box::new(LimitedDistanceStrategy::non_prioritized(n)) as Box<dyn Strategy>
+                }) as StrategyFactory,
+            )
+        })
+        .collect();
+    let reports = runner::run_parallel(&ws, &factories, &classifier, &SimConfig::default());
+
+    panels(&reports, "Fig 6", "fig6");
+
+    println!("\nShape checks (paper §5.2.2, non-prioritized):");
+    let queues: Vec<usize> = reports.iter().map(|r| r.max_queue).collect();
+    let covers: Vec<f64> = reports.iter().map(|r| r.final_coverage()).collect();
+    let early = ws.num_pages() as u64 / 6;
+    let harvests: Vec<f64> = reports.iter().map(|r| r.harvest_at(early)).collect();
+    println!(
+        "  queue size grows with N:    {queues:?}  [{}]",
+        ok(queues.windows(2).all(|w| w[0] < w[1]))
+    );
+    println!(
+        "  coverage grows with N:      {:?}  [{}]",
+        covers.iter().map(|c| format!("{c:.3}")).collect::<Vec<_>>(),
+        ok(covers.windows(2).all(|w| w[0] <= w[1] + 1e-9))
+    );
+    println!(
+        "  early harvest FALLS with N: {:?}  [{}]",
+        harvests.iter().map(|h| format!("{h:.3}")).collect::<Vec<_>>(),
+        ok(harvests.first() > harvests.last())
+    );
+}

@@ -1,0 +1,84 @@
+//! One-shot reproduction check: run every table/figure/ablation harness
+//! at reduced scale and report a single pass/fail dashboard — the
+//! "does this repository still reproduce the paper?" button.
+//!
+//! ```sh
+//! cargo run --release -p langcrawl-bench --bin repro_all
+//! LANGCRAWL_SCALE=120000 cargo run --release -p langcrawl-bench --bin repro_all
+//! ```
+
+use std::process::Command;
+use std::time::Instant;
+
+const HARNESSES: &[&str] = &[
+    "table1",
+    "table3",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "graph_stats",
+    "ablation_locality",
+    "ablation_classifier",
+    "ablation_seeds",
+    "ablation_ordering",
+    "ablation_tld",
+    "dataset_collection",
+    "timing_ext",
+    "extensions",
+    "wider_languages",
+];
+
+fn main() {
+    let scale = std::env::var("LANGCRAWL_SCALE").unwrap_or_else(|_| "40000".into());
+    let bin_dir = std::env::current_exe()
+        .expect("current exe path")
+        .parent()
+        .expect("exe has a directory")
+        .to_path_buf();
+
+    println!("== langcrawl reproduction check (LANGCRAWL_SCALE={scale}) ==\n");
+    let mut failures = 0usize;
+    let started = Instant::now();
+    for name in HARNESSES {
+        let bin = bin_dir.join(name);
+        let t0 = Instant::now();
+        let out = Command::new(&bin)
+            .env("LANGCRAWL_SCALE", &scale)
+            .output();
+        let (status, mismatches, oks) = match out {
+            Ok(out) if out.status.success() => {
+                let text = String::from_utf8_lossy(&out.stdout);
+                let mm = text.matches("MISMATCH").count();
+                let okc = text.matches("[OK]").count();
+                (if mm == 0 { "pass" } else { "FAIL" }, mm, okc)
+            }
+            Ok(out) => {
+                eprintln!("--- {name} stderr ---\n{}", String::from_utf8_lossy(&out.stderr));
+                ("CRASH", 0, 0)
+            }
+            Err(e) => {
+                eprintln!("cannot run {}: {e} (build with `cargo build --release -p langcrawl-bench` first)", bin.display());
+                ("MISSING", 0, 0)
+            }
+        };
+        if status != "pass" {
+            failures += 1;
+        }
+        println!(
+            "  {name:<22} {status:<8} {oks:>2} checks ok, {mismatches} mismatched   ({:.1}s)",
+            t0.elapsed().as_secs_f64()
+        );
+    }
+    println!(
+        "\n{} of {} harnesses clean in {:.0}s",
+        HARNESSES.len() - failures,
+        HARNESSES.len(),
+        started.elapsed().as_secs_f64()
+    );
+    if failures > 0 {
+        std::process::exit(1);
+    }
+    println!("the reproduction holds.");
+}

@@ -1,0 +1,152 @@
+//! Parallel experiment execution and result output.
+
+use langcrawl_core::classifier::Classifier;
+use langcrawl_core::metrics::CrawlReport;
+use langcrawl_core::sim::{SimConfig, Simulator};
+use langcrawl_core::strategy::Strategy;
+use langcrawl_webgraph::WebSpace;
+use std::io::Write;
+use std::path::Path;
+
+/// A named constructor for a strategy (strategies are stateful, so each
+/// run builds a fresh one).
+pub type StrategyFactory<'a> = Box<dyn Fn(&WebSpace) -> Box<dyn Strategy> + Sync + 'a>;
+
+/// Read the experiment scale from `LANGCRAWL_SCALE`, defaulting to the
+/// preset's own size when unset or unparsable.
+pub fn env_scale(default: u32) -> u32 {
+    std::env::var("LANGCRAWL_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Read the generator seed from `LANGCRAWL_SEED` (default 42).
+pub fn env_seed() -> u64 {
+    std::env::var("LANGCRAWL_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42)
+}
+
+/// The default figure-run scale (URLs) when the preset doesn't override.
+pub fn default_scale() -> u32 {
+    env_scale(200_000)
+}
+
+/// Run several strategies over one web space concurrently (scoped
+/// threads; the space is shared immutably) and return the reports in
+/// input order.
+pub fn run_parallel(
+    ws: &WebSpace,
+    factories: &[(&str, StrategyFactory<'_>)],
+    classifier: &(dyn Classifier + Sync),
+    config: &SimConfig,
+) -> Vec<CrawlReport> {
+    let mut out: Vec<Option<CrawlReport>> = Vec::new();
+    out.resize_with(factories.len(), || None);
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (slot, (_, factory)) in out.iter_mut().zip(factories.iter()) {
+            handles.push(scope.spawn(move |_| {
+                let mut strategy = factory(ws);
+                let mut sim = Simulator::new(ws, config.clone());
+                *slot = Some(sim.run(strategy.as_mut(), classifier));
+            }));
+        }
+        for h in handles {
+            h.join().expect("experiment thread panicked");
+        }
+    })
+    .expect("experiment scope");
+    out.into_iter().map(|r| r.expect("report filled")).collect()
+}
+
+/// Write a report's series CSV under `results/` (created on demand);
+/// prints the path so terminal users can find it.
+pub fn write_csv(report: &CrawlReport, name: &str) {
+    let dir = Path::new("results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return; // read-only checkout: printing the tables is enough
+    }
+    let path = dir.join(format!("{name}.csv"));
+    match std::fs::File::create(&path) {
+        Ok(mut f) => {
+            if report.write_csv(&mut f).and_then(|_| f.flush()).is_ok() {
+                println!("  [csv] {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("  [csv] cannot write {}: {e}", path.display()),
+    }
+}
+
+/// Print an aligned multi-curve table: one row per x step, one column
+/// per report; `value` extracts the plotted quantity at each sample.
+pub fn print_table(
+    title: &str,
+    reports: &[CrawlReport],
+    rows: usize,
+    value: impl Fn(&CrawlReport, usize) -> Option<f64>,
+) {
+    println!("\n{title}");
+    print!("{:>12}", "crawled");
+    for r in reports {
+        print!(" {:>26}", truncate(&r.strategy, 26));
+    }
+    println!();
+    let max_crawled = reports.iter().map(|r| r.crawled).max().unwrap_or(0);
+    for i in 0..rows {
+        let x = max_crawled * (i as u64 + 1) / rows as u64;
+        print!("{x:>12}");
+        for r in reports {
+            // Nearest sample at or before x.
+            let idx = r.samples.partition_point(|s| s.crawled <= x);
+            let v = idx.checked_sub(1).and_then(|j| value(r, j));
+            match v {
+                Some(v) => print!(" {v:>26.4}"),
+                None => print!(" {:>26}", "-"),
+            }
+        }
+        println!();
+    }
+}
+
+fn truncate(s: &str, n: usize) -> &str {
+    if s.len() <= n {
+        s
+    } else {
+        &s[..n]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use langcrawl_core::classifier::OracleClassifier;
+    use langcrawl_core::strategy::{BreadthFirst, SimpleStrategy};
+    use langcrawl_webgraph::GeneratorConfig;
+
+    #[test]
+    fn parallel_runs_match_sequential() {
+        let ws = GeneratorConfig::thai_like().scaled(3_000).build(2);
+        let oracle = OracleClassifier::target(ws.target_language());
+        let factories: Vec<(&str, StrategyFactory)> = vec![
+            ("bf", Box::new(|_: &WebSpace| Box::new(BreadthFirst::new()) as Box<dyn Strategy>)),
+            ("soft", Box::new(|_: &WebSpace| Box::new(SimpleStrategy::soft()) as Box<dyn Strategy>)),
+        ];
+        let reports = run_parallel(&ws, &factories, &oracle, &SimConfig::default());
+        assert_eq!(reports.len(), 2);
+        // Sequential reference.
+        let mut sim = Simulator::new(&ws, SimConfig::default());
+        let seq = sim.run(&mut BreadthFirst::new(), &oracle);
+        assert_eq!(reports[0].samples, seq.samples);
+        assert_eq!(reports[0].crawled, seq.crawled);
+    }
+
+    #[test]
+    fn env_helpers_default() {
+        // (Env vars unset in the test harness.)
+        assert_eq!(env_scale(123), 123);
+        assert_eq!(env_seed(), 42);
+    }
+}

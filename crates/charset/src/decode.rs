@@ -1,0 +1,320 @@
+//! Decoders: bytes + charset → Unicode text.
+//!
+//! The inverse of [`crate::encode`], used for round-trip property tests
+//! and by tooling that wants to display synthesized pages. Undecodable
+//! byte sequences become U+FFFD — decoding is total, as a crawler's view
+//! of arbitrary web bytes must be.
+
+use crate::kuten::Kuten;
+use crate::thai;
+use crate::types::Charset;
+
+const REPLACEMENT: char = '\u{FFFD}';
+
+/// Decode `bytes` according to `charset`. Total: malformed sequences
+/// produce U+FFFD rather than errors.
+pub fn decode(bytes: &[u8], charset: Charset) -> String {
+    match charset {
+        Charset::Ascii => bytes
+            .iter()
+            .map(|&b| if b < 0x80 { b as char } else { REPLACEMENT })
+            .collect(),
+        Charset::Latin1 => bytes.iter().map(|&b| b as char).collect(),
+        Charset::Utf8 => String::from_utf8_lossy(bytes).into_owned(),
+        Charset::EucJp => decode_eucjp(bytes),
+        Charset::ShiftJis => decode_sjis(bytes),
+        Charset::Iso2022Jp => decode_iso2022jp(bytes),
+        Charset::Tis620 | Charset::Windows874 | Charset::Iso885911 => decode_thai(bytes, charset),
+        Charset::EucKr => decode_euc94(bytes, crate::dbcs::korean_to_unicode),
+        Charset::Gb2312 => decode_euc94(bytes, crate::dbcs::chinese_to_unicode),
+        Charset::Unknown => bytes
+            .iter()
+            .map(|&b| if b < 0x80 { b as char } else { REPLACEMENT })
+            .collect(),
+    }
+}
+
+fn decode_eucjp(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            0x00..=0x7F => {
+                out.push(b as char);
+                i += 1;
+            }
+            0x8E => {
+                // Half-width kana: map into the Unicode half-width block.
+                if let Some(&t) = bytes.get(i + 1) {
+                    if (0xA1..=0xDF).contains(&t) {
+                        out.push(
+                            char::from_u32(0xFF61 + (t as u32 - 0xA1)).unwrap_or(REPLACEMENT),
+                        );
+                        i += 2;
+                        continue;
+                    }
+                }
+                out.push(REPLACEMENT);
+                i += 1;
+            }
+            0x8F => {
+                // JIS X 0212: decode structurally, map as opaque kuten.
+                if i + 2 < bytes.len() {
+                    if let Some(k) = Kuten::from_eucjp(bytes[i + 1], bytes[i + 2]) {
+                        out.push(k.to_unicode());
+                        i += 3;
+                        continue;
+                    }
+                }
+                out.push(REPLACEMENT);
+                i += 1;
+            }
+            0xA1..=0xFE => {
+                if let Some(&t) = bytes.get(i + 1) {
+                    if let Some(k) = Kuten::from_eucjp(b, t) {
+                        out.push(k.to_unicode());
+                        i += 2;
+                        continue;
+                    }
+                }
+                out.push(REPLACEMENT);
+                i += 1;
+            }
+            _ => {
+                out.push(REPLACEMENT);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn decode_euc94(bytes: &[u8], to_unicode: fn(Kuten) -> char) -> String {
+    let mut out = String::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b < 0x80 {
+            out.push(b as char);
+            i += 1;
+        } else if (0xA1..=0xFE).contains(&b) {
+            if let Some(&t) = bytes.get(i + 1) {
+                if let Some(k) = Kuten::from_eucjp(b, t) {
+                    out.push(to_unicode(k));
+                    i += 2;
+                    continue;
+                }
+            }
+            out.push(REPLACEMENT);
+            i += 1;
+        } else {
+            out.push(REPLACEMENT);
+            i += 1;
+        }
+    }
+    out
+}
+
+fn decode_sjis(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            0x00..=0x7F => {
+                out.push(b as char);
+                i += 1;
+            }
+            0xA1..=0xDF => {
+                out.push(char::from_u32(0xFF61 + (b as u32 - 0xA1)).unwrap_or(REPLACEMENT));
+                i += 1;
+            }
+            0x81..=0x9F | 0xE0..=0xEF => {
+                if let Some(&t) = bytes.get(i + 1) {
+                    if let Some(k) = Kuten::from_sjis(b, t) {
+                        out.push(k.to_unicode());
+                        i += 2;
+                        continue;
+                    }
+                }
+                out.push(REPLACEMENT);
+                i += 1;
+            }
+            _ => {
+                out.push(REPLACEMENT);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn decode_iso2022jp(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len());
+    let mut i = 0;
+    let mut in_208 = false;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == 0x1B {
+            // Designation escape.
+            if bytes.get(i + 1) == Some(&b'$')
+                && matches!(bytes.get(i + 2), Some(&b'@') | Some(&b'B'))
+            {
+                in_208 = true;
+                i += 3;
+                continue;
+            }
+            if bytes.get(i + 1) == Some(&b'(')
+                && matches!(bytes.get(i + 2), Some(&b'B') | Some(&b'J'))
+            {
+                in_208 = false;
+                i += 3;
+                continue;
+            }
+            out.push(REPLACEMENT);
+            i += 1;
+            continue;
+        }
+        if in_208 {
+            if let Some(&t) = bytes.get(i + 1) {
+                if let Some(k) = Kuten::from_jis(b, t) {
+                    out.push(k.to_unicode());
+                    i += 2;
+                    continue;
+                }
+            }
+            out.push(REPLACEMENT);
+            i += 1;
+        } else {
+            if b < 0x80 {
+                out.push(b as char);
+            } else {
+                out.push(REPLACEMENT);
+            }
+            i += 1;
+        }
+    }
+    out
+}
+
+fn decode_thai(bytes: &[u8], charset: Charset) -> String {
+    bytes
+        .iter()
+        .map(|&b| {
+            if b < 0x80 {
+                b as char
+            } else if let Some(c) = thai::to_unicode(b) {
+                c
+            } else if thai::valid_in_family(b, charset) {
+                // Family-specific extras: approximate with their usual
+                // Unicode meaning.
+                match b {
+                    0xA0 => '\u{00A0}',
+                    0x80 => '\u{20AC}',
+                    0x85 => '\u{2026}',
+                    0x91 => '\u{2018}',
+                    0x92 => '\u{2019}',
+                    0x93 => '\u{201C}',
+                    0x94 => '\u{201D}',
+                    0x95 => '\u{2022}',
+                    0x96 => '\u{2013}',
+                    0x97 => '\u{2014}',
+                    _ => REPLACEMENT,
+                }
+            } else {
+                REPLACEMENT
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::{
+        encode_japanese, encode_thai, japanese_demo_tokens, thai_demo_tokens, JaToken, ThToken,
+    };
+
+    /// The same token stream decodes to the same Unicode text from every
+    /// Japanese encoding.
+    #[test]
+    fn japanese_decode_agrees_across_encodings() {
+        let toks = japanese_demo_tokens();
+        let via_utf8 = decode(&encode_japanese(&toks, Charset::Utf8), Charset::Utf8);
+        for cs in [Charset::EucJp, Charset::ShiftJis, Charset::Iso2022Jp] {
+            let decoded = decode(&encode_japanese(&toks, cs), cs);
+            assert_eq!(decoded, via_utf8, "{cs}");
+        }
+    }
+
+    #[test]
+    fn thai_decode_agrees_across_encodings() {
+        let toks = thai_demo_tokens();
+        let via_utf8 = decode(&encode_thai(&toks, Charset::Utf8), Charset::Utf8);
+        for cs in [Charset::Tis620, Charset::Windows874, Charset::Iso885911] {
+            let decoded = decode(&encode_thai(&toks, cs), cs);
+            assert_eq!(decoded, via_utf8, "{cs}");
+        }
+    }
+
+    #[test]
+    fn token_round_trip_japanese() {
+        let toks = japanese_demo_tokens();
+        let decoded = decode(&encode_japanese(&toks, Charset::EucJp), Charset::EucJp);
+        // Re-tokenize through the model's Unicode inverse.
+        let mut rebuilt = Vec::new();
+        for c in decoded.chars() {
+            if (c as u32) < 0x80 {
+                rebuilt.push(JaToken::Ascii(c as u8));
+            } else if let Some(k) = Kuten::from_unicode(c) {
+                rebuilt.push(JaToken::K(k));
+            }
+        }
+        assert_eq!(rebuilt, toks);
+    }
+
+    #[test]
+    fn token_round_trip_thai() {
+        let toks = thai_demo_tokens();
+        let decoded = decode(&encode_thai(&toks, Charset::Tis620), Charset::Tis620);
+        let mut rebuilt = Vec::new();
+        for c in decoded.chars() {
+            if (c as u32) < 0x80 {
+                rebuilt.push(ThToken::Ascii(c as u8));
+            } else if let Some(b) = thai::from_unicode(c) {
+                rebuilt.push(ThToken::Thai(b));
+            }
+        }
+        assert_eq!(rebuilt, toks);
+    }
+
+    #[test]
+    fn malformed_becomes_replacement_never_panics() {
+        let garbage: Vec<u8> = (0u8..=255).collect();
+        for &cs in Charset::all() {
+            let s = decode(&garbage, cs);
+            assert!(!s.is_empty(), "{cs}");
+        }
+    }
+
+    #[test]
+    fn truncated_multibyte_is_replacement() {
+        assert!(decode(&[0xA4], Charset::EucJp).contains(REPLACEMENT));
+        assert!(decode(&[0x82], Charset::ShiftJis).contains(REPLACEMENT));
+    }
+
+    #[test]
+    fn latin1_is_total_identity_on_high_bytes() {
+        let s = decode(&[0xE9, 0xE7], Charset::Latin1);
+        assert_eq!(s, "\u{e9}\u{e7}");
+    }
+
+    #[test]
+    fn windows874_extras() {
+        let s = decode(&[0x91, 0x41, 0x92], Charset::Windows874);
+        assert_eq!(s, "\u{2018}A\u{2019}");
+        // Same bytes in strict TIS-620: replacement.
+        assert!(decode(&[0x91], Charset::Tis620).contains(REPLACEMENT));
+    }
+}

@@ -1,0 +1,677 @@
+//! Per-encoding probers: validity + distribution, producing a confidence.
+//!
+//! Each prober owns a verifier ([`crate::sm`]) and, where the encoding
+//! needs it, a distribution accumulator ([`crate::dist`]). The composite
+//! detector feeds the document to every prober in one pass and takes the
+//! highest-confidence survivor — the architecture of the Mozilla composite
+//! detector the paper used, rebuilt small.
+
+use crate::dist::{ChineseDistribution, JapaneseDistribution, KoreanDistribution, UnicodeBlocks};
+use crate::kuten::Kuten;
+use crate::sm::{
+    Euc94Verifier, EucJpVerifier, Iso2022JpVerifier, ShiftJisVerifier, SmState, Utf8Verifier,
+    Verifier,
+};
+use crate::thai;
+use crate::types::{Charset, Language};
+
+/// A charset prober: consumes bytes, reports a confidence.
+pub trait Prober {
+    /// Feed the whole document (probers are single-shot; create a new one
+    /// per document).
+    fn feed(&mut self, bytes: &[u8]);
+    /// The charset this prober argues for, given what it has seen.
+    fn charset(&self) -> Charset;
+    /// Confidence in [0, 1]. Zero once an illegal sequence was seen.
+    fn confidence(&self) -> f64;
+    /// Language evidence, when the prober can supply one beyond the
+    /// charset's Table 1 mapping (used by the UTF-8 prober).
+    fn language_hint(&self) -> Option<Language> {
+        self.charset().language()
+    }
+}
+
+// ------------------------------------------------------------------- EUC-JP
+
+/// EUC-JP prober: validity machine + kuten-row distribution.
+#[derive(Debug, Default)]
+pub struct EucJpProber {
+    v: EucJpVerifier,
+    dist: JapaneseDistribution,
+    lead: Option<u8>,
+    ss2: bool,
+    dead: bool,
+}
+
+impl EucJpProber {
+    /// Fresh prober.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Prober for EucJpProber {
+    fn feed(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            if self.dead {
+                return;
+            }
+            match self.v.feed(b) {
+                SmState::Error => {
+                    self.dead = true;
+                    return;
+                }
+                SmState::Continue => {
+                    if b == 0x8E {
+                        self.ss2 = true;
+                        self.lead = None;
+                    } else if b == 0x8F {
+                        self.ss2 = false;
+                        self.lead = None;
+                    } else if self.lead.is_none() && !self.ss2 {
+                        self.lead = Some(b);
+                    }
+                }
+                SmState::CharBoundary => {
+                    if self.ss2 {
+                        self.dist.add_halfwidth_kana();
+                        self.ss2 = false;
+                    } else if let Some(l) = self.lead.take() {
+                        if let Some(k) = Kuten::from_eucjp(l, b) {
+                            self.dist.add_kuten(k);
+                        }
+                    }
+                    // ASCII boundaries carry no distribution signal.
+                }
+            }
+        }
+    }
+
+    fn charset(&self) -> Charset {
+        Charset::EucJp
+    }
+
+    fn confidence(&self) -> f64 {
+        if self.dead || !self.v.at_boundary() {
+            return 0.0;
+        }
+        self.dist.score()
+    }
+}
+
+// ---------------------------------------------------------------- Shift_JIS
+
+/// Shift_JIS prober: validity machine + kuten-row distribution (with
+/// half-width-kana penalty — the classic EUC-vs-SJIS confusion).
+#[derive(Debug, Default)]
+pub struct ShiftJisProber {
+    v: ShiftJisVerifier,
+    dist: JapaneseDistribution,
+    lead: Option<u8>,
+    dead: bool,
+}
+
+impl ShiftJisProber {
+    /// Fresh prober.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Prober for ShiftJisProber {
+    fn feed(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            if self.dead {
+                return;
+            }
+            match self.v.feed(b) {
+                SmState::Error => {
+                    self.dead = true;
+                    return;
+                }
+                SmState::Continue => self.lead = Some(b),
+                SmState::CharBoundary => {
+                    if let Some(l) = self.lead.take() {
+                        if let Some(k) = Kuten::from_sjis(l, b) {
+                            self.dist.add_kuten(k);
+                        }
+                    } else if (0xA1..=0xDF).contains(&b) {
+                        self.dist.add_halfwidth_kana();
+                    }
+                }
+            }
+        }
+    }
+
+    fn charset(&self) -> Charset {
+        Charset::ShiftJis
+    }
+
+    fn confidence(&self) -> f64 {
+        if self.dead || !self.v.at_boundary() {
+            return 0.0;
+        }
+        self.dist.score()
+    }
+}
+
+// -------------------------------------------------------------- ISO-2022-JP
+
+/// ISO-2022-JP prober: pure coding-scheme detection. One recognised
+/// designation escape is near-conclusive — no other web encoding uses
+/// `ESC $ B`.
+#[derive(Debug, Default)]
+pub struct Iso2022JpProber {
+    v: Iso2022JpVerifier,
+    dead: bool,
+}
+
+impl Iso2022JpProber {
+    /// Fresh prober.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Prober for Iso2022JpProber {
+    fn feed(&mut self, bytes: &[u8]) {
+        if self.dead {
+            return;
+        }
+        for &b in bytes {
+            if self.v.feed(b) == SmState::Error {
+                self.dead = true;
+                return;
+            }
+        }
+    }
+
+    fn charset(&self) -> Charset {
+        Charset::Iso2022Jp
+    }
+
+    fn confidence(&self) -> f64 {
+        if self.dead || self.v.escapes_seen() == 0 {
+            0.0
+        } else {
+            0.99
+        }
+    }
+}
+
+// -------------------------------------------------------------------- UTF-8
+
+/// UTF-8 prober: validity machine + Unicode block census.
+#[derive(Debug, Default)]
+pub struct Utf8Prober {
+    v: Utf8Verifier,
+    blocks: UnicodeBlocks,
+    multibyte: u32,
+    pending: u32,
+    dead: bool,
+}
+
+impl Utf8Prober {
+    /// Fresh prober.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn flush_char(&mut self, bytes: u32) {
+        if bytes > 1 {
+            self.multibyte += 1;
+        }
+    }
+}
+
+impl Prober for Utf8Prober {
+    fn feed(&mut self, bytes: &[u8]) {
+        // Track scalar values for the block census with a small inline
+        // decoder (the verifier guarantees validity).
+        let mut cp: u32 = 0;
+        for &b in bytes {
+            if self.dead {
+                return;
+            }
+            match self.v.feed(b) {
+                SmState::Error => {
+                    self.dead = true;
+                    return;
+                }
+                SmState::Continue => {
+                    if self.pending == 0 {
+                        // Lead byte: extract payload bits.
+                        cp = match b {
+                            0xC2..=0xDF => (b & 0x1F) as u32,
+                            0xE0..=0xEF => (b & 0x0F) as u32,
+                            _ => (b & 0x07) as u32,
+                        };
+                        self.pending = 1;
+                    } else {
+                        cp = (cp << 6) | (b & 0x3F) as u32;
+                        self.pending += 1;
+                    }
+                }
+                SmState::CharBoundary => {
+                    if self.pending > 0 {
+                        cp = (cp << 6) | (b & 0x3F) as u32;
+                        self.blocks.add(cp);
+                        self.flush_char(self.pending + 1);
+                        self.pending = 0;
+                    } else {
+                        self.blocks.add(b as u32);
+                    }
+                }
+            }
+        }
+    }
+
+    fn charset(&self) -> Charset {
+        Charset::Utf8
+    }
+
+    fn confidence(&self) -> f64 {
+        if self.dead || !self.v.at_boundary() {
+            return 0.0;
+        }
+        if self.multibyte == 0 {
+            // Plain ASCII: valid UTF-8 but no positive evidence.
+            0.0
+        } else {
+            // Multibyte UTF-8 that never tripped the verifier is UTF-8
+            // with very high probability; random legacy bytes break the
+            // continuation pattern almost immediately.
+            (0.85 + 0.005 * self.multibyte as f64).min(0.99)
+        }
+    }
+
+    fn language_hint(&self) -> Option<Language> {
+        self.blocks.dominant()
+    }
+}
+
+// ------------------------------------------------------ EUC-KR / GB2312
+
+/// EUC-KR prober: the generic 94×94 EUC validity machine + the Korean
+/// (hangul-row) distribution.
+#[derive(Debug, Default)]
+pub struct EucKrProber {
+    v: Euc94Verifier,
+    dist: KoreanDistribution,
+    lead: Option<u8>,
+    dead: bool,
+}
+
+impl EucKrProber {
+    /// Fresh prober.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Prober for EucKrProber {
+    fn feed(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            if self.dead {
+                return;
+            }
+            match self.v.feed(b) {
+                SmState::Error => {
+                    self.dead = true;
+                    return;
+                }
+                SmState::Continue => self.lead = Some(b),
+                SmState::CharBoundary => {
+                    if let Some(l) = self.lead.take() {
+                        if let Some(k) = Kuten::from_eucjp(l, b) {
+                            self.dist.add_cell(k);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn charset(&self) -> Charset {
+        Charset::EucKr
+    }
+
+    fn confidence(&self) -> f64 {
+        if self.dead || !self.v.at_boundary() {
+            return 0.0;
+        }
+        self.dist.score()
+    }
+}
+
+/// GB2312 prober: the generic EUC validity machine + the Chinese
+/// (hanzi level-1/level-2) distribution. Korean hangul-only byte streams
+/// land in the Chinese level-1 rows too; the level-2 tail (present in
+/// real Chinese text, absent in hangul) plus the Korean prober's higher
+/// in-model score break the tie.
+#[derive(Debug, Default)]
+pub struct Gb2312Prober {
+    v: Euc94Verifier,
+    dist: ChineseDistribution,
+    lead: Option<u8>,
+    dead: bool,
+}
+
+impl Gb2312Prober {
+    /// Fresh prober.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Prober for Gb2312Prober {
+    fn feed(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            if self.dead {
+                return;
+            }
+            match self.v.feed(b) {
+                SmState::Error => {
+                    self.dead = true;
+                    return;
+                }
+                SmState::Continue => self.lead = Some(b),
+                SmState::CharBoundary => {
+                    if let Some(l) = self.lead.take() {
+                        if let Some(k) = Kuten::from_eucjp(l, b) {
+                            self.dist.add_cell(k);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn charset(&self) -> Charset {
+        Charset::Gb2312
+    }
+
+    fn confidence(&self) -> f64 {
+        if self.dead || !self.v.at_boundary() {
+            return 0.0;
+        }
+        self.dist.score()
+    }
+}
+
+// ------------------------------------------------------------- Thai family
+
+/// Thai single-byte prober covering TIS-620 / Windows-874 / ISO-8859-11.
+///
+/// Scores the *orthography*: transitions between Thai character classes
+/// ([`thai::pair_score`]). Family member is picked from the marker bytes
+/// that distinguish the three supersets.
+#[derive(Debug)]
+pub struct ThaiProber {
+    prev: u8,
+    thai_bytes: u32,
+    high_bytes: u32,
+    pair_score: i64,
+    pairs: u32,
+    saw_win874_marker: bool,
+    saw_nbsp: bool,
+    dead: bool,
+}
+
+impl Default for ThaiProber {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ThaiProber {
+    /// Fresh prober.
+    pub fn new() -> Self {
+        ThaiProber {
+            prev: b' ',
+            thai_bytes: 0,
+            high_bytes: 0,
+            pair_score: 0,
+            pairs: 0,
+            saw_win874_marker: false,
+            saw_nbsp: false,
+            dead: false,
+        }
+    }
+}
+
+impl Prober for ThaiProber {
+    fn feed(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            if self.dead {
+                return;
+            }
+            if b >= 0x80 {
+                self.high_bytes += 1;
+                if thai::is_thai_byte(b) {
+                    self.thai_bytes += 1;
+                } else if b == 0x80 || b == 0x85 || (0x91..=0x97).contains(&b) {
+                    self.saw_win874_marker = true;
+                } else if b == 0xA0 {
+                    self.saw_nbsp = true;
+                } else {
+                    // A byte no family member assigns: not Thai text.
+                    self.dead = true;
+                    return;
+                }
+            }
+            if self.prev >= 0x80 || b >= 0x80 {
+                self.pair_score += thai::pair_score(self.prev, b) as i64;
+                self.pairs += 1;
+            }
+            self.prev = b;
+        }
+    }
+
+    fn charset(&self) -> Charset {
+        if self.saw_win874_marker {
+            Charset::Windows874
+        } else if self.saw_nbsp {
+            Charset::Iso885911
+        } else {
+            Charset::Tis620
+        }
+    }
+
+    fn confidence(&self) -> f64 {
+        if self.dead || self.thai_bytes == 0 {
+            return 0.0;
+        }
+        let thai_ratio = self.thai_bytes as f64 / self.high_bytes.max(1) as f64;
+        let avg_pair = if self.pairs == 0 {
+            0.0
+        } else {
+            self.pair_score as f64 / self.pairs as f64
+        };
+        // avg_pair for genuine Thai text sits around +0.8..+1.5; for
+        // Latin-1-ish bytes that merely *land* in the Thai range it hovers
+        // near zero or below, because combining marks follow letters that
+        // cannot carry them. Orthography therefore gates the verdict:
+        // in-range bytes alone must never outbid the Latin-1 floor.
+        if avg_pair <= 0.15 {
+            return (thai_ratio * 0.05).clamp(0.0, 1.0);
+        }
+        let ortho = (avg_pair / 1.2).clamp(0.0, 1.0);
+        (thai_ratio * (0.35 + 0.65 * ortho)).clamp(0.0, 1.0)
+    }
+}
+
+// ------------------------------------------------------------------ Latin-1
+
+/// Latin-1 catch-all prober. Every byte string is "valid" Latin-1, so this
+/// prober never argues loudly — it supplies a floor so that Western
+/// European text with accented letters beats `Unknown` without ever
+/// outbidding a structural match.
+#[derive(Debug, Default)]
+pub struct Latin1Prober {
+    high: u32,
+    c1: u32,
+    total: u32,
+    letter_adjacent: u32,
+}
+
+impl Latin1Prober {
+    /// Fresh prober.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Prober for Latin1Prober {
+    fn feed(&mut self, bytes: &[u8]) {
+        let mut prev_alpha = false;
+        for &b in bytes {
+            self.total += 1;
+            if (0x80..=0x9F).contains(&b) {
+                self.c1 += 1;
+            }
+            if b >= 0xA0 {
+                self.high += 1;
+                if prev_alpha {
+                    // Accented letters embedded in words — the Latin-1 look.
+                    self.letter_adjacent += 1;
+                }
+            }
+            prev_alpha = b.is_ascii_alphabetic() || b >= 0xC0;
+        }
+    }
+
+    fn charset(&self) -> Charset {
+        Charset::Latin1
+    }
+
+    fn confidence(&self) -> f64 {
+        if self.total == 0 || self.high == 0 {
+            return 0.0;
+        }
+        // C1 control bytes are essentially never intentional Latin-1.
+        let c1_ratio = self.c1 as f64 / self.total as f64;
+        if c1_ratio > 0.05 {
+            return 0.01;
+        }
+        let embed = self.letter_adjacent as f64 / self.high as f64;
+        0.10 + 0.15 * embed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode;
+
+    fn probe<P: Prober>(mut p: P, bytes: &[u8]) -> f64 {
+        p.feed(bytes);
+        p.confidence()
+    }
+
+    #[test]
+    fn eucjp_prober_on_eucjp_text() {
+        // Hiragana-heavy EUC-JP.
+        let text: Vec<u8> = (1..=40u8)
+            .flat_map(|t| Kuten::new(4, t).unwrap().to_eucjp())
+            .collect();
+        assert!(probe(EucJpProber::new(), &text) > 0.9);
+    }
+
+    #[test]
+    fn sjis_prober_on_sjis_text() {
+        let text: Vec<u8> = (1..=40u8)
+            .flat_map(|t| Kuten::new(4, t).unwrap().to_sjis())
+            .collect();
+        assert!(probe(ShiftJisProber::new(), &text) > 0.9);
+    }
+
+    #[test]
+    fn eucjp_beats_sjis_on_eucjp_bytes() {
+        let text: Vec<u8> = (1..=60u8)
+            .flat_map(|t| Kuten::new(4, (t % 80) + 1).unwrap().to_eucjp())
+            .collect();
+        let euc = probe(EucJpProber::new(), &text);
+        let sjis = probe(ShiftJisProber::new(), &text);
+        assert!(euc > sjis, "euc {euc} vs sjis {sjis}");
+    }
+
+    #[test]
+    fn sjis_kills_eucjp_on_sjis_bytes() {
+        let text: Vec<u8> = (1..=60u8)
+            .flat_map(|t| Kuten::new(4, (t % 80) + 1).unwrap().to_sjis())
+            .collect();
+        let euc = probe(EucJpProber::new(), &text);
+        let sjis = probe(ShiftJisProber::new(), &text);
+        assert!(sjis > euc, "euc {euc} vs sjis {sjis}");
+    }
+
+    #[test]
+    fn iso2022_prober_needs_escape() {
+        assert_eq!(probe(Iso2022JpProber::new(), b"plain ascii"), 0.0);
+        let mut bytes = vec![0x1B, b'$', b'B', 0x24, 0x22, 0x1B, b'(', b'B'];
+        bytes.extend_from_slice(b" tail");
+        assert!(probe(Iso2022JpProber::new(), &bytes) > 0.9);
+    }
+
+    #[test]
+    fn utf8_prober_positive_and_negative() {
+        assert!(probe(Utf8Prober::new(), "こんにちは".as_bytes()) > 0.8);
+        assert_eq!(probe(Utf8Prober::new(), b"ascii only"), 0.0);
+        assert_eq!(probe(Utf8Prober::new(), &[0xA4, 0xB3]), 0.0); // EUC bytes
+    }
+
+    #[test]
+    fn utf8_language_hint() {
+        let mut p = Utf8Prober::new();
+        p.feed("สวัสดีชาวโลก".as_bytes());
+        assert_eq!(p.language_hint(), Some(Language::Thai));
+        let mut p2 = Utf8Prober::new();
+        p2.feed("こんにちは世界、日本語のページです".as_bytes());
+        assert_eq!(p2.language_hint(), Some(Language::Japanese));
+    }
+
+    #[test]
+    fn thai_prober_on_thai_text() {
+        // สวัสดี in TIS-620: consonant/vowel/tone patterns.
+        let text = encode::encode_thai_demo();
+        let mut p = ThaiProber::new();
+        p.feed(&text);
+        assert!(p.confidence() > 0.5, "confidence {}", p.confidence());
+        assert_eq!(p.charset(), Charset::Tis620);
+    }
+
+    #[test]
+    fn thai_prober_family_discrimination() {
+        let mut text = encode::encode_thai_demo();
+        text.push(0x91); // smart quote → Windows-874 marker
+        let mut p = ThaiProber::new();
+        p.feed(&text);
+        assert_eq!(p.charset(), Charset::Windows874);
+
+        let mut text2 = encode::encode_thai_demo();
+        text2.push(0xA0); // NBSP → ISO-8859-11 marker
+        let mut p2 = ThaiProber::new();
+        p2.feed(&text2);
+        assert_eq!(p2.charset(), Charset::Iso885911);
+    }
+
+    #[test]
+    fn thai_prober_dies_on_unassigned() {
+        let mut p = ThaiProber::new();
+        p.feed(&[0xA1, 0xDB]); // 0xDB is a hole in every family member
+        assert_eq!(p.confidence(), 0.0);
+    }
+
+    #[test]
+    fn latin1_prober_is_a_quiet_floor() {
+        let text = "caf\u{e9} fran\u{e7}ais na\u{ef}ve"
+            .chars()
+            .map(|c| c as u8)
+            .collect::<Vec<_>>();
+        let conf = probe(Latin1Prober::new(), &text);
+        assert!(conf > 0.0 && conf < 0.5, "conf {conf}");
+        // But C1 garbage is rejected.
+        assert!(probe(Latin1Prober::new(), &[0x81, 0x82, 0x83, 0x84]) < 0.05);
+    }
+}

@@ -1,0 +1,609 @@
+//! Coding-scheme state machines — byte-sequence validity verifiers.
+//!
+//! The first of Li & Momoi's three detection methods is the *coding scheme
+//! method*: feed the byte stream through one validity automaton per
+//! candidate encoding and eliminate encodings that hit an illegal
+//! transition. Each verifier here is a hand-coded DFA exposing the same
+//! tiny interface ([`Verifier`]), fed byte-at-a-time so the detector can
+//! run all of them in a single pass over the document.
+
+/// Outcome of feeding one byte into a verifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SmState {
+    /// Prefix is valid so far; mid-character.
+    Continue,
+    /// Prefix is valid and a character boundary was just completed.
+    CharBoundary,
+    /// The byte sequence can never be valid in this encoding.
+    Error,
+}
+
+/// A resettable byte-sequence validity automaton for one encoding.
+pub trait Verifier {
+    /// Feed the next byte; returns the resulting state. After an `Error`
+    /// the verifier stays in error until [`Verifier::reset`].
+    fn feed(&mut self, b: u8) -> SmState;
+    /// Return to the initial state.
+    fn reset(&mut self);
+    /// True if the stream may legally end here (not mid-character).
+    fn at_boundary(&self) -> bool;
+}
+
+// --------------------------------------------------------------------- UTF-8
+
+/// UTF-8 validity DFA (RFC 3629, rejecting overlongs and surrogates).
+#[derive(Debug, Clone)]
+pub struct Utf8Verifier {
+    /// Remaining continuation bytes expected.
+    pending: u8,
+    /// Restricted range for the *next* continuation byte (first
+    /// continuation of E0/ED/F0/F4 sequences).
+    next_lo: u8,
+    next_hi: u8,
+    dead: bool,
+}
+
+impl Default for Utf8Verifier {
+    fn default() -> Self {
+        // NB: not derivable — the continuation window must start at its
+        // unrestricted 0x80..=0xBF value, not zero.
+        Self::new()
+    }
+}
+
+impl Utf8Verifier {
+    /// New verifier in the initial state.
+    pub fn new() -> Self {
+        Self {
+            pending: 0,
+            next_lo: 0x80,
+            next_hi: 0xBF,
+            dead: false,
+        }
+    }
+}
+
+impl Verifier for Utf8Verifier {
+    fn feed(&mut self, b: u8) -> SmState {
+        if self.dead {
+            return SmState::Error;
+        }
+        if self.pending > 0 {
+            if b < self.next_lo || b > self.next_hi {
+                self.dead = true;
+                return SmState::Error;
+            }
+            self.pending -= 1;
+            self.next_lo = 0x80;
+            self.next_hi = 0xBF;
+            return if self.pending == 0 {
+                SmState::CharBoundary
+            } else {
+                SmState::Continue
+            };
+        }
+        match b {
+            0x00..=0x7F => SmState::CharBoundary,
+            0xC2..=0xDF => {
+                self.pending = 1;
+                SmState::Continue
+            }
+            0xE0 => {
+                self.pending = 2;
+                self.next_lo = 0xA0; // reject overlong
+                SmState::Continue
+            }
+            0xE1..=0xEC | 0xEE..=0xEF => {
+                self.pending = 2;
+                SmState::Continue
+            }
+            0xED => {
+                self.pending = 2;
+                self.next_hi = 0x9F; // reject surrogates
+                SmState::Continue
+            }
+            0xF0 => {
+                self.pending = 3;
+                self.next_lo = 0x90; // reject overlong
+                SmState::Continue
+            }
+            0xF1..=0xF3 => {
+                self.pending = 3;
+                SmState::Continue
+            }
+            0xF4 => {
+                self.pending = 3;
+                self.next_hi = 0x8F; // reject > U+10FFFF
+                SmState::Continue
+            }
+            _ => {
+                self.dead = true;
+                SmState::Error
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        *self = Self::new();
+    }
+
+    fn at_boundary(&self) -> bool {
+        !self.dead && self.pending == 0
+    }
+}
+
+// -------------------------------------------------------------------- EUC-JP
+
+/// EUC-JP validity DFA. Accepts ASCII, the JIS X 0208 plane
+/// (0xA1..=0xFE twice), half-width kana via SS2 (0x8E + 0xA1..=0xDF), and
+/// JIS X 0212 via SS3 (0x8F + two 0xA1..=0xFE bytes).
+#[derive(Debug, Default, Clone)]
+pub struct EucJpVerifier {
+    state: EucJpS,
+    dead: bool,
+}
+
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+enum EucJpS {
+    #[default]
+    Start,
+    Lead208,
+    Ss2,
+    Ss3First,
+    Ss3Second,
+}
+
+impl EucJpVerifier {
+    /// New verifier in the initial state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Verifier for EucJpVerifier {
+    fn feed(&mut self, b: u8) -> SmState {
+        if self.dead {
+            return SmState::Error;
+        }
+        use EucJpS::*;
+        let (next, out) = match (self.state, b) {
+            (Start, 0x00..=0x7F) => (Start, SmState::CharBoundary),
+            (Start, 0x8E) => (Ss2, SmState::Continue),
+            (Start, 0x8F) => (Ss3First, SmState::Continue),
+            (Start, 0xA1..=0xFE) => (Lead208, SmState::Continue),
+            (Lead208, 0xA1..=0xFE) => (Start, SmState::CharBoundary),
+            (Ss2, 0xA1..=0xDF) => (Start, SmState::CharBoundary),
+            (Ss3First, 0xA1..=0xFE) => (Ss3Second, SmState::Continue),
+            (Ss3Second, 0xA1..=0xFE) => (Start, SmState::CharBoundary),
+            _ => {
+                self.dead = true;
+                return SmState::Error;
+            }
+        };
+        self.state = next;
+        out
+    }
+
+    fn reset(&mut self) {
+        *self = Self::default();
+    }
+
+    fn at_boundary(&self) -> bool {
+        !self.dead && self.state == EucJpS::Start
+    }
+}
+
+// ------------------------------------------------------------- EUC (94×94)
+
+/// Validity DFA for the plain EUC packings of KS X 1001 (EUC-KR) and
+/// GB 2312 (GB2312/EUC-CN): ASCII single bytes, or two bytes both in
+/// 0xA1..=0xFE. (EUC-JP differs only by its SS2/SS3 planes, which these
+/// encodings do not have.)
+#[derive(Debug, Default, Clone)]
+pub struct Euc94Verifier {
+    mid: bool,
+    dead: bool,
+}
+
+impl Euc94Verifier {
+    /// New verifier in the initial state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Verifier for Euc94Verifier {
+    fn feed(&mut self, b: u8) -> SmState {
+        if self.dead {
+            return SmState::Error;
+        }
+        if self.mid {
+            return if (0xA1..=0xFE).contains(&b) {
+                self.mid = false;
+                SmState::CharBoundary
+            } else {
+                self.dead = true;
+                SmState::Error
+            };
+        }
+        match b {
+            0x00..=0x7F => SmState::CharBoundary,
+            0xA1..=0xFE => {
+                self.mid = true;
+                SmState::Continue
+            }
+            _ => {
+                self.dead = true;
+                SmState::Error
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        *self = Self::default();
+    }
+
+    fn at_boundary(&self) -> bool {
+        !self.dead && !self.mid
+    }
+}
+
+// ------------------------------------------------------------------ Shift_JIS
+
+/// Shift_JIS validity DFA. Accepts ASCII, half-width katakana
+/// (0xA1..=0xDF single bytes), and double-byte characters with lead
+/// 0x81..=0x9F / 0xE0..=0xEF and trail 0x40..=0x7E / 0x80..=0xFC.
+#[derive(Debug, Default, Clone)]
+pub struct ShiftJisVerifier {
+    mid: bool,
+    dead: bool,
+}
+
+impl ShiftJisVerifier {
+    /// New verifier in the initial state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Verifier for ShiftJisVerifier {
+    fn feed(&mut self, b: u8) -> SmState {
+        if self.dead {
+            return SmState::Error;
+        }
+        if self.mid {
+            return if matches!(b, 0x40..=0x7E | 0x80..=0xFC) {
+                self.mid = false;
+                SmState::CharBoundary
+            } else {
+                self.dead = true;
+                SmState::Error
+            };
+        }
+        match b {
+            0x00..=0x7F => SmState::CharBoundary,
+            0xA1..=0xDF => SmState::CharBoundary, // half-width kana
+            0x81..=0x9F | 0xE0..=0xEF => {
+                self.mid = true;
+                SmState::Continue
+            }
+            _ => {
+                self.dead = true;
+                SmState::Error
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        *self = Self::default();
+    }
+
+    fn at_boundary(&self) -> bool {
+        !self.dead && !self.mid
+    }
+}
+
+// ---------------------------------------------------------------- ISO-2022-JP
+
+/// ISO-2022-JP validity DFA (RFC 1468 subset). Tracks the designation
+/// switched by escape sequences: ASCII / JIS-Roman (1 byte per char) vs
+/// JIS X 0208 (2 bytes per char, both 0x21..=0x7E).
+///
+/// Any 8-bit byte is an immediate error — the encoding is 7-bit by
+/// construction, which is what makes it detectable by escape scan alone.
+#[derive(Debug, Default, Clone)]
+pub struct Iso2022JpVerifier {
+    state: Iso2022S,
+    /// True while a JIS X 0208 designation is active.
+    in_208: bool,
+    /// Mid double-byte character.
+    mid: bool,
+    /// Number of complete, recognised escape sequences seen.
+    escapes_seen: u32,
+    dead: bool,
+}
+
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+enum Iso2022S {
+    #[default]
+    Text,
+    Esc,
+    EscDollar,
+    EscParen,
+}
+
+impl Iso2022JpVerifier {
+    /// New verifier in the initial state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// How many complete designation escape sequences have been accepted.
+    /// Detection requires at least one: plain ASCII never switches sets.
+    pub fn escapes_seen(&self) -> u32 {
+        self.escapes_seen
+    }
+}
+
+impl Verifier for Iso2022JpVerifier {
+    fn feed(&mut self, b: u8) -> SmState {
+        if self.dead {
+            return SmState::Error;
+        }
+        use Iso2022S::*;
+        if b >= 0x80 {
+            self.dead = true;
+            return SmState::Error;
+        }
+        match self.state {
+            Text => match b {
+                0x1B => {
+                    if self.mid {
+                        // ESC inside a double-byte char is illegal.
+                        self.dead = true;
+                        return SmState::Error;
+                    }
+                    self.state = Esc;
+                    SmState::Continue
+                }
+                _ if self.in_208 => {
+                    if matches!(b, 0x21..=0x7E) {
+                        self.mid = !self.mid;
+                        if self.mid {
+                            SmState::Continue
+                        } else {
+                            SmState::CharBoundary
+                        }
+                    } else if matches!(b, b' ' | b'\n' | b'\r' | b'\t') && !self.mid {
+                        // Whitespace is tolerated between 0208 chars.
+                        SmState::CharBoundary
+                    } else {
+                        self.dead = true;
+                        SmState::Error
+                    }
+                }
+                _ => SmState::CharBoundary,
+            },
+            Esc => match b {
+                b'$' => {
+                    self.state = EscDollar;
+                    SmState::Continue
+                }
+                b'(' => {
+                    self.state = EscParen;
+                    SmState::Continue
+                }
+                _ => {
+                    self.dead = true;
+                    SmState::Error
+                }
+            },
+            EscDollar => match b {
+                b'@' | b'B' => {
+                    // ESC $ @ (JIS C 6226) / ESC $ B (JIS X 0208).
+                    self.in_208 = true;
+                    self.state = Text;
+                    self.escapes_seen += 1;
+                    SmState::CharBoundary
+                }
+                _ => {
+                    self.dead = true;
+                    SmState::Error
+                }
+            },
+            EscParen => match b {
+                b'B' | b'J' => {
+                    // ESC ( B (ASCII) / ESC ( J (JIS X 0201 Roman).
+                    self.in_208 = false;
+                    self.state = Text;
+                    self.escapes_seen += 1;
+                    SmState::CharBoundary
+                }
+                _ => {
+                    self.dead = true;
+                    SmState::Error
+                }
+            },
+        }
+    }
+
+    fn reset(&mut self) {
+        *self = Self::default();
+    }
+
+    fn at_boundary(&self) -> bool {
+        !self.dead && !self.mid && self.state == Iso2022S::Text && !self.in_208
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run<V: Verifier>(v: &mut V, bytes: &[u8]) -> bool {
+        for &b in bytes {
+            if v.feed(b) == SmState::Error {
+                return false;
+            }
+        }
+        v.at_boundary()
+    }
+
+    #[test]
+    fn utf8_accepts_valid() {
+        let mut v = Utf8Verifier::new();
+        assert!(run(&mut v, "hello ไทย 日本語 🦀".as_bytes()));
+    }
+
+    #[test]
+    fn utf8_rejects_overlong_and_surrogate() {
+        // Overlong "/" as C0 AF.
+        assert!(!run(&mut Utf8Verifier::new(), &[0xC0, 0xAF]));
+        // Overlong 3-byte: E0 80 80.
+        assert!(!run(&mut Utf8Verifier::new(), &[0xE0, 0x80, 0x80]));
+        // Surrogate U+D800: ED A0 80.
+        assert!(!run(&mut Utf8Verifier::new(), &[0xED, 0xA0, 0x80]));
+        // > U+10FFFF: F4 90 80 80.
+        assert!(!run(&mut Utf8Verifier::new(), &[0xF4, 0x90, 0x80, 0x80]));
+        // Bare continuation.
+        assert!(!run(&mut Utf8Verifier::new(), &[0x80]));
+        // FE/FF never appear.
+        assert!(!run(&mut Utf8Verifier::new(), &[0xFE]));
+    }
+
+    #[test]
+    fn utf8_truncation_is_not_boundary() {
+        let mut v = Utf8Verifier::new();
+        assert_eq!(v.feed(0xE3), SmState::Continue);
+        assert!(!v.at_boundary());
+        assert_eq!(v.feed(0x81), SmState::Continue);
+        assert_eq!(v.feed(0x82), SmState::CharBoundary);
+        assert!(v.at_boundary());
+    }
+
+    #[test]
+    fn eucjp_accepts_all_planes() {
+        let mut v = EucJpVerifier::new();
+        // ASCII + 0208 char + half-width kana + 0212 char.
+        assert!(run(
+            &mut v,
+            &[b'a', 0xA4, 0xA2, 0x8E, 0xB1, 0x8F, 0xA1, 0xA1, b'z']
+        ));
+    }
+
+    #[test]
+    fn eucjp_rejects() {
+        // Lead without trail (ASCII after lead).
+        assert!(!run(&mut EucJpVerifier::new(), &[0xA4, 0x41]));
+        // SS2 with out-of-range kana byte.
+        assert!(!run(&mut EucJpVerifier::new(), &[0x8E, 0xE0]));
+        // Bare 0x80.
+        assert!(!run(&mut EucJpVerifier::new(), &[0x80]));
+        // Truncated double-byte at end: not a boundary.
+        let mut v = EucJpVerifier::new();
+        v.feed(0xA4);
+        assert!(!v.at_boundary());
+    }
+
+    #[test]
+    fn euc94_accepts_and_rejects() {
+        let mut v = Euc94Verifier::new();
+        assert!(run(&mut v, &[b'a', 0xB0, 0xA1, 0xC8, 0xFE, b'z']));
+        // 0x80..0xA0 bytes are illegal anywhere.
+        assert!(!run(&mut Euc94Verifier::new(), &[0x8E, 0xA1]));
+        // ASCII trail after a lead is illegal.
+        assert!(!run(&mut Euc94Verifier::new(), &[0xB0, 0x41]));
+        // Truncated double byte is not a boundary.
+        let mut t = Euc94Verifier::new();
+        t.feed(0xB0);
+        assert!(!t.at_boundary());
+    }
+
+    #[test]
+    fn sjis_accepts() {
+        let mut v = ShiftJisVerifier::new();
+        // ASCII + double byte (あ = 82 A0) + half-width kana + double byte
+        // in the 0xE0 lead region.
+        assert!(run(&mut v, &[b'a', 0x82, 0xA0, 0xB1, 0xE0, 0x40]));
+    }
+
+    #[test]
+    fn sjis_rejects() {
+        // 0x7F trail is invalid.
+        assert!(!run(&mut ShiftJisVerifier::new(), &[0x82, 0x7F]));
+        // 0xFD lead is invalid.
+        assert!(!run(&mut ShiftJisVerifier::new(), &[0xFD]));
+        // Truncated double byte.
+        let mut v = ShiftJisVerifier::new();
+        v.feed(0x82);
+        assert!(!v.at_boundary());
+    }
+
+    #[test]
+    fn sjis_vs_eucjp_disambiguation_exists() {
+        // The canonical ambiguity: many byte strings are valid in both.
+        // But SJIS half-width-kana-heavy strings break EUC-JP and vice
+        // versa. 0xA4 0xA2 (EUC あ) is valid SJIS kana too — both accept;
+        // 0x82 0xA0 (SJIS あ) is invalid EUC-JP (0x82 illegal).
+        assert!(!run(&mut EucJpVerifier::new(), &[0x82, 0xA0]));
+        assert!(run(&mut ShiftJisVerifier::new(), &[0x82, 0xA0]));
+    }
+
+    #[test]
+    fn iso2022jp_accepts_designated_text() {
+        let mut v = Iso2022JpVerifier::new();
+        let mut bytes = vec![b'H', b'i', b' '];
+        bytes.extend_from_slice(&[0x1B, b'$', b'B']); // to JIS X 0208
+        bytes.extend_from_slice(&[0x24, 0x22, 0x24, 0x24]); // two chars
+        bytes.extend_from_slice(&[0x1B, b'(', b'B']); // back to ASCII
+        bytes.push(b'!');
+        assert!(run(&mut v, &bytes));
+        assert_eq!(v.escapes_seen(), 2);
+    }
+
+    #[test]
+    fn iso2022jp_rejects_8bit_and_bad_escapes() {
+        assert!(!run(&mut Iso2022JpVerifier::new(), &[0x1B, b'$', b'Z']));
+        assert!(!run(&mut Iso2022JpVerifier::new(), &[0xA4]));
+        // ESC mid-character is illegal.
+        let mut v = Iso2022JpVerifier::new();
+        for &b in &[0x1B, b'$', b'B', 0x24] {
+            v.feed(b);
+        }
+        assert_eq!(v.feed(0x1B), SmState::Error);
+    }
+
+    #[test]
+    fn iso2022jp_requires_return_to_ascii_for_boundary() {
+        let mut v = Iso2022JpVerifier::new();
+        for &b in &[0x1B, b'$', b'B', 0x24, 0x22] {
+            assert_ne!(v.feed(b), SmState::Error);
+        }
+        // Still designated to 0208: a conforming stream ends in ASCII.
+        assert!(!v.at_boundary());
+        for &b in &[0x1B, b'(', b'B'] {
+            v.feed(b);
+        }
+        assert!(v.at_boundary());
+    }
+
+    #[test]
+    fn verifiers_reset() {
+        let mut v = ShiftJisVerifier::new();
+        v.feed(0xFD);
+        assert_eq!(v.feed(b'a'), SmState::Error);
+        v.reset();
+        assert_eq!(v.feed(b'a'), SmState::CharBoundary);
+    }
+
+    /// ASCII is valid under every verifier — the shared subset that makes
+    /// charset detection need distribution analysis at all.
+    #[test]
+    fn ascii_valid_everywhere() {
+        let text = b"The quick brown fox, 0123456789.";
+        assert!(run(&mut Utf8Verifier::new(), text));
+        assert!(run(&mut EucJpVerifier::new(), text));
+        assert!(run(&mut ShiftJisVerifier::new(), text));
+        assert!(run(&mut Iso2022JpVerifier::new(), text));
+    }
+}

@@ -1,0 +1,28 @@
+//! Developer diagnostic: queue-size shape of the simple strategy on the
+//! presets (soft must dwarf hard, as in the paper's Fig. 5). Used to
+//! calibrate the generator before the full fig5 harness runs.
+use langcrawl_core::classifier::OracleClassifier;
+use langcrawl_core::sim::{SimConfig, Simulator};
+use langcrawl_core::strategy::SimpleStrategy;
+use langcrawl_webgraph::GeneratorConfig;
+
+fn main() {
+    for (name, cfg) in [
+        ("thai", GeneratorConfig::thai_like().scaled(120_000)),
+        ("japanese", GeneratorConfig::japanese_like().scaled(120_000)),
+    ] {
+        let ws = cfg.build(42);
+        let mut sim = Simulator::new(&ws, SimConfig::default());
+        let oracle = OracleClassifier::target(ws.target_language());
+        let soft = sim.run(&mut SimpleStrategy::soft(), &oracle);
+        let hard = sim.run(&mut SimpleStrategy::hard(), &oracle);
+        let n = ws.num_pages() as f64;
+        println!(
+            "{name}: soft_max={} ({:.1}%) hard_max={} ({:.1}%) ratio={:.1} | soft_cov={:.3} hard_cov={:.3}",
+            soft.max_queue, 100.0*soft.max_queue as f64/n,
+            hard.max_queue, 100.0*hard.max_queue as f64/n,
+            soft.max_queue as f64 / hard.max_queue as f64,
+            soft.final_coverage(), hard.final_coverage(),
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! # langcrawl-core — the Web Crawling Simulator
+//!
+//! The primary contribution of *"Simulation Study of Language Specific
+//! Web Crawling"* (Somboonviwat, Tamura, Kitsuregawa; DEWS/ICDE 2005):
+//! a trace-driven simulator for evaluating language-specific crawl
+//! strategies, together with the strategies themselves.
+//!
+//! The architecture mirrors the paper's Fig. 2 exactly:
+//!
+//! ```text
+//!            next URL ┌─────────┐ new URLs
+//!        ┌───────────►│ Visitor │────────────┐
+//!        │            └────┬────┘            │
+//!   ┌────┴────┐ visited    │ URL        ┌────▼─────┐
+//!   │Simulator│◄───────────┤            │ URL queue│
+//!   └────┬────┘            ▼            └──────────┘
+//!        │            ┌──────────┐ relevance ┌──────────┐
+//!        └───────────►│Classifier│──────────►│ Observer │
+//!                     └──────────┘  score    └──────────┘
+//!            crawl logs + LinkDB  =  langcrawl_webgraph::WebSpace
+//! ```
+//!
+//! * [`sim::Simulator`] — drives the crawl loop over a
+//!   [`langcrawl_webgraph::WebSpace`] (the crawl logs / LinkDB).
+//! * The **visitor** is the fetch-and-extract step inside the loop: it
+//!   asks the virtual web space for a page's status, charset and
+//!   outlinks.
+//! * [`classifier`] — relevance judgment (§3.2): by META charset label
+//!   ([`classifier::MetaClassifier`], what the paper used for Thai), by
+//!   running the byte-distribution detector over synthesized page bytes
+//!   ([`classifier::DetectorClassifier`], what the paper used for
+//!   Japanese), or by ground truth ([`classifier::OracleClassifier`],
+//!   for ablations).
+//! * [`strategy`] — the observers: breadth-first; the simple strategy in
+//!   hard- and soft-focused modes (§3.3.1, Table 2); the limited-distance
+//!   strategy in non-prioritized and prioritized modes (§3.3.2); plus the
+//!   related-work extensions (HITS distiller, context-graph crawler).
+//! * [`queue`] — the URL queue: FIFO rings bucketed by priority level,
+//!   with the distinct-pending counter that Fig. 5/6(a)/7(a) plot.
+//! * [`metrics`] — harvest rate, coverage (explicit recall), queue-size
+//!   series (§3.4).
+//! * [`timing`] — the paper's stated future work (§6): an event-driven
+//!   model with transfer delays and per-server access intervals.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classifier;
+pub mod content;
+pub mod metrics;
+pub mod queue;
+pub mod sim;
+pub mod strategy;
+pub mod timing;
+
+pub use classifier::{Classifier, DetectorClassifier, MetaClassifier, OracleClassifier};
+pub use content::{ContentClassifier, ContentConfig, ContentSimulator};
+pub use metrics::CrawlReport;
+pub use sim::{SimConfig, Simulator};
+pub use strategy::{BreadthFirst, LimitedDistanceStrategy, SimpleStrategy, Strategy};

@@ -1,0 +1,255 @@
+//! The URL queue — priority-bucketed FIFO rings.
+//!
+//! Every strategy in the paper uses small-integer priorities (relevance
+//! ∈ {0,1}; limited-distance ∈ 0..=N), so the queue is an array of
+//! `VecDeque` rings indexed by priority level: O(1) push and pop, exact
+//! FIFO within a level — the discipline the paper's curves assume — and
+//! no per-entry allocation.
+//!
+//! The queue also owns the *admission key* table that implements
+//! re-prioritization: a URL may be pushed again if it is later discovered
+//! with a strictly better (priority, distance) key; stale entries are
+//! skipped on pop. [`UrlQueue::pending`] counts **distinct** URLs waiting
+//! — the quantity Fig. 5 / 6(a) / 7(a) plot — so duplicates never inflate
+//! the reported queue size.
+
+use langcrawl_webgraph::PageId;
+use std::collections::VecDeque;
+
+/// One queued URL with its admission metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Entry {
+    /// The URL (page id in the virtual web space).
+    pub page: PageId,
+    /// Priority level, 0 = crawl first.
+    pub priority: u8,
+    /// Consecutive-irrelevant count of the path that discovered this URL
+    /// (0 when the referrer was relevant or a seed).
+    pub distance: u8,
+}
+
+impl Entry {
+    /// Lexicographic admission key: lower is better.
+    fn key(&self) -> u16 {
+        ((self.priority as u16) << 8) | self.distance as u16
+    }
+}
+
+/// Priority-bucketed URL queue with duplicate suppression.
+///
+/// ```
+/// use langcrawl_core::queue::{Entry, UrlQueue};
+///
+/// let mut q = UrlQueue::new(10, 2);
+/// q.push(Entry { page: 3, priority: 1, distance: 0 });
+/// q.push(Entry { page: 7, priority: 0, distance: 0 });
+/// q.push(Entry { page: 3, priority: 0, distance: 0 }); // re-prioritized
+/// assert_eq!(q.pending(), 2);
+/// assert_eq!(q.pop().unwrap().page, 7); // level 0, FIFO
+/// assert_eq!(q.pop().unwrap().page, 3); // promoted entry wins
+/// assert!(q.pop().is_none());           // stale duplicate skipped
+/// ```
+#[derive(Debug)]
+pub struct UrlQueue {
+    levels: Vec<VecDeque<Entry>>,
+    /// Best admission key per page; `u16::MAX` = never admitted.
+    best: Vec<u16>,
+    /// Pages fetched already (their entries are stale).
+    done: Vec<bool>,
+    /// Distinct pages admitted but not yet fetched.
+    pending: usize,
+    /// High-water mark of `pending`.
+    max_pending: usize,
+    /// Total entries ever pushed (diagnostic).
+    pushes: u64,
+}
+
+impl UrlQueue {
+    /// Queue over a space of `num_pages` URLs with priorities `0..levels`.
+    pub fn new(num_pages: usize, levels: usize) -> Self {
+        UrlQueue {
+            levels: (0..levels.max(1)).map(|_| VecDeque::new()).collect(),
+            best: vec![u16::MAX; num_pages],
+            done: vec![false; num_pages],
+            pending: 0,
+            max_pending: 0,
+            pushes: 0,
+        }
+    }
+
+    /// Number of priority levels.
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Try to admit an entry. Returns true if it was enqueued (first
+    /// discovery, or a strictly better key than any prior admission).
+    pub fn push(&mut self, e: Entry) -> bool {
+        let idx = e.page as usize;
+        if self.done[idx] {
+            return false;
+        }
+        let key = e.key();
+        if key >= self.best[idx] {
+            return false; // duplicate or not better
+        }
+        if self.best[idx] == u16::MAX {
+            self.pending += 1;
+            self.max_pending = self.max_pending.max(self.pending);
+        }
+        self.best[idx] = key;
+        let level = (e.priority as usize).min(self.levels.len() - 1);
+        self.levels[level].push_back(e);
+        self.pushes += 1;
+        true
+    }
+
+    /// Pop the next URL to crawl: lowest priority level first, FIFO
+    /// within a level; stale duplicates are skipped transparently.
+    pub fn pop(&mut self) -> Option<Entry> {
+        loop {
+            let level = self.levels.iter().position(|l| !l.is_empty())?;
+            let e = self.levels[level].pop_front().expect("nonempty level");
+            let idx = e.page as usize;
+            if self.done[idx] || e.key() > self.best[idx] {
+                continue; // fetched already, or superseded by a better entry
+            }
+            self.done[idx] = true;
+            self.pending -= 1;
+            return Some(e);
+        }
+    }
+
+    /// Distinct URLs admitted and not yet fetched — the paper's "URL
+    /// queue size".
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// Largest value [`UrlQueue::pending`] ever reached.
+    pub fn max_pending(&self) -> usize {
+        self.max_pending
+    }
+
+    /// Has this page been fetched?
+    pub fn is_done(&self, p: PageId) -> bool {
+        self.done[p as usize]
+    }
+
+    /// Was this page ever admitted (queued or fetched)?
+    pub fn was_admitted(&self, p: PageId) -> bool {
+        self.best[p as usize] != u16::MAX
+    }
+
+    /// Total push operations accepted (diagnostic; counts duplicates).
+    pub fn total_pushes(&self) -> u64 {
+        self.pushes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(page: PageId, priority: u8, distance: u8) -> Entry {
+        Entry {
+            page,
+            priority,
+            distance,
+        }
+    }
+
+    #[test]
+    fn fifo_within_level() {
+        let mut q = UrlQueue::new(10, 1);
+        for p in [3, 1, 4, 1, 5] {
+            q.push(e(p, 0, 0));
+        }
+        let order: Vec<PageId> = std::iter::from_fn(|| q.pop()).map(|x| x.page).collect();
+        assert_eq!(order, vec![3, 1, 4, 5]); // duplicate 1 suppressed
+    }
+
+    #[test]
+    fn priority_levels_strictly_ordered() {
+        let mut q = UrlQueue::new(10, 3);
+        q.push(e(1, 2, 0));
+        q.push(e(2, 0, 0));
+        q.push(e(3, 1, 0));
+        q.push(e(4, 0, 0));
+        let order: Vec<PageId> = std::iter::from_fn(|| q.pop()).map(|x| x.page).collect();
+        assert_eq!(order, vec![2, 4, 3, 1]);
+    }
+
+    #[test]
+    fn better_key_reprioritizes() {
+        let mut q = UrlQueue::new(10, 3);
+        assert!(q.push(e(7, 2, 0)));
+        // Same page discovered again at a better priority.
+        assert!(q.push(e(7, 0, 0)));
+        assert_eq!(q.pending(), 1, "still one distinct URL");
+        let first = q.pop().unwrap();
+        assert_eq!((first.page, first.priority), (7, 0));
+        assert!(q.pop().is_none(), "stale low-priority duplicate skipped");
+    }
+
+    #[test]
+    fn worse_or_equal_key_rejected() {
+        let mut q = UrlQueue::new(10, 3);
+        assert!(q.push(e(7, 1, 0)));
+        assert!(!q.push(e(7, 1, 0)));
+        assert!(!q.push(e(7, 2, 0)));
+        assert!(!q.push(e(7, 1, 1)));
+        assert!(q.push(e(7, 1, 0).into_better()));
+    }
+
+    #[test]
+    fn distance_breaks_priority_ties() {
+        let mut q = UrlQueue::new(10, 2);
+        assert!(q.push(e(5, 1, 3)));
+        assert!(q.push(e(5, 1, 1))); // same priority, shorter path: better
+        let got = q.pop().unwrap();
+        assert_eq!(got.distance, 1);
+    }
+
+    #[test]
+    fn done_pages_never_requeue() {
+        let mut q = UrlQueue::new(10, 1);
+        q.push(e(2, 0, 0));
+        q.pop().unwrap();
+        assert!(!q.push(e(2, 0, 0)));
+        assert!(q.is_done(2));
+    }
+
+    #[test]
+    fn pending_and_high_water() {
+        let mut q = UrlQueue::new(10, 2);
+        for p in 0..5 {
+            q.push(e(p, 0, 0));
+        }
+        assert_eq!(q.pending(), 5);
+        assert_eq!(q.max_pending(), 5);
+        q.pop();
+        q.pop();
+        assert_eq!(q.pending(), 3);
+        assert_eq!(q.max_pending(), 5);
+        q.push(e(9, 1, 0));
+        assert_eq!(q.pending(), 4);
+        assert_eq!(q.max_pending(), 5);
+    }
+
+    #[test]
+    fn out_of_range_priority_clamped_to_last_level() {
+        let mut q = UrlQueue::new(4, 2);
+        q.push(e(0, 9, 0)); // clamps into level 1
+        q.push(e(1, 0, 0));
+        assert_eq!(q.pop().unwrap().page, 1);
+        assert_eq!(q.pop().unwrap().page, 0);
+    }
+
+    impl Entry {
+        fn into_better(mut self) -> Entry {
+            self.priority = 0;
+            self
+        }
+    }
+}

@@ -1,0 +1,376 @@
+//! The simulator proper — the crawl loop of Fig. 2.
+//!
+//! The loop body *is* the visitor: pop the next URL from the queue,
+//! "download" it from the virtual web space (status, charset, outlinks
+//! come from the trace), have the classifier judge relevance, hand the
+//! observation to the observer (strategy), and push whatever it admits.
+//! Ground-truth relevance is recorded separately for metrics — the
+//! strategy never sees it.
+
+use crate::classifier::Classifier;
+use crate::metrics::{CrawlReport, Sample};
+use crate::queue::{Entry, UrlQueue};
+use crate::strategy::{PageView, Strategy};
+use langcrawl_webgraph::WebSpace;
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Default)]
+pub struct SimConfig {
+    /// Stop after this many fetches (`None` = run the queue dry, i.e.
+    /// the complete crawl the paper's figures show).
+    pub max_pages: Option<u64>,
+    /// Record a metrics sample every this many fetches (`None` = pick
+    /// ~512 points across the space automatically).
+    pub sample_interval: Option<u64>,
+    /// Apply the URL extension filter every production crawler runs:
+    /// links whose URL names an obviously non-HTML resource (images,
+    /// archives — [`langcrawl_webgraph::PageKind::Other`] pages, whose
+    /// URLs end in `.gif`) are never enqueued. Dead *HTML-looking* links
+    /// (404s) cannot be filtered this way and are still fetched.
+    pub url_filter: bool,
+    /// Record the ids of crawled pages in
+    /// [`crate::metrics::CrawlReport::visited`] (needed by
+    /// dataset-collection experiments; off by default to keep reports
+    /// small).
+    pub record_visits: bool,
+}
+
+impl SimConfig {
+    /// Cap the crawl at `n` fetches.
+    pub fn with_max_pages(mut self, n: u64) -> Self {
+        self.max_pages = Some(n);
+        self
+    }
+
+    /// Enable the URL extension filter (see [`SimConfig::url_filter`]).
+    pub fn with_url_filter(mut self) -> Self {
+        self.url_filter = true;
+        self
+    }
+
+    /// Record crawled page ids in the report.
+    pub fn with_visit_recording(mut self) -> Self {
+        self.record_visits = true;
+        self
+    }
+}
+
+/// The web crawling simulator.
+///
+/// ```
+/// use langcrawl_core::classifier::MetaClassifier;
+/// use langcrawl_core::sim::{SimConfig, Simulator};
+/// use langcrawl_core::strategy::SimpleStrategy;
+/// use langcrawl_webgraph::GeneratorConfig;
+///
+/// let space = GeneratorConfig::thai_like().scaled(2_000).build(1);
+/// let mut sim = Simulator::new(&space, SimConfig::default());
+/// let report = sim.run(
+///     &mut SimpleStrategy::soft(),
+///     &MetaClassifier::target(space.target_language()),
+/// );
+/// assert!(report.final_coverage() > 0.95);
+/// assert!(report.crawled > 0);
+/// ```
+pub struct Simulator<'a> {
+    ws: &'a WebSpace,
+    config: SimConfig,
+}
+
+impl<'a> Simulator<'a> {
+    /// A simulator over a virtual web space.
+    pub fn new(ws: &'a WebSpace, config: SimConfig) -> Self {
+        Simulator { ws, config }
+    }
+
+    /// Run one crawl to completion (or to the fetch budget) and return
+    /// its report. The simulator is reusable: each `run` starts fresh
+    /// from the seeds.
+    pub fn run(&mut self, strategy: &mut dyn Strategy, classifier: &dyn Classifier) -> CrawlReport {
+        let ws = self.ws;
+        let n = ws.num_pages();
+        let sample_interval = self
+            .config
+            .sample_interval
+            .unwrap_or_else(|| (n as u64 / 512).max(1));
+        let budget = self.config.max_pages.unwrap_or(u64::MAX);
+
+        let mut queue = UrlQueue::new(n, strategy.levels());
+        for &s in ws.seeds() {
+            queue.push(Entry {
+                page: s,
+                priority: 0,
+                distance: 0,
+            });
+        }
+
+        let mut crawled: u64 = 0;
+        let mut relevant_crawled: u64 = 0;
+        let mut samples: Vec<Sample> = Vec::with_capacity(600);
+        let mut admissions: Vec<Entry> = Vec::with_capacity(64);
+        let mut visited: Vec<langcrawl_webgraph::PageId> = Vec::new();
+
+        while let Some(entry) = queue.pop() {
+            let p = entry.page;
+            crawled += 1;
+            if self.config.record_visits {
+                visited.push(p);
+            }
+
+            // "Download": the virtual web space answers with the page's
+            // properties. Only OK HTML pages have content to classify.
+            let meta = ws.meta(p);
+            let relevance = if meta.is_ok_html() {
+                classifier.relevance(ws, p)
+            } else {
+                0.0
+            };
+            if ws.is_relevant(p) {
+                relevant_crawled += 1; // metrics use ground truth
+            }
+
+            // The run of consecutive irrelevant pages ending here: a
+            // relevant page resets it, an irrelevant one extends the
+            // referrer path's run carried on the queue entry.
+            let consec = if relevance > 0.5 {
+                0
+            } else {
+                entry.distance.saturating_add(1)
+            };
+
+            let outlinks = if meta.is_ok_html() {
+                ws.outlinks(p)
+            } else {
+                &[]
+            };
+            let view = PageView {
+                page: p,
+                relevance,
+                consec_irrelevant: consec,
+                outlinks,
+                crawled,
+            };
+            admissions.clear();
+            strategy.admit(&view, &mut admissions);
+            for &a in &admissions {
+                if self.config.url_filter
+                    && ws.meta(a.page).kind == langcrawl_webgraph::PageKind::Other
+                {
+                    continue; // extension-filtered before entering the queue
+                }
+                queue.push(a);
+            }
+
+            if crawled.is_multiple_of(sample_interval) {
+                samples.push(Sample {
+                    crawled,
+                    relevant: relevant_crawled,
+                    queue_size: queue.pending(),
+                });
+            }
+            if crawled >= budget {
+                break;
+            }
+        }
+
+        // Always close the series with the final state.
+        if samples.last().map(|s| s.crawled) != Some(crawled) {
+            samples.push(Sample {
+                crawled,
+                relevant: relevant_crawled,
+                queue_size: queue.pending(),
+            });
+        }
+
+        CrawlReport {
+            strategy: strategy.name(),
+            classifier: classifier.name().to_string(),
+            samples,
+            crawled,
+            relevant_crawled,
+            total_relevant: ws.total_relevant() as u64,
+            max_queue: queue.max_pending(),
+            total_pushes: queue.total_pushes(),
+            visited,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::{MetaClassifier, OracleClassifier};
+    use crate::strategy::{BreadthFirst, LimitedDistanceStrategy, SimpleStrategy};
+    use langcrawl_charset::Language;
+    use langcrawl_webgraph::GeneratorConfig;
+
+    fn space() -> WebSpace {
+        GeneratorConfig::thai_like().scaled(12_000).build(41)
+    }
+
+    #[test]
+    fn breadth_first_crawls_everything() {
+        let ws = space();
+        let mut sim = Simulator::new(&ws, SimConfig::default());
+        let r = sim.run(&mut BreadthFirst::new(), &OracleClassifier::target(Language::Thai));
+        assert_eq!(r.crawled, ws.num_pages() as u64, "BFS must exhaust the space");
+        assert!((r.final_coverage() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn soft_focused_reaches_full_coverage() {
+        let ws = space();
+        let mut sim = Simulator::new(&ws, SimConfig::default());
+        let r = sim.run(
+            &mut SimpleStrategy::soft(),
+            &OracleClassifier::target(Language::Thai),
+        );
+        assert!((r.final_coverage() - 1.0).abs() < 1e-9, "soft coverage {}", r.final_coverage());
+    }
+
+    #[test]
+    fn hard_focused_hits_the_island_ceiling() {
+        let ws = space();
+        let mut sim = Simulator::new(&ws, SimConfig::default());
+        let r = sim.run(
+            &mut SimpleStrategy::hard(),
+            &OracleClassifier::target(Language::Thai),
+        );
+        let cov = r.final_coverage();
+        assert!(
+            (0.5..0.9).contains(&cov),
+            "hard coverage {cov} should sit at the ~1-island_mass ceiling"
+        );
+        // And it must stop early: far fewer fetches than the whole space.
+        assert!(r.crawled < ws.num_pages() as u64);
+    }
+
+    #[test]
+    fn focused_beats_breadth_first_early() {
+        let ws = space();
+        let mut sim = Simulator::new(&ws, SimConfig::default());
+        let oracle = OracleClassifier::target(Language::Thai);
+        let quarter = ws.num_pages() as u64 / 4;
+        let bf = sim.run(&mut BreadthFirst::new(), &oracle);
+        let soft = sim.run(&mut SimpleStrategy::soft(), &oracle);
+        let hard = sim.run(&mut SimpleStrategy::hard(), &oracle);
+        assert!(
+            soft.harvest_at(quarter) > bf.harvest_at(quarter),
+            "soft {} vs bf {}",
+            soft.harvest_at(quarter),
+            bf.harvest_at(quarter)
+        );
+        assert!(
+            hard.harvest_at(quarter) > bf.harvest_at(quarter),
+            "hard {} vs bf {}",
+            hard.harvest_at(quarter),
+            bf.harvest_at(quarter)
+        );
+    }
+
+    #[test]
+    fn soft_queue_dwarfs_hard_queue() {
+        let ws = space();
+        let mut sim = Simulator::new(&ws, SimConfig::default());
+        let oracle = OracleClassifier::target(Language::Thai);
+        let soft = sim.run(&mut SimpleStrategy::soft(), &oracle);
+        let hard = sim.run(&mut SimpleStrategy::hard(), &oracle);
+        // The paper's Fig. 5 shows roughly 8×; on the synthetic space the
+        // factor is ~3 (documented in EXPERIMENTS.md) — the property under
+        // test is "several-fold", not the exact dataset-specific factor.
+        assert!(
+            soft.max_queue > 2 * hard.max_queue,
+            "soft {} vs hard {}",
+            soft.max_queue,
+            hard.max_queue
+        );
+    }
+
+    #[test]
+    fn limited_distance_coverage_grows_with_n() {
+        let ws = space();
+        let mut sim = Simulator::new(&ws, SimConfig::default());
+        let oracle = OracleClassifier::target(Language::Thai);
+        let mut prev = 0.0;
+        for n in [1u8, 2, 3, 4] {
+            let r = sim.run(&mut LimitedDistanceStrategy::non_prioritized(n), &oracle);
+            let cov = r.final_coverage();
+            assert!(cov >= prev - 0.02, "N={n}: coverage {cov} < previous {prev}");
+            prev = cov;
+        }
+    }
+
+    #[test]
+    fn limited_distance_queue_grows_with_n() {
+        let ws = space();
+        let mut sim = Simulator::new(&ws, SimConfig::default());
+        let oracle = OracleClassifier::target(Language::Thai);
+        let q1 = sim
+            .run(&mut LimitedDistanceStrategy::non_prioritized(1), &oracle)
+            .max_queue;
+        let q4 = sim
+            .run(&mut LimitedDistanceStrategy::non_prioritized(4), &oracle)
+            .max_queue;
+        assert!(q4 > q1, "N=4 queue {q4} should exceed N=1 queue {q1}");
+    }
+
+    #[test]
+    fn budget_stops_the_crawl() {
+        let ws = space();
+        let mut sim = Simulator::new(&ws, SimConfig::default().with_max_pages(500));
+        let r = sim.run(&mut BreadthFirst::new(), &OracleClassifier::target(Language::Thai));
+        assert_eq!(r.crawled, 500);
+        assert_eq!(r.samples.last().unwrap().crawled, 500);
+    }
+
+    #[test]
+    fn meta_classifier_misses_some_relevant_pages() {
+        // Mislabeling + UTF-8 labels make META-based soft crawling cover
+        // slightly less than the oracle, but it still crawls everything
+        // (admission doesn't depend on the target's classifier verdict in
+        // soft mode).
+        let ws = space();
+        let mut sim = Simulator::new(&ws, SimConfig::default());
+        let r = sim.run(
+            &mut SimpleStrategy::soft(),
+            &MetaClassifier::target(Language::Thai),
+        );
+        assert!((r.final_coverage() - 1.0).abs() < 1e-9);
+        // Hard mode with META classification: mislabeled pages cut off
+        // expansion, so coverage is below the oracle's ceiling.
+        let hard_meta = sim.run(
+            &mut SimpleStrategy::hard(),
+            &MetaClassifier::target(Language::Thai),
+        );
+        let hard_oracle = sim.run(
+            &mut SimpleStrategy::hard(),
+            &OracleClassifier::target(Language::Thai),
+        );
+        assert!(hard_meta.final_coverage() <= hard_oracle.final_coverage() + 1e-9);
+    }
+
+    #[test]
+    fn samples_are_monotone() {
+        let ws = space();
+        let mut sim = Simulator::new(&ws, SimConfig::default());
+        let r = sim.run(
+            &mut SimpleStrategy::soft(),
+            &OracleClassifier::target(Language::Thai),
+        );
+        for w in r.samples.windows(2) {
+            assert!(w[1].crawled > w[0].crawled);
+            assert!(w[1].relevant >= w[0].relevant);
+        }
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let ws = space();
+        let mut sim = Simulator::new(&ws, SimConfig::default());
+        let oracle = OracleClassifier::target(Language::Thai);
+        let a = sim.run(&mut SimpleStrategy::soft(), &oracle);
+        let b = sim.run(&mut SimpleStrategy::soft(), &oracle);
+        assert_eq!(a.samples, b.samples);
+        assert_eq!(a.crawled, b.crawled);
+    }
+}

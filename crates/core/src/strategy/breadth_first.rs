@@ -1,0 +1,56 @@
+//! The breadth-first baseline.
+//!
+//! Every extracted URL is admitted at equal priority; the queue degrades
+//! to a single FIFO and the crawl is a plain BFS over the web space —
+//! the "breadth-first" curve in the paper's Fig. 3 and 4, and the
+//! behaviour of a general-purpose (non-focused) archiving crawler.
+
+use super::{emit_all, PageView, Strategy};
+use crate::queue::Entry;
+
+/// Breadth-first crawl: no focusing at all.
+#[derive(Debug, Default, Clone)]
+pub struct BreadthFirst;
+
+impl BreadthFirst {
+    /// A breadth-first strategy.
+    pub fn new() -> Self {
+        BreadthFirst
+    }
+}
+
+impl Strategy for BreadthFirst {
+    fn name(&self) -> String {
+        "breadth-first".into()
+    }
+
+    fn levels(&self) -> usize {
+        1
+    }
+
+    fn admit(&mut self, view: &PageView<'_>, out: &mut Vec<Entry>) {
+        emit_all(view, 0, 0, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_everything_at_level_zero() {
+        let mut s = BreadthFirst::new();
+        let outlinks = [5, 6, 7];
+        let view = PageView {
+            page: 1,
+            relevance: 0.0, // even from an irrelevant page
+            consec_irrelevant: 3,
+            outlinks: &outlinks,
+            crawled: 1,
+        };
+        let mut out = Vec::new();
+        s.admit(&view, &mut out);
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(|e| e.priority == 0 && e.distance == 0));
+    }
+}

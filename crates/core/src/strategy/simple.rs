@@ -1,0 +1,117 @@
+//! The simple strategy (§3.3.1) — focused crawling adapted to language.
+//!
+//! Priority of an extracted URL is the relevance score of its referrer.
+//! Two modes, exactly the paper's Table 2:
+//!
+//! | mode | relevant referrer | irrelevant referrer |
+//! |---|---|---|
+//! | hard-focused | add to queue | **discard** |
+//! | soft-focused | add at high priority | add at low priority |
+
+use super::{emit_all, PageView, Strategy};
+use crate::queue::Entry;
+
+/// Hard- or soft-focused simple strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimpleStrategy {
+    /// Discard links found on irrelevant pages.
+    Hard,
+    /// Keep them, at low priority.
+    Soft,
+}
+
+impl SimpleStrategy {
+    /// The hard-focused mode.
+    pub fn hard() -> Self {
+        SimpleStrategy::Hard
+    }
+
+    /// The soft-focused mode.
+    pub fn soft() -> Self {
+        SimpleStrategy::Soft
+    }
+}
+
+impl Strategy for SimpleStrategy {
+    fn name(&self) -> String {
+        match self {
+            SimpleStrategy::Hard => "hard-focused".into(),
+            SimpleStrategy::Soft => "soft-focused".into(),
+        }
+    }
+
+    fn levels(&self) -> usize {
+        match self {
+            SimpleStrategy::Hard => 1,
+            SimpleStrategy::Soft => 2,
+        }
+    }
+
+    fn admit(&mut self, view: &PageView<'_>, out: &mut Vec<Entry>) {
+        let relevant = view.relevance > 0.5;
+        match self {
+            SimpleStrategy::Hard => {
+                if relevant {
+                    emit_all(view, 0, 0, out);
+                }
+                // Table 2: "Discard extracted links" otherwise.
+            }
+            SimpleStrategy::Soft => {
+                let priority = if relevant { 0 } else { 1 };
+                emit_all(view, priority, 0, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(relevance: f64, outlinks: &[u32]) -> PageView<'_> {
+        PageView {
+            page: 0,
+            relevance,
+            consec_irrelevant: if relevance > 0.5 { 0 } else { 1 },
+            outlinks,
+            crawled: 1,
+        }
+    }
+
+    /// Table 2, row "hard-focused".
+    #[test]
+    fn table2_hard_focused() {
+        let mut s = SimpleStrategy::hard();
+        let mut out = Vec::new();
+        // Relevant referrer: add extracted links to URL queue.
+        s.admit(&view(1.0, &[1, 2]), &mut out);
+        assert_eq!(out.len(), 2);
+        // Irrelevant referrer: discard extracted links.
+        out.clear();
+        s.admit(&view(0.0, &[1, 2]), &mut out);
+        assert!(out.is_empty());
+    }
+
+    /// Table 2, row "soft-focused".
+    #[test]
+    fn table2_soft_focused() {
+        let mut s = SimpleStrategy::soft();
+        let mut out = Vec::new();
+        // Relevant referrer: high priority values.
+        s.admit(&view(1.0, &[1, 2]), &mut out);
+        assert!(out.iter().all(|e| e.priority == 0));
+        // Irrelevant referrer: low priority values — but never discarded.
+        out.clear();
+        s.admit(&view(0.0, &[1, 2]), &mut out);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|e| e.priority == 1));
+    }
+
+    #[test]
+    fn names_and_levels() {
+        assert_eq!(SimpleStrategy::hard().name(), "hard-focused");
+        assert_eq!(SimpleStrategy::soft().name(), "soft-focused");
+        assert_eq!(SimpleStrategy::hard().levels(), 1);
+        assert_eq!(SimpleStrategy::soft().levels(), 2);
+    }
+}

@@ -1,0 +1,451 @@
+//! Event-driven timing extension — the paper's stated future work.
+//!
+//! §4 notes the first simulator version "has been implemented with the
+//! omission of details such as elapsed time and per-server queue", and
+//! §6 plans to "enhance our crawling simulator by incorporating transfer
+//! delays and access intervals". This module is that enhancement:
+//!
+//! * a pool of `connections` concurrent fetches;
+//! * per-server politeness: after a fetch from host *h* completes, the
+//!   next request to *h* may start only `per_server_delay_ms` later;
+//! * transfer time = `rtt_ms` + body size / `bandwidth_bytes_per_ms`.
+//!
+//! The crawl order still comes from the strategy's queue; what timing
+//! adds is *when* each fetch happens, so harvest can be plotted against
+//! wall-clock and the politeness-induced slowdown measured.
+
+use crate::classifier::Classifier;
+use crate::metrics::{CrawlReport, Sample};
+use crate::queue::{Entry, UrlQueue};
+use crate::strategy::{PageView, Strategy};
+use langcrawl_webgraph::WebSpace;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// Timing model parameters.
+#[derive(Debug, Clone)]
+pub struct TimingConfig {
+    /// Concurrent connections of the crawler.
+    pub connections: usize,
+    /// Minimum gap between the end of one fetch and the start of the
+    /// next on the same server (politeness interval), in ms.
+    pub per_server_delay_ms: u64,
+    /// Download bandwidth per connection, bytes per ms.
+    pub bandwidth_bytes_per_ms: u64,
+    /// Per-request round-trip latency, ms.
+    pub rtt_ms: u64,
+    /// Stop after this many fetches (`None` = exhaust the queue).
+    pub max_pages: Option<u64>,
+    /// Capacity of the per-host back queues: how many URLs may wait
+    /// behind politeness intervals before the crawler stops reading
+    /// ahead in the strategy queue.
+    pub max_parked: usize,
+}
+
+impl Default for TimingConfig {
+    fn default() -> Self {
+        TimingConfig {
+            connections: 32,
+            per_server_delay_ms: 1_000,
+            bandwidth_bytes_per_ms: 1_250, // ≈10 Mbit/s per connection
+            rtt_ms: 80,
+            max_pages: None,
+            max_parked: 256,
+        }
+    }
+}
+
+/// A point of the wall-clock series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeSample {
+    /// Simulated time, ms.
+    pub time_ms: u64,
+    /// Pages fetched by this time.
+    pub crawled: u64,
+    /// Relevant pages fetched by this time.
+    pub relevant: u64,
+}
+
+/// Result of a timed crawl.
+#[derive(Debug, Clone)]
+pub struct TimedReport {
+    /// The ordinary crawl report (pages-crawled axis).
+    pub report: CrawlReport,
+    /// Wall-clock series.
+    pub time_samples: Vec<TimeSample>,
+    /// Total simulated duration, ms.
+    pub wall_clock_ms: u64,
+    /// Mean fraction of connections busy.
+    pub utilization: f64,
+}
+
+impl TimedReport {
+    /// Mean fetch throughput, pages per simulated second.
+    pub fn pages_per_second(&self) -> f64 {
+        if self.wall_clock_ms == 0 {
+            0.0
+        } else {
+            self.report.crawled as f64 * 1_000.0 / self.wall_clock_ms as f64
+        }
+    }
+}
+
+/// Run a timed crawl over a web space.
+///
+/// ```
+/// use langcrawl_core::classifier::MetaClassifier;
+/// use langcrawl_core::strategy::BreadthFirst;
+/// use langcrawl_core::timing::{run_timed, TimingConfig};
+/// use langcrawl_webgraph::GeneratorConfig;
+///
+/// let space = GeneratorConfig::thai_like().scaled(1_500).build(3);
+/// let report = run_timed(
+///     &space,
+///     &TimingConfig::default(),
+///     &mut BreadthFirst::new(),
+///     &MetaClassifier::target(space.target_language()),
+/// );
+/// assert!(report.wall_clock_ms > 0);
+/// assert!(report.pages_per_second() > 0.0);
+/// ```
+///
+/// The crawler follows the classic front-/back-queue design (Mercator):
+/// the *front* is the strategy's priority queue; the *back* is a set of
+/// per-host FIFO queues holding URLs whose server is inside its
+/// politeness interval, plus a ready-time heap over those hosts. A free
+/// connection serves, in order: (1) the host whose politeness interval
+/// expired earliest, (2) the strategy queue's best URL whose server is
+/// idle. URLs for busy servers are parked on their host queue (bounded
+/// by [`TimingConfig::max_parked`]), so strategy order is preserved up
+/// to the politeness constraint — which is the point of the model.
+pub fn run_timed(
+    ws: &WebSpace,
+    config: &TimingConfig,
+    strategy: &mut dyn Strategy,
+    classifier: &dyn Classifier,
+) -> TimedReport {
+    let n = ws.num_pages();
+    let mut queue = UrlQueue::new(n, strategy.levels());
+    for &s in ws.seeds() {
+        queue.push(Entry {
+            page: s,
+            priority: 0,
+            distance: 0,
+        });
+    }
+
+    // server_free[h] = earliest ms the next fetch from host h may start.
+    let mut server_free = vec![0u64; ws.num_hosts()];
+    // In-flight fetches: (finish_time, entry) in a min-heap.
+    let mut in_flight: BinaryHeap<Reverse<(u64, Entry)>> = BinaryHeap::new();
+    // Back queues: parked URLs per busy host + ready-time heap. A host
+    // has exactly one live heap pair while it has parked entries.
+    let mut host_pending: HashMap<u32, VecDeque<Entry>> = HashMap::new();
+    let mut host_ready: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+    let mut parked_total: usize = 0;
+    let budget = config.max_pages.unwrap_or(u64::MAX);
+
+    let mut now: u64 = 0;
+    let mut crawled: u64 = 0;
+    let mut relevant_crawled: u64 = 0;
+    let mut busy_ms: u64 = 0;
+    let mut samples = Vec::new();
+    let mut time_samples = Vec::new();
+    let mut admissions: Vec<Entry> = Vec::with_capacity(64);
+    let sample_every = (n as u64 / 512).max(1);
+
+    // Fill free connections at time `now`. Returns in-flight count.
+    macro_rules! assign {
+        () => {{
+            while in_flight.len() < config.connections {
+                // 1. A host whose politeness interval has expired.
+                if let Some(&Reverse((t, h))) = host_ready.peek() {
+                    if t <= now {
+                        host_ready.pop();
+                        let pend = host_pending.get_mut(&h).expect("tracked host");
+                        let e = pend.pop_front().expect("tracked host has entries");
+                        parked_total -= 1;
+                        launch_fetch(
+                            ws, config, e, now, &mut server_free, &mut in_flight, &mut busy_ms,
+                        );
+                        if pend.is_empty() {
+                            host_pending.remove(&h);
+                        } else {
+                            host_ready.push(Reverse((server_free[h as usize], h)));
+                        }
+                        continue;
+                    }
+                }
+                // 2. The strategy queue's best URL on an idle server.
+                // Parking capacity bounds how far we read ahead of the
+                // politeness constraint.
+                if parked_total >= config.max_parked {
+                    break;
+                }
+                let Some(e) = queue.pop() else { break };
+                let h = ws.meta(e.page).host;
+                if server_free[h as usize] <= now {
+                    launch_fetch(
+                        ws, config, e, now, &mut server_free, &mut in_flight, &mut busy_ms,
+                    );
+                } else {
+                    let pend = host_pending.entry(h).or_default();
+                    if pend.is_empty() {
+                        host_ready.push(Reverse((server_free[h as usize], h)));
+                    }
+                    pend.push_back(e);
+                    parked_total += 1;
+                }
+            }
+        }};
+    }
+
+    assign!();
+    loop {
+        let Some(Reverse((finish, entry))) = in_flight.pop() else {
+            // No fetch in flight: if work is parked behind politeness,
+            // idle forward to the earliest ready host; otherwise done.
+            let Some(&Reverse((t, _))) = host_ready.peek() else { break };
+            now = now.max(t);
+            assign!();
+            if in_flight.is_empty() {
+                break; // defensive: nothing launchable
+            }
+            continue;
+        };
+        now = finish;
+        let p = entry.page;
+        crawled += 1;
+
+        let meta = ws.meta(p);
+        let relevance = if meta.is_ok_html() {
+            classifier.relevance(ws, p)
+        } else {
+            0.0
+        };
+        if ws.is_relevant(p) {
+            relevant_crawled += 1;
+        }
+        let consec = if relevance > 0.5 {
+            0
+        } else {
+            entry.distance.saturating_add(1)
+        };
+        let outlinks = if meta.is_ok_html() { ws.outlinks(p) } else { &[] };
+        let view = PageView {
+            page: p,
+            relevance,
+            consec_irrelevant: consec,
+            outlinks,
+            crawled,
+        };
+        admissions.clear();
+        strategy.admit(&view, &mut admissions);
+        for &a in &admissions {
+            queue.push(a);
+        }
+
+        if crawled.is_multiple_of(sample_every) {
+            samples.push(Sample {
+                crawled,
+                relevant: relevant_crawled,
+                queue_size: queue.pending() + parked_total,
+            });
+            time_samples.push(TimeSample {
+                time_ms: now,
+                crawled,
+                relevant: relevant_crawled,
+            });
+        }
+        if crawled >= budget {
+            break;
+        }
+        assign!();
+    }
+
+    if samples.last().map(|s| s.crawled) != Some(crawled) {
+        samples.push(Sample {
+            crawled,
+            relevant: relevant_crawled,
+            queue_size: queue.pending() + parked_total,
+        });
+        time_samples.push(TimeSample {
+            time_ms: now,
+            crawled,
+            relevant: relevant_crawled,
+        });
+    }
+
+    let report = CrawlReport {
+        strategy: strategy.name(),
+        classifier: classifier.name().to_string(),
+        samples,
+        crawled,
+        relevant_crawled,
+        total_relevant: ws.total_relevant() as u64,
+        max_queue: queue.max_pending(),
+        total_pushes: queue.total_pushes(),
+        visited: Vec::new(),
+    };
+    let utilization = if now == 0 {
+        0.0
+    } else {
+        busy_ms as f64 / (now as f64 * config.connections as f64)
+    };
+    TimedReport {
+        report,
+        time_samples,
+        wall_clock_ms: now,
+        utilization,
+    }
+}
+
+/// Start a fetch at `now` (the caller guarantees the server is idle):
+/// record its completion event and advance the server's politeness gate.
+fn launch_fetch(
+    ws: &WebSpace,
+    config: &TimingConfig,
+    e: Entry,
+    now: u64,
+    server_free: &mut [u64],
+    in_flight: &mut BinaryHeap<Reverse<(u64, Entry)>>,
+    busy_ms: &mut u64,
+) {
+    let host = ws.meta(e.page).host as usize;
+    debug_assert!(server_free[host] <= now, "politeness violated");
+    let transfer =
+        config.rtt_ms + ws.meta(e.page).size as u64 / config.bandwidth_bytes_per_ms.max(1);
+    let finish = now + transfer;
+    server_free[host] = finish + config.per_server_delay_ms;
+    *busy_ms += transfer;
+    in_flight.push(Reverse((finish, e)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::OracleClassifier;
+    use crate::strategy::{BreadthFirst, SimpleStrategy};
+    use langcrawl_charset::Language;
+    use langcrawl_webgraph::GeneratorConfig;
+
+    fn space() -> WebSpace {
+        GeneratorConfig::thai_like().scaled(4_000).build(71)
+    }
+
+    #[test]
+    fn timed_crawl_fetches_everything_breadth_first() {
+        let ws = space();
+        let r = run_timed(
+            &ws,
+            &TimingConfig::default(),
+            &mut BreadthFirst::new(),
+            &OracleClassifier::target(Language::Thai),
+        );
+        assert_eq!(r.report.crawled, ws.num_pages() as u64);
+        assert!(r.wall_clock_ms > 0);
+        assert!(r.pages_per_second() > 0.0);
+    }
+
+    #[test]
+    fn time_is_monotone() {
+        let ws = space();
+        let r = run_timed(
+            &ws,
+            &TimingConfig::default(),
+            &mut SimpleStrategy::soft(),
+            &OracleClassifier::target(Language::Thai),
+        );
+        for w in r.time_samples.windows(2) {
+            assert!(w[1].time_ms >= w[0].time_ms);
+            assert!(w[1].crawled > w[0].crawled);
+        }
+    }
+
+    #[test]
+    fn politeness_slows_the_crawl() {
+        let ws = space();
+        let fast = TimingConfig {
+            per_server_delay_ms: 0,
+            ..TimingConfig::default()
+        };
+        let slow = TimingConfig {
+            per_server_delay_ms: 10_000,
+            ..TimingConfig::default()
+        };
+        let rf = run_timed(
+            &ws,
+            &fast,
+            &mut BreadthFirst::new(),
+            &OracleClassifier::target(Language::Thai),
+        );
+        let rs = run_timed(
+            &ws,
+            &slow,
+            &mut BreadthFirst::new(),
+            &OracleClassifier::target(Language::Thai),
+        );
+        assert!(
+            rs.wall_clock_ms > rf.wall_clock_ms,
+            "slow {} vs fast {}",
+            rs.wall_clock_ms,
+            rf.wall_clock_ms
+        );
+    }
+
+    #[test]
+    fn more_connections_less_wall_clock() {
+        let ws = space();
+        let one = TimingConfig {
+            connections: 1,
+            per_server_delay_ms: 0,
+            ..TimingConfig::default()
+        };
+        let many = TimingConfig {
+            connections: 64,
+            per_server_delay_ms: 0,
+            ..TimingConfig::default()
+        };
+        let r1 = run_timed(
+            &ws,
+            &one,
+            &mut BreadthFirst::new(),
+            &OracleClassifier::target(Language::Thai),
+        );
+        let rn = run_timed(
+            &ws,
+            &many,
+            &mut BreadthFirst::new(),
+            &OracleClassifier::target(Language::Thai),
+        );
+        assert!(rn.wall_clock_ms < r1.wall_clock_ms);
+    }
+
+    #[test]
+    fn utilization_in_unit_range() {
+        let ws = space();
+        let r = run_timed(
+            &ws,
+            &TimingConfig::default(),
+            &mut BreadthFirst::new(),
+            &OracleClassifier::target(Language::Thai),
+        );
+        assert!((0.0..=1.0).contains(&r.utilization), "{}", r.utilization);
+    }
+
+    #[test]
+    fn budget_respected() {
+        let ws = space();
+        let cfg = TimingConfig {
+            max_pages: Some(200),
+            ..TimingConfig::default()
+        };
+        let r = run_timed(
+            &ws,
+            &cfg,
+            &mut BreadthFirst::new(),
+            &OracleClassifier::target(Language::Thai),
+        );
+        assert_eq!(r.report.crawled, 200);
+    }
+}

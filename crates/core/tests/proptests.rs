@@ -1,0 +1,219 @@
+//! Property tests for the simulator core: the URL queue against a
+//! reference model, and crawl-level invariants over random spaces,
+//! strategies and budgets.
+
+use langcrawl_core::classifier::{MetaClassifier, OracleClassifier};
+use langcrawl_core::queue::{Entry, UrlQueue};
+use langcrawl_core::sim::{SimConfig, Simulator};
+use langcrawl_core::strategy::{
+    BreadthFirst, CombinedStrategy, LimitedDistanceStrategy, SimpleStrategy,
+};
+use langcrawl_webgraph::GeneratorConfig;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------- queue
+
+/// Reference model of the queue: a sorted scan over explicit state.
+#[derive(Default)]
+struct ModelQueue {
+    /// (page, best key, insertion sequence of the best admission)
+    pending: Vec<(u32, u16, u64)>,
+    done: std::collections::HashSet<u32>,
+    seq: u64,
+}
+
+impl ModelQueue {
+    fn push(&mut self, e: Entry) -> bool {
+        if self.done.contains(&e.page) {
+            return false;
+        }
+        let key = ((e.priority as u16) << 8) | e.distance as u16;
+        self.seq += 1;
+        match self.pending.iter_mut().find(|(p, _, _)| *p == e.page) {
+            Some(slot) => {
+                if key < slot.1 {
+                    slot.1 = key;
+                    slot.2 = self.seq;
+                    true
+                } else {
+                    false
+                }
+            }
+            None => {
+                self.pending.push((e.page, key, self.seq));
+                true
+            }
+        }
+    }
+
+    fn pop(&mut self) -> Option<u32> {
+        // Lowest priority level first; FIFO (insertion seq) within level.
+        let idx = self
+            .pending
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, (_, key, seq))| ((key >> 8), *seq))
+            .map(|(i, _)| i)?;
+        let (page, _, _) = self.pending.remove(idx);
+        self.done.insert(page);
+        Some(page)
+    }
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<(u8, u32, u8, u8)>> {
+    // (op, page, priority, distance): op 0..3 = push, 3 = pop.
+    proptest::collection::vec(
+        (0u8..4, 0u32..64, 0u8..4, 0u8..4),
+        1..400,
+    )
+}
+
+proptest! {
+    /// The production queue and the reference model agree on every pop,
+    /// under arbitrary interleavings of pushes (including duplicates and
+    /// re-prioritizations) and pops.
+    #[test]
+    fn queue_matches_reference_model(ops in arb_ops()) {
+        let mut real = UrlQueue::new(64, 4);
+        let mut model = ModelQueue::default();
+        for (op, page, priority, distance) in ops {
+            if op < 3 {
+                let e = Entry { page, priority, distance };
+                prop_assert_eq!(real.push(e), model.push(e), "push {:?}", e);
+            } else {
+                prop_assert_eq!(real.pop().map(|e| e.page), model.pop());
+            }
+        }
+        // Drain both fully.
+        loop {
+            let a = real.pop().map(|e| e.page);
+            let b = model.pop();
+            prop_assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// pending() always equals the count of distinct admitted-not-popped
+    /// pages, regardless of duplicates.
+    #[test]
+    fn queue_pending_counts_distinct(ops in arb_ops()) {
+        let mut real = UrlQueue::new(64, 4);
+        let mut admitted = std::collections::HashSet::new();
+        let mut popped = 0usize;
+        for (op, page, priority, distance) in ops {
+            if op < 3 {
+                real.push(Entry { page, priority, distance });
+                if real.was_admitted(page) {
+                    admitted.insert(page);
+                }
+            } else if real.pop().is_some() {
+                popped += 1;
+            }
+        }
+        prop_assert_eq!(real.pending(), admitted.len() - popped);
+    }
+}
+
+// ------------------------------------------------------------- simulator
+
+fn arb_strategy() -> impl Strategy<Value = u8> {
+    0u8..7
+}
+
+fn build_strategy(code: u8) -> Box<dyn langcrawl_core::strategy::Strategy> {
+    match code {
+        0 => Box::new(BreadthFirst::new()),
+        1 => Box::new(SimpleStrategy::hard()),
+        2 => Box::new(SimpleStrategy::soft()),
+        3 => Box::new(LimitedDistanceStrategy::non_prioritized(2)),
+        4 => Box::new(LimitedDistanceStrategy::prioritized(3)),
+        5 => Box::new(CombinedStrategy::soft_limited(2)),
+        _ => Box::new(CombinedStrategy::hard_limited(1)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Crawl-level invariants hold for every strategy, seed and budget:
+    /// monotone series, coverage ≤ 1, queue accounting consistent, no
+    /// page crawled twice (crawled ≤ space size).
+    #[test]
+    fn crawl_invariants(
+        code in arb_strategy(),
+        seed in 0u64..1000,
+        budget in proptest::option::of(100u64..3000),
+        filter in any::<bool>(),
+    ) {
+        let ws = GeneratorConfig::thai_like().scaled(4_000).build(seed);
+        let mut config = SimConfig {
+            max_pages: budget,
+            ..SimConfig::default()
+        };
+        if filter {
+            config = config.with_url_filter();
+        }
+        let mut sim = Simulator::new(&ws, config.clone());
+        let mut strategy = build_strategy(code);
+        let classifier = MetaClassifier::target(ws.target_language());
+        let r = sim.run(strategy.as_mut(), &classifier);
+
+        prop_assert!(r.crawled <= ws.num_pages() as u64);
+        if let Some(b) = budget {
+            prop_assert!(r.crawled <= b);
+        }
+        prop_assert!(r.relevant_crawled <= r.crawled);
+        prop_assert!(r.final_coverage() <= 1.0 + 1e-12);
+        prop_assert!(r.final_harvest() <= 1.0 + 1e-12);
+        let mut prev = (0u64, 0u64);
+        for s in &r.samples {
+            prop_assert!(s.crawled > prev.0);
+            prop_assert!(s.relevant >= prev.1);
+            prop_assert!(s.relevant <= s.crawled);
+            prop_assert!(s.queue_size <= ws.num_pages());
+            prev = (s.crawled, s.relevant);
+        }
+        prop_assert_eq!(r.samples.last().map(|s| s.crawled), Some(r.crawled));
+    }
+
+    /// Oracle-classified soft-focused crawling always reaches exactly
+    /// 100% coverage, whatever the seed — the generator's reachability
+    /// guarantee seen through the whole simulator stack.
+    #[test]
+    fn soft_oracle_always_full_coverage(seed in 0u64..500) {
+        let ws = GeneratorConfig::thai_like().scaled(3_000).build(seed);
+        let mut sim = Simulator::new(&ws, SimConfig::default());
+        let r = sim.run(
+            &mut SimpleStrategy::soft(),
+            &OracleClassifier::target(ws.target_language()),
+        );
+        prop_assert!((r.final_coverage() - 1.0).abs() < 1e-12, "seed {seed}: {}", r.final_coverage());
+    }
+
+    /// The limited-distance crawl never exceeds its structural ceiling
+    /// and its coverage is monotone in N for any seed.
+    #[test]
+    fn limited_distance_bounded_by_structure(seed in 0u64..200) {
+        let ws = GeneratorConfig::thai_like().scaled(3_000).build(seed);
+        let oracle = OracleClassifier::target(ws.target_language());
+        let mut prev = 0.0f64;
+        for n in [0u8, 1, 2, 4] {
+            let mut sim = Simulator::new(&ws, SimConfig::default());
+            let r = sim.run(&mut LimitedDistanceStrategy::non_prioritized(n), &oracle);
+            let ceiling = langcrawl_webgraph::stats::relevant_coverage(
+                &ws,
+                &langcrawl_webgraph::stats::reachable_limited(&ws, n),
+            );
+            prop_assert!(
+                r.final_coverage() <= ceiling + 1e-9,
+                "N={n}: crawl {} exceeds structural ceiling {}",
+                r.final_coverage(),
+                ceiling
+            );
+            prop_assert!(r.final_coverage() + 1e-9 >= prev, "N={n} not monotone");
+            prev = r.final_coverage();
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Minimal HTML entity decoding for attribute values.
+//!
+//! URLs inside `href` attributes are frequently written with `&amp;`
+//! separating query parameters; failing to decode them makes the crawler
+//! fetch wrong URLs and fragment its visited-set. Only the entities that
+//! realistically occur inside URLs are handled; everything else passes
+//! through untouched.
+
+/// Decode the entities that occur in URL-carrying attributes:
+/// `&amp;` `&lt;` `&gt;` `&quot;` `&apos;` `&#NN;` `&#xHH;`.
+///
+/// ```
+/// use langcrawl_html::entities::decode_entities;
+/// assert_eq!(decode_entities("a?x=1&amp;y=2"), "a?x=1&y=2");
+/// assert_eq!(decode_entities("&#47;path"), "/path");
+/// assert_eq!(decode_entities("&#x2F;path"), "/path");
+/// assert_eq!(decode_entities("no entities"), "no entities");
+/// ```
+pub fn decode_entities(s: &str) -> String {
+    if !s.contains('&') {
+        return s.to_string();
+    }
+    let mut out = String::with_capacity(s.len());
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'&' {
+            // Copy one full UTF-8 char.
+            let ch_end = next_char_boundary(s, i);
+            out.push_str(&s[i..ch_end]);
+            i = ch_end;
+            continue;
+        }
+        // Find the terminating ';' within a reasonable window.
+        let window_end = (i + 12).min(bytes.len());
+        let semi = bytes[i + 1..window_end].iter().position(|&b| b == b';');
+        let Some(off) = semi else {
+            out.push('&');
+            i += 1;
+            continue;
+        };
+        let name = &s[i + 1..i + 1 + off];
+        let decoded: Option<char> = match name {
+            "amp" => Some('&'),
+            "lt" => Some('<'),
+            "gt" => Some('>'),
+            "quot" => Some('"'),
+            "apos" => Some('\''),
+            _ if name.starts_with("#x") || name.starts_with("#X") => {
+                u32::from_str_radix(&name[2..], 16).ok().and_then(char::from_u32)
+            }
+            _ if name.starts_with('#') => {
+                name[1..].parse::<u32>().ok().and_then(char::from_u32)
+            }
+            _ => None,
+        };
+        match decoded {
+            Some(c) => {
+                out.push(c);
+                i += 1 + off + 1; // '&' + name + ';'
+            }
+            None => {
+                out.push('&');
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn next_char_boundary(s: &str, i: usize) -> usize {
+    let mut j = i + 1;
+    while j < s.len() && !s.is_char_boundary(j) {
+        j += 1;
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_entities() {
+        assert_eq!(decode_entities("&lt;&gt;&quot;&apos;&amp;"), "<>\"'&");
+    }
+
+    #[test]
+    fn numeric_entities() {
+        assert_eq!(decode_entities("&#65;&#x41;&#x61;"), "AAa");
+    }
+
+    #[test]
+    fn unknown_entity_left_alone() {
+        assert_eq!(decode_entities("&nbsp;x"), "&nbsp;x");
+        assert_eq!(decode_entities("&bogus;"), "&bogus;");
+    }
+
+    #[test]
+    fn bare_ampersand() {
+        assert_eq!(decode_entities("a&b"), "a&b");
+        assert_eq!(decode_entities("a&"), "a&");
+    }
+
+    #[test]
+    fn unterminated_entity() {
+        assert_eq!(decode_entities("&amp"), "&amp");
+    }
+
+    #[test]
+    fn query_separator_case() {
+        assert_eq!(
+            decode_entities("/cgi?a=1&amp;b=2&amp;c=3"),
+            "/cgi?a=1&b=2&c=3"
+        );
+    }
+
+    #[test]
+    fn multibyte_passthrough() {
+        assert_eq!(decode_entities("ไทย&amp;日本"), "ไทย&日本");
+    }
+
+    #[test]
+    fn invalid_numeric_left_alone() {
+        assert_eq!(decode_entities("&#xZZ;"), "&#xZZ;");
+        assert_eq!(decode_entities("&#55296;"), "&#55296;"); // surrogate
+    }
+}

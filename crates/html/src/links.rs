@@ -1,0 +1,191 @@
+//! Link extraction — producing frontier candidates from a fetched page.
+//!
+//! The crawler follows what a 2004-era archiving crawler followed:
+//! `<a href>`, `<area href>`, `<frame src>`, `<iframe src>`, and
+//! `<link href>` for alternate/contents-style relations. Image/script
+//! sources are *not* crawl candidates (they are never HTML). `<base
+//! href>` changes the resolution base for everything after it.
+
+use crate::entities::decode_entities;
+use crate::tokenizer::Tokenizer;
+use langcrawl_url::{normalize, resolve, Url};
+
+/// Extract, resolve and normalize the outlinks of a page.
+///
+/// Returns canonical URL strings, de-duplicated, in first-appearance
+/// order. Self-links (resolving to the page itself) are kept — the
+/// frontier's visited-set is the right place to drop them.
+///
+/// ```
+/// use langcrawl_html::extract_links;
+/// use langcrawl_url::Url;
+///
+/// let base = Url::parse("http://www.ex.ac.th/dir/page.html").unwrap();
+/// let html = br#"<a href="a.html"><a href="/b"><a href="http://other.jp/c">"#;
+/// let links = extract_links(html, &base);
+/// assert_eq!(links, vec![
+///     "http://www.ex.ac.th/dir/a.html",
+///     "http://www.ex.ac.th/b",
+///     "http://other.jp/c",
+/// ]);
+/// ```
+pub fn extract_links(page: &[u8], page_url: &Url) -> Vec<String> {
+    let mut base = page_url.clone();
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for (tag_name, raw) in extract_raw_refs(page) {
+        if tag_name == b"base".as_slice() {
+            if let Ok(u) = resolve(&base, &raw) {
+                base = u;
+            }
+            continue;
+        }
+        if let Ok(u) = resolve(&base, &raw) {
+            let canon = normalize(&u);
+            if seen.insert(canon.clone()) {
+                out.push(canon);
+            }
+        }
+    }
+    out
+}
+
+/// Extract raw (unresolved) link references with their tag of origin.
+/// Exposed for tests and for tooling that wants pre-resolution hrefs.
+pub fn extract_raw_refs(page: &[u8]) -> Vec<(Vec<u8>, String)> {
+    let mut out = Vec::new();
+    for tag in Tokenizer::new(page) {
+        if tag.closing {
+            continue;
+        }
+        let attr_name: &str = if tag.is("a") || tag.is("area") || tag.is("link") || tag.is("base")
+        {
+            "href"
+        } else if tag.is("frame") || tag.is("iframe") {
+            "src"
+        } else {
+            continue;
+        };
+        if let Some(attr) = tag.attr(attr_name) {
+            let raw = decode_entities(attr.value_str().trim());
+            if raw.is_empty() {
+                continue;
+            }
+            out.push((tag.name.clone(), raw));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Url {
+        Url::parse("http://host.co.th/a/b.html").unwrap()
+    }
+
+    #[test]
+    fn relative_and_absolute() {
+        let links = extract_links(
+            br#"<a href="c.html"><a href="../up"><a href="https://x.jp/">"#,
+            &base(),
+        );
+        assert_eq!(
+            links,
+            vec![
+                "http://host.co.th/a/c.html",
+                "http://host.co.th/up",
+                "https://x.jp/"
+            ]
+        );
+    }
+
+    #[test]
+    fn base_tag_changes_resolution() {
+        let links = extract_links(
+            br#"<base href="http://cdn.example.jp/root/"><a href="x.html">"#,
+            &base(),
+        );
+        assert_eq!(links, vec!["http://cdn.example.jp/root/x.html"]);
+    }
+
+    #[test]
+    fn frames_and_iframes() {
+        let links = extract_links(
+            br#"<frameset><frame src="menu.html"><frame src="main.html"></frameset><iframe src="ad.html">"#,
+            &base(),
+        );
+        assert_eq!(links.len(), 3);
+        assert!(links[0].ends_with("menu.html"));
+    }
+
+    #[test]
+    fn images_and_scripts_not_followed() {
+        let links = extract_links(
+            br#"<img src="pic.gif"><script src="s.js"></script><a href="page.html">"#,
+            &base(),
+        );
+        assert_eq!(links, vec!["http://host.co.th/a/page.html"]);
+    }
+
+    #[test]
+    fn non_web_schemes_dropped() {
+        let links = extract_links(
+            br#"<a href="mailto:a@b.c"><a href="javascript:void(0)"><a href="ftp://f/x"><a href="ok.html">"#,
+            &base(),
+        );
+        assert_eq!(links, vec!["http://host.co.th/a/ok.html"]);
+    }
+
+    #[test]
+    fn deduplicated_in_order() {
+        let links = extract_links(
+            br#"<a href="x"><a href="y"><a href="x"><a href="./x">"#,
+            &base(),
+        );
+        assert_eq!(
+            links,
+            vec!["http://host.co.th/a/x", "http://host.co.th/a/y"]
+        );
+    }
+
+    #[test]
+    fn entity_decoded_hrefs() {
+        let links = extract_links(br#"<a href="/cgi?a=1&amp;b=2">"#, &base());
+        assert_eq!(links, vec!["http://host.co.th/cgi?a=1&b=2"]);
+    }
+
+    #[test]
+    fn fragment_links_resolve_to_self() {
+        let links = extract_links(br##"<a href="#section2">"##, &base());
+        assert_eq!(links, vec!["http://host.co.th/a/b.html"]);
+    }
+
+    #[test]
+    fn empty_href_ignored() {
+        let links = extract_links(br#"<a href=""><a href="  ">"#, &base());
+        assert!(links.is_empty());
+    }
+
+    #[test]
+    fn raw_refs_include_tag_names() {
+        let refs = extract_raw_refs(br#"<a href="x"><frame src="y">"#);
+        assert_eq!(refs[0].0, b"a".to_vec());
+        assert_eq!(refs[0].1, "x");
+        assert_eq!(refs[1].0, b"frame".to_vec());
+    }
+
+    #[test]
+    fn links_in_legacy_encoded_page() {
+        // EUC-JP text around an ASCII link.
+        let mut page = Vec::new();
+        page.extend_from_slice(b"<p>");
+        page.extend_from_slice(&[0xA4, 0xB3, 0xA4, 0xF3]);
+        page.extend_from_slice(br#"</p><a href="/jp/index.html">"#);
+        page.extend_from_slice(&[0xA4, 0xCB]);
+        page.extend_from_slice(b"</a>");
+        let links = extract_links(&page, &base());
+        assert_eq!(links, vec!["http://host.co.th/jp/"]);
+    }
+}

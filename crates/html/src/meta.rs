@@ -1,0 +1,149 @@
+//! META charset extraction — the classifier's first method (paper §3.2).
+//!
+//! The paper's Thai experiments determined page language *entirely* from
+//! the charset declared in the HTML META tag:
+//!
+//! ```html
+//! <META http-equiv="content-type" content="text/html; charset=tis-620">
+//! ```
+//!
+//! This module finds that declaration (and the HTML5-style
+//! `<meta charset=...>`) in raw page bytes. The paper also observes
+//! (§3, observation 3) that pages are sometimes *mislabeled* — which is
+//! why the simulator carries separate "true" and "labeled" charsets, and
+//! why the detector path exists at all.
+
+use crate::tokenizer::Tokenizer;
+use langcrawl_charset::labels::charset_from_content_type;
+use langcrawl_charset::{charset_from_label, Charset};
+
+/// Scan page bytes for a charset declaration.
+///
+/// Returns the first declaration found, in document order, preferring
+/// nothing over anything — the first wins exactly as in browsers. Returns
+/// `None` when no META declares a charset (common on plain-ASCII pages of
+/// the era). An unrecognised label yields `Some(Charset::Unknown)`,
+/// which the classifier treats as "not the target language".
+///
+/// ```
+/// use langcrawl_html::extract_meta_charset;
+/// use langcrawl_charset::Charset;
+///
+/// let page = br#"<html><head>
+///   <META HTTP-EQUIV="Content-Type" CONTENT="text/html; charset=EUC-JP">
+///   </head><body></body></html>"#;
+/// assert_eq!(extract_meta_charset(page), Some(Charset::EucJp));
+///
+/// let modern = br#"<meta charset="utf-8">"#;
+/// assert_eq!(extract_meta_charset(modern), Some(Charset::Utf8));
+/// ```
+pub fn extract_meta_charset(page: &[u8]) -> Option<Charset> {
+    for tag in Tokenizer::new(page) {
+        if tag.closing {
+            // </head> ends the region where charset METAs are honoured.
+            if tag.is("head") {
+                return None;
+            }
+            continue;
+        }
+        if tag.is("body") {
+            // Charset METAs in <body> are ignored by browsers.
+            return None;
+        }
+        if !tag.is("meta") {
+            continue;
+        }
+        // HTML5 shorthand.
+        if let Some(a) = tag.attr("charset") {
+            return Some(charset_from_label(&a.value_str()));
+        }
+        // Classic http-equiv form.
+        let is_content_type = tag
+            .attr("http-equiv")
+            .map(|a| a.value_str().trim().eq_ignore_ascii_case("content-type"))
+            .unwrap_or(false);
+        if is_content_type {
+            if let Some(content) = tag.attr("content") {
+                if let Some(cs) = charset_from_content_type(&content.value_str()) {
+                    return Some(cs);
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_http_equiv() {
+        let p = br#"<meta http-equiv="Content-Type" content="text/html; charset=Shift_JIS">"#;
+        assert_eq!(extract_meta_charset(p), Some(Charset::ShiftJis));
+    }
+
+    #[test]
+    fn html5_shorthand() {
+        assert_eq!(
+            extract_meta_charset(br#"<meta charset=tis-620>"#),
+            Some(Charset::Tis620)
+        );
+    }
+
+    #[test]
+    fn first_declaration_wins() {
+        let p = br#"<meta charset="euc-jp"><meta charset="tis-620">"#;
+        assert_eq!(extract_meta_charset(p), Some(Charset::EucJp));
+    }
+
+    #[test]
+    fn absent() {
+        assert_eq!(extract_meta_charset(b"<html><head></head></html>"), None);
+        assert_eq!(
+            extract_meta_charset(br#"<meta name="keywords" content="a,b">"#),
+            None
+        );
+        // content-type without charset parameter.
+        assert_eq!(
+            extract_meta_charset(
+                br#"<meta http-equiv="content-type" content="text/html">"#
+            ),
+            None
+        );
+    }
+
+    #[test]
+    fn unknown_label_is_unknown_not_none() {
+        assert_eq!(
+            extract_meta_charset(br#"<meta charset="klingon">"#),
+            Some(Charset::Unknown)
+        );
+    }
+
+    #[test]
+    fn body_meta_ignored() {
+        let p = br#"<head></head><body><meta charset="euc-jp"></body>"#;
+        assert_eq!(extract_meta_charset(p), None);
+    }
+
+    #[test]
+    fn head_close_stops_scan() {
+        let p = br#"<head></head><meta charset="euc-jp">"#;
+        assert_eq!(extract_meta_charset(p), None);
+    }
+
+    #[test]
+    fn survives_legacy_bytes_before_meta() {
+        let mut page = b"<title>".to_vec();
+        page.extend_from_slice(&[0xA4, 0xB3, 0xA4, 0xF3, 0xA4, 0xCB]);
+        page.extend_from_slice(b"</title><meta http-equiv=content-type content=\"text/html; charset=euc-jp\">");
+        assert_eq!(extract_meta_charset(&page), Some(Charset::EucJp));
+    }
+
+    #[test]
+    fn http_equiv_case_and_order_insensitive() {
+        let p = br#"<META CONTENT="text/html; CHARSET=ISO-2022-JP" HTTP-EQUIV="content-type">"#;
+        assert_eq!(extract_meta_charset(p), Some(Charset::Iso2022Jp));
+    }
+}

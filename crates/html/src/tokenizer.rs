@@ -1,0 +1,383 @@
+//! A forgiving, byte-level HTML tag tokenizer.
+//!
+//! Yields start/end tags with their attributes, skipping comments,
+//! doctypes, and the raw-text interiors of `<script>` and `<style>`.
+//! Text content is not tokenized — the crawler only consumes tags.
+//!
+//! Real 2004-era HTML is deeply malformed; every branch here errs toward
+//! "keep scanning" rather than "reject the page".
+
+/// One attribute: name (lowercased) and raw value bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attr {
+    /// Attribute name, ASCII-lowercased.
+    pub name: Vec<u8>,
+    /// Attribute value with quotes stripped; empty for bare attributes.
+    pub value: Vec<u8>,
+}
+
+impl Attr {
+    /// Value as UTF-8-lossy text (attribute values the crawler consumes —
+    /// URLs and charset labels — are ASCII in practice).
+    pub fn value_str(&self) -> String {
+        String::from_utf8_lossy(&self.value).into_owned()
+    }
+}
+
+/// One parsed tag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tag {
+    /// Tag name, ASCII-lowercased (`a`, `meta`, `base`, …).
+    pub name: Vec<u8>,
+    /// True for `</...>` end tags (attributes are not parsed for these).
+    pub closing: bool,
+    /// Attributes in document order.
+    pub attrs: Vec<Attr>,
+}
+
+impl Tag {
+    /// Look up an attribute value by (case-insensitive) name.
+    pub fn attr(&self, name: &str) -> Option<&Attr> {
+        self.attrs
+            .iter()
+            .find(|a| a.name.eq_ignore_ascii_case(name.as_bytes()))
+    }
+
+    /// Is this tag named `name` (case-insensitive)?
+    pub fn is(&self, name: &str) -> bool {
+        self.name.eq_ignore_ascii_case(name.as_bytes())
+    }
+}
+
+/// Streaming tag iterator over a byte buffer.
+pub struct Tokenizer<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Tokenizer<'a> {
+    /// Tokenize `input`.
+    pub fn new(input: &'a [u8]) -> Self {
+        Tokenizer { input, pos: 0 }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn starts_with_ci(&self, s: &[u8]) -> bool {
+        self.input[self.pos..]
+            .get(..s.len())
+            .is_some_and(|head| head.eq_ignore_ascii_case(s))
+    }
+
+    /// Advance past `<!-- ... -->` (or to EOF).
+    fn skip_comment(&mut self) {
+        self.pos += 4; // "<!--"
+        while self.pos < self.input.len() {
+            if self.input[self.pos..].starts_with(b"-->") {
+                self.pos += 3;
+                return;
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// Advance past `<! ... >` (doctype, CDATA-ish constructs).
+    fn skip_bang(&mut self) {
+        while let Some(b) = self.peek() {
+            self.pos += 1;
+            if b == b'>' {
+                return;
+            }
+        }
+    }
+
+    /// Advance past raw text until the matching `</name` appears.
+    fn skip_rawtext(&mut self, name: &[u8]) {
+        while self.pos < self.input.len() {
+            if self.input[self.pos] == b'<'
+                && self.input.get(self.pos + 1) == Some(&b'/')
+                && self.input[self.pos + 2..]
+                    .get(..name.len())
+                    .is_some_and(|head| head.eq_ignore_ascii_case(name))
+            {
+                return; // leave the </script> for the main loop
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn read_tag(&mut self) -> Option<Tag> {
+        // self.pos is at '<'.
+        self.pos += 1;
+        let closing = self.peek() == Some(b'/');
+        if closing {
+            self.pos += 1;
+        }
+        let name_start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'-' || b == b':' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == name_start {
+            // "<" followed by junk: treat as text, resume scanning.
+            return None;
+        }
+        let name: Vec<u8> = self.input[name_start..self.pos]
+            .iter()
+            .map(|b| b.to_ascii_lowercase())
+            .collect();
+        let mut attrs = Vec::new();
+        loop {
+            // Skip whitespace and stray '/' (self-closing slash).
+            while matches!(self.peek(), Some(b) if b.is_ascii_whitespace() || b == b'/') {
+                self.pos += 1;
+            }
+            match self.peek() {
+                None => break,
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'<') => break, // unclosed tag; let the next tag begin
+                _ => {
+                    if let Some(attr) = self.read_attr() {
+                        if !closing {
+                            attrs.push(attr);
+                        }
+                    }
+                }
+            }
+        }
+        Some(Tag {
+            name,
+            closing,
+            attrs,
+        })
+    }
+
+    fn read_attr(&mut self) -> Option<Attr> {
+        let name_start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_whitespace() || matches!(b, b'=' | b'>' | b'/' | b'<') {
+                break;
+            }
+            self.pos += 1;
+        }
+        if self.pos == name_start {
+            // Defensive: consume one byte so the caller's loop advances.
+            self.pos += 1;
+            return None;
+        }
+        let name: Vec<u8> = self.input[name_start..self.pos]
+            .iter()
+            .map(|b| b.to_ascii_lowercase())
+            .collect();
+        // Optional "= value".
+        while matches!(self.peek(), Some(b) if b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+        if self.peek() != Some(b'=') {
+            return Some(Attr {
+                name,
+                value: Vec::new(),
+            });
+        }
+        self.pos += 1; // '='
+        while matches!(self.peek(), Some(b) if b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+        let value = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => {
+                self.pos += 1;
+                let start = self.pos;
+                while let Some(b) = self.peek() {
+                    if b == q {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                let v = self.input[start..self.pos].to_vec();
+                if self.peek() == Some(q) {
+                    self.pos += 1;
+                }
+                v
+            }
+            _ => {
+                let start = self.pos;
+                while let Some(b) = self.peek() {
+                    if b.is_ascii_whitespace() || b == b'>' {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                self.input[start..self.pos].to_vec()
+            }
+        };
+        Some(Attr { name, value })
+    }
+}
+
+impl<'a> Iterator for Tokenizer<'a> {
+    type Item = Tag;
+
+    fn next(&mut self) -> Option<Tag> {
+        while self.pos < self.input.len() {
+            // Scan to the next '<'.
+            match memchr(b'<', &self.input[self.pos..]) {
+                None => {
+                    self.pos = self.input.len();
+                    return None;
+                }
+                Some(off) => self.pos += off,
+            }
+            if self.starts_with_ci(b"<!--") {
+                self.skip_comment();
+                continue;
+            }
+            if self.peek() == Some(b'<') && self.input.get(self.pos + 1) == Some(&b'!') {
+                self.skip_bang();
+                continue;
+            }
+            let before = self.pos;
+            if let Some(tag) = self.read_tag() {
+                if !tag.closing && (tag.is("script") || tag.is("style")) {
+                    self.skip_rawtext(&tag.name.clone());
+                }
+                return Some(tag);
+            }
+            // read_tag declined; make progress past this '<'.
+            self.pos = before + 1;
+        }
+        None
+    }
+}
+
+/// Forward byte search (std has no stable memchr; this is the simple
+/// scalar loop, fast enough because LLVM vectorises it).
+#[inline]
+fn memchr(needle: u8, haystack: &[u8]) -> Option<usize> {
+    haystack.iter().position(|&b| b == needle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tags(html: &str) -> Vec<Tag> {
+        Tokenizer::new(html.as_bytes()).collect()
+    }
+
+    #[test]
+    fn basic_tags() {
+        let t = tags("<html><body class=main>text</body></html>");
+        assert_eq!(t.len(), 4);
+        assert!(t[0].is("html"));
+        assert!(t[1].is("body"));
+        assert_eq!(t[1].attr("class").unwrap().value, b"main");
+        assert!(t[2].closing && t[2].is("body"));
+    }
+
+    #[test]
+    fn attr_quoting_styles() {
+        let t = tags(r#"<a href="x.html" title='quoted' data-bare=raw selected>"#);
+        let a = &t[0];
+        assert_eq!(a.attr("href").unwrap().value, b"x.html");
+        assert_eq!(a.attr("title").unwrap().value, b"quoted");
+        assert_eq!(a.attr("data-bare").unwrap().value, b"raw");
+        assert_eq!(a.attr("selected").unwrap().value, b"");
+    }
+
+    #[test]
+    fn case_insensitive_names() {
+        let t = tags(r#"<A HREF="X"><META Http-Equiv="content-type">"#);
+        assert!(t[0].is("a"));
+        assert_eq!(t[0].attr("href").unwrap().value, b"X");
+        assert!(t[1].is("meta"));
+        assert!(t[1].attr("http-equiv").is_some());
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let t = tags("<!-- <a href=no> --><a href=yes>");
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].attr("href").unwrap().value, b"yes");
+    }
+
+    #[test]
+    fn unterminated_comment_swallows_rest() {
+        let t = tags("<!-- open forever <a href=no>");
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn doctype_skipped() {
+        let t = tags("<!DOCTYPE html><p>");
+        assert_eq!(t.len(), 1);
+        assert!(t[0].is("p"));
+    }
+
+    #[test]
+    fn script_interior_ignored() {
+        let t = tags(r#"<script>if (a < b) { document.write('<a href="no">'); }</script><a href=yes>"#);
+        let links: Vec<_> = t.iter().filter(|t| t.is("a") && !t.closing).collect();
+        assert_eq!(links.len(), 1);
+        assert_eq!(links[0].attr("href").unwrap().value, b"yes");
+    }
+
+    #[test]
+    fn style_interior_ignored() {
+        let t = tags("<style>a<b{}</style><p>");
+        assert!(t.iter().any(|t| t.is("p")));
+        assert!(!t.iter().any(|t| t.is("b")));
+    }
+
+    #[test]
+    fn self_closing_and_xhtml() {
+        let t = tags(r#"<br/><img src="i.gif" /><meta charset="utf-8"/>"#);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[1].attr("src").unwrap().value, b"i.gif");
+        assert_eq!(t[2].attr("charset").unwrap().value, b"utf-8");
+    }
+
+    #[test]
+    fn stray_lt_is_text() {
+        let t = tags("3 < 4 but <em>5</em>");
+        assert_eq!(t.len(), 2);
+        assert!(t[0].is("em"));
+    }
+
+    #[test]
+    fn unclosed_tag_at_eof() {
+        let t = tags("<a href=partial");
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].attr("href").unwrap().value, b"partial");
+    }
+
+    #[test]
+    fn unclosed_quote_runs_to_eof() {
+        let t = tags(r#"<a href="never closed"#);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].attr("href").unwrap().value, b"never closed");
+    }
+
+    #[test]
+    fn multibyte_bytes_in_text_are_fine() {
+        // EUC-JP bytes between tags must not confuse the scanner.
+        let mut html = b"<title>".to_vec();
+        html.extend_from_slice(&[0xA4, 0xB3, 0xA4, 0xF3]);
+        html.extend_from_slice(b"</title><a href=x>");
+        let t: Vec<Tag> = Tokenizer::new(&html).collect();
+        assert!(t.iter().any(|t| t.is("a")));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(tags("").is_empty());
+        assert!(tags("no tags at all").is_empty());
+    }
+}

@@ -1,0 +1,47 @@
+//! Error type for URL parsing and resolution.
+
+use std::fmt;
+
+/// The ways a URL string can fail to parse into a [`crate::Url`].
+///
+/// The crawler treats any parse failure as "drop this link": a malformed
+/// href in the wild is far more often author error than anything worth
+/// fetching, and the 2005 paper's crawler behaved the same way (malformed
+/// URLs never enter the URL queue).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The scheme is missing or is not `http`/`https`.
+    ///
+    /// Crawlers only fetch web resources; `mailto:`, `ftp:`, `javascript:`
+    /// and friends are rejected here rather than filtered downstream.
+    UnsupportedScheme,
+    /// The authority (host) component is empty, e.g. `http:///path`.
+    EmptyHost,
+    /// The host contains a byte that cannot appear in a registered name.
+    InvalidHostChar(char),
+    /// The port is present but not a valid `u16`, e.g. `http://h:99999/`.
+    InvalidPort,
+    /// The input is empty or whitespace-only.
+    Empty,
+    /// A relative reference was given where an absolute URL was required.
+    NotAbsolute,
+    /// The input contains an ASCII control character (incl. newline/tab),
+    /// which RFC 3986 forbids anywhere in a URL.
+    ControlChar,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::UnsupportedScheme => write!(f, "missing or unsupported scheme"),
+            ParseError::EmptyHost => write!(f, "empty host"),
+            ParseError::InvalidHostChar(c) => write!(f, "invalid character {c:?} in host"),
+            ParseError::InvalidPort => write!(f, "invalid port"),
+            ParseError::Empty => write!(f, "empty input"),
+            ParseError::NotAbsolute => write!(f, "expected an absolute URL"),
+            ParseError::ControlChar => write!(f, "control character in URL"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}

@@ -1,0 +1,126 @@
+//! Property-based tests for URL parsing, resolution, and normalization.
+
+use langcrawl_url::{normalize, remove_dot_segments, resolve, Url};
+use proptest::prelude::*;
+
+/// Strategy producing syntactically valid absolute URLs component-wise.
+fn arb_url() -> impl Strategy<Value = String> {
+    let scheme = prop_oneof![Just("http"), Just("https")];
+    let host = proptest::collection::vec("[a-z0-9-]{1,8}", 1..4)
+        .prop_map(|labels| labels.join("."));
+    let port = proptest::option::of(1u16..=65535);
+    let path = proptest::collection::vec("[a-zA-Z0-9._~-]{0,6}", 0..5)
+        .prop_map(|segs| {
+            if segs.is_empty() {
+                "/".to_string()
+            } else {
+                format!("/{}", segs.join("/"))
+            }
+        });
+    let query = proptest::option::of("[a-z0-9=&]{1,12}");
+    (scheme, host, port, path, query).prop_map(|(s, h, p, path, q)| {
+        let mut u = format!("{s}://{h}");
+        if let Some(p) = p {
+            u.push_str(&format!(":{p}"));
+        }
+        u.push_str(&path);
+        if let Some(q) = q {
+            u.push('?');
+            u.push_str(&q);
+        }
+        u
+    })
+}
+
+/// Relative references made of plausible path material.
+fn arb_reference() -> impl Strategy<Value = String> {
+    prop_oneof![
+        // relative path with dots
+        proptest::collection::vec(
+            prop_oneof![
+                Just("..".to_string()),
+                Just(".".to_string()),
+                "[a-z0-9]{1,5}".prop_map(|s| s),
+            ],
+            1..6
+        )
+        .prop_map(|v| v.join("/")),
+        // absolute path (never "//...", which is protocol-relative)
+        "(/[a-z0-9]{1,5}){1,4}/?".prop_map(|s| s),
+        Just("/".to_string()),
+        // query only
+        "[a-z0-9=&]{1,8}".prop_map(|s| format!("?{s}")),
+        // fragment only
+        "[a-z0-9]{1,8}".prop_map(|s| format!("#{s}")),
+    ]
+}
+
+proptest! {
+    /// Display → parse is the identity on parsed URLs.
+    #[test]
+    fn parse_display_round_trip(s in arb_url()) {
+        let u = Url::parse(&s).unwrap();
+        let re = Url::parse(&u.to_string()).unwrap();
+        prop_assert_eq!(u, re);
+    }
+
+    /// Normalization is idempotent: normalize(parse(normalize(u))) == normalize(u).
+    #[test]
+    fn normalize_idempotent(s in arb_url()) {
+        let u = Url::parse(&s).unwrap();
+        let n1 = normalize(&u);
+        let n2 = normalize(&Url::parse(&n1).unwrap());
+        prop_assert_eq!(n1, n2);
+    }
+
+    /// Resolving an absolute URL against any base returns that URL.
+    #[test]
+    fn resolve_absolute_identity(b in arb_url(), a in arb_url()) {
+        let base = Url::parse(&b).unwrap();
+        let resolved = resolve(&base, &a).unwrap();
+        prop_assert_eq!(resolved, Url::parse(&a).unwrap());
+    }
+
+    /// Resolution always yields a URL on the base's host (for non-absolute,
+    /// non-protocol-relative references) with a rooted, dot-free path.
+    #[test]
+    fn resolve_stays_on_host(b in arb_url(), r in arb_reference()) {
+        let base = Url::parse(&b).unwrap();
+        let resolved = resolve(&base, &r).unwrap();
+        prop_assert_eq!(&resolved.host, &base.host);
+        prop_assert!(resolved.path.starts_with('/'));
+        for seg in resolved.path.split('/') {
+            prop_assert_ne!(seg, ".");
+            prop_assert_ne!(seg, "..");
+        }
+    }
+
+    /// remove_dot_segments output never contains dot segments and is
+    /// idempotent.
+    #[test]
+    fn dot_segments_gone(path in "(/([a-z0-9]{0,4}|\\.|\\.\\.)){0,8}/?") {
+        let once = remove_dot_segments(&path);
+        prop_assert!(once.starts_with('/'));
+        for seg in once.split('/') {
+            prop_assert_ne!(seg, ".");
+            prop_assert_ne!(seg, "..");
+        }
+        prop_assert_eq!(remove_dot_segments(&once), once.clone());
+    }
+
+    /// Normalized equal implies same server key (host + effective port).
+    #[test]
+    fn normal_equal_same_server(a in arb_url(), b in arb_url()) {
+        let ua = Url::parse(&a).unwrap();
+        let ub = Url::parse(&b).unwrap();
+        if normalize(&ua) == normalize(&ub) {
+            prop_assert_eq!(ua.server_key(), ub.server_key());
+        }
+    }
+
+    /// Parsing never panics on arbitrary printable input.
+    #[test]
+    fn parse_total_on_garbage(s in "\\PC{0,64}") {
+        let _ = Url::parse(&s);
+    }
+}

@@ -1,0 +1,885 @@
+//! The synthetic web-space generator.
+//!
+//! Reconstructs, at configurable scale, the structural properties of the
+//! paper's crawl-log datasets (see the crate docs for the inventory).
+//! Everything is driven by a single `u64` seed through `StdRng`, so a
+//! `(config, seed)` pair identifies a web space exactly.
+//!
+//! ## Construction outline
+//!
+//! 1. **Host planning** — sample host HTML sizes from a bounded Pareto
+//!    until each language's page budget is filled; select *island* hosts
+//!    among the relevant hosts until the configured island page-mass is
+//!    reached; allocate one *gateway* chain host (1..=D irrelevant pages)
+//!    per island.
+//! 2. **Page table** — hosts are laid out contiguously; each host gets
+//!    its HTML pages then its share of leaf URLs (failed fetches and
+//!    non-HTML resources). Page language, true charset, META label
+//!    (present / correct / mislabeled), and body size are drawn here.
+//! 3. **Edges** — a reachability backbone (host-internal trees, a
+//!    mainland host tree, leaf inbounds, island chains) guarantees that
+//!    every URL is reachable from the seeds; random links layered on top
+//!    implement locality, intra-host bias and preferential attachment.
+//!    Edges are accumulated as a pair list and counting-sorted into CSR.
+//! 4. **Seeds** — front pages of the largest relevant mainland hosts.
+
+use crate::config::GeneratorConfig;
+use crate::graph::WebSpace;
+use crate::page::{HostMeta, HttpStatus, PageId, PageKind, PageMeta};
+use langcrawl_charset::{Charset, Language};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Role of a host in the generated topology.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Role {
+    /// Ordinary host, receives random inter-host links.
+    Mainland,
+    /// Relevant island host: only its gateway chain links into it.
+    Island { depth: u8 },
+    /// The irrelevant chain guarding island `island_idx`.
+    Gateway { island_idx: u32, depth: u8 },
+}
+
+#[derive(Debug, Clone)]
+struct HostPlan {
+    lang: Language,
+    html: u32,
+    leaves: u32,
+    role: Role,
+}
+
+/// Generate a web space. See the module docs; this is
+/// [`GeneratorConfig::build`]'s implementation.
+pub fn generate(config: &GeneratorConfig, seed: u64) -> WebSpace {
+    config.validate();
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let n_total = config.total_urls as u64;
+    let n_html = ((n_total as f64) * config.ok_html_ratio).round() as u64;
+
+    let mut plans = plan_hosts(config, n_html, &mut rng);
+    distribute_leaves(&mut plans, n_total - n_html, &mut rng);
+
+    // ---- page table ------------------------------------------------------
+    let mut hosts: Vec<HostMeta> = Vec::with_capacity(plans.len());
+    let mut pages: Vec<PageMeta> = Vec::new();
+    let other_langs = other_language_pool(config.target);
+    for (i, plan) in plans.iter().enumerate() {
+        let first_page = pages.len() as PageId;
+        let island = matches!(plan.role, Role::Island { .. });
+        let chain_depth = match plan.role {
+            Role::Island { depth } | Role::Gateway { depth, .. } => depth,
+            Role::Mainland => 0,
+        };
+        for j in 0..plan.html {
+            // A site's front page is in the site's language; purity noise
+            // applies to deep pages (and seeds must be relevant fronts).
+            let lang = if j == 0 && !matches!(plan.role, Role::Gateway { .. }) {
+                plan.lang
+            } else {
+                page_language(config, plan, &other_langs, &mut rng)
+            };
+            let true_charset = sample_true_charset(config, lang, &mut rng);
+            let labeled_charset = sample_label(config, true_charset, &mut rng);
+            pages.push(PageMeta {
+                host: i as u32,
+                kind: PageKind::Html,
+                status: HttpStatus::Ok,
+                true_charset,
+                labeled_charset,
+                size: sample_size(config.mean_page_bytes, &mut rng),
+                lang: Some(lang),
+                island_depth: chain_depth,
+            });
+            let _ = j;
+        }
+        for _ in 0..plan.leaves {
+            let failed = rng.random_bool(0.6);
+            pages.push(PageMeta {
+                host: i as u32,
+                kind: if failed { PageKind::Failed } else { PageKind::Other },
+                status: if failed {
+                    match rng.random_range(0..10) {
+                        0..=6 => HttpStatus::NotFound,
+                        7..=8 => HttpStatus::ServerError,
+                        _ => HttpStatus::Unreachable,
+                    }
+                } else {
+                    HttpStatus::Ok
+                },
+                true_charset: Charset::Unknown,
+                labeled_charset: None,
+                size: sample_size(config.mean_page_bytes / 4, &mut rng),
+                lang: None,
+                island_depth: 0,
+            });
+        }
+        hosts.push(HostMeta {
+            name: host_name(i, plan.lang, config.target, &mut rng),
+            language: plan.lang,
+            first_page,
+            page_count: plan.html + plan.leaves,
+            island,
+        });
+    }
+
+    // ---- edges -----------------------------------------------------------
+    let mut edges: Vec<(PageId, PageId)> = Vec::with_capacity(pages.len() * 6);
+    add_backbone(&plans, &hosts, &pages, config.target, &mut edges, &mut rng);
+    add_island_chains(&plans, &hosts, &pages, config, &mut edges, &mut rng);
+    add_random_links(&plans, &hosts, &pages, config, &mut edges, &mut rng);
+
+    let (offsets, flat) = to_csr(pages.len(), &mut edges);
+
+    // ---- seeds -----------------------------------------------------------
+    let mut seed_hosts: Vec<usize> = (0..plans.len())
+        .filter(|&i| plans[i].lang == config.target && matches!(plans[i].role, Role::Mainland))
+        .collect();
+    seed_hosts.sort_by_key(|&i| std::cmp::Reverse(plans[i].html));
+    let seeds: Vec<PageId> = seed_hosts
+        .iter()
+        .take(config.seed_count as usize)
+        .map(|&i| hosts[i].first_page)
+        .collect();
+    assert!(!seeds.is_empty(), "no relevant mainland host to seed from");
+
+    WebSpace {
+        pages,
+        offsets,
+        edges: flat,
+        hosts,
+        seeds,
+        target: config.target,
+        gen_seed: seed,
+    }
+}
+
+// ---------------------------------------------------------------- planning
+
+fn plan_hosts(config: &GeneratorConfig, n_html: u64, rng: &mut StdRng) -> Vec<HostPlan> {
+    let f_target = config.target_host_fraction();
+    let target_budget = ((n_html as f64) * f_target).round() as u64;
+    let other_budget = n_html.saturating_sub(target_budget);
+
+    // Sample host sizes until each language budget is filled.
+    let mut plans: Vec<HostPlan> = Vec::new();
+    let fill = |budget: u64, lang: Language, plans: &mut Vec<HostPlan>, rng: &mut StdRng| {
+        let mut used = 0u64;
+        while used < budget {
+            let size = sample_host_size(config, rng).min((budget - used) as u32).max(1);
+            plans.push(HostPlan {
+                lang,
+                html: size,
+                leaves: 0,
+                role: Role::Mainland,
+            });
+            used += size as u64;
+        }
+    };
+    fill(target_budget, config.target, &mut plans, rng);
+    let first_other = plans.len();
+    // Other-language hosts split across a small pool of languages; the
+    // language identity only matters as "not the target".
+    let other_langs = other_language_pool(config.target);
+    {
+        let mut used = 0u64;
+        let mut k = 0usize;
+        while used < other_budget {
+            let size = sample_host_size(config, rng)
+                .min((other_budget - used) as u32)
+                .max(1);
+            plans.push(HostPlan {
+                lang: other_langs[k % other_langs.len()],
+                html: size,
+                leaves: 0,
+                role: Role::Mainland,
+            });
+            used += size as u64;
+            k += 1;
+        }
+    }
+
+    // Island selection among target hosts (excluding the seed-sized top).
+    let mut target_idx: Vec<usize> = (0..first_other).collect();
+    target_idx.sort_by_key(|&i| std::cmp::Reverse(plans[i].html));
+    let protected: std::collections::HashSet<usize> = target_idx
+        .iter()
+        .take(config.seed_count as usize)
+        .copied()
+        .collect();
+    let island_goal = ((target_budget as f64) * config.island_mass) as u64;
+    let mut candidates: Vec<usize> = (0..first_other)
+        .filter(|i| !protected.contains(i))
+        .collect();
+    shuffle(&mut candidates, rng);
+    let mut island_pages = 0u64;
+    let mut islands: Vec<usize> = Vec::new();
+    for i in candidates {
+        if island_pages >= island_goal {
+            break;
+        }
+        let depth = 1 + rng.random_range(0..config.max_island_depth as u32) as u8;
+        plans[i].role = Role::Island { depth };
+        island_pages += plans[i].html as u64;
+        islands.push(i);
+    }
+
+    // One gateway chain host per island, language ≠ target.
+    for (k, &i) in islands.iter().enumerate() {
+        let Role::Island { depth } = plans[i].role else {
+            unreachable!()
+        };
+        plans.push(HostPlan {
+            lang: other_langs[k % other_langs.len()],
+            html: depth as u32,
+            leaves: 0,
+            role: Role::Gateway {
+                island_idx: i as u32,
+                depth,
+            },
+        });
+    }
+    plans
+}
+
+fn distribute_leaves(plans: &mut [HostPlan], n_leaves: u64, rng: &mut StdRng) {
+    let total_html: u64 = plans.iter().map(|p| p.html as u64).sum();
+    if total_html == 0 {
+        return;
+    }
+    // Junk URLs are not spread evenly over the web: auto-generated URL
+    // spaces (calendars, guestbooks, session-id CGIs) concentrate the
+    // bulk of a crawl log's dead/non-HTML URLs on a small set of trap
+    // hosts. ~6% of hosts absorb 70% of the leaf budget; the remainder
+    // is proportional to host size. This concentration is what lets a
+    // focused crawl sustain a high early harvest rate (paper Fig. 3a)
+    // instead of drowning in its own hosts' dead links.
+    // Trap hosts are drawn from the non-target hosts: the giant
+    // auto-generated URL spaces of a national crawl log overwhelmingly
+    // sit outside the (far smaller) target-language web.
+    let target = plans.first().map(|p| p.lang); // plans start with target hosts
+    let traps: Vec<usize> = (0..plans.len())
+        .filter(|&i| {
+            !matches!(plans[i].role, Role::Gateway { .. })
+                && Some(plans[i].lang) != target
+                && rng.random_range(0..100) < 15
+        })
+        .collect();
+    let trap_budget = if traps.is_empty() { 0 } else { n_leaves * 85 / 100 };
+    let trap_html: u64 = traps
+        .iter()
+        .map(|&i| plans[i].html as u64)
+        .sum::<u64>()
+        .max(1);
+    let mut assigned = 0u64;
+    for &i in &traps {
+        let share = plans[i].html as u64 * trap_budget / trap_html;
+        plans[i].leaves = share as u32;
+        assigned += share;
+    }
+    let spread_budget = n_leaves.saturating_sub(assigned);
+    for p in plans.iter_mut() {
+        if matches!(p.role, Role::Gateway { .. }) {
+            continue; // chains stay clean
+        }
+        let share = ((p.html as u64 * spread_budget) as f64 / total_html as f64).floor() as u64;
+        p.leaves += share as u32;
+        assigned += share;
+    }
+    // Scatter the rounding remainder over random non-gateway hosts.
+    let mut rest = n_leaves.saturating_sub(assigned);
+    while rest > 0 {
+        let i = rng.random_range(0..plans.len());
+        if matches!(plans[i].role, Role::Gateway { .. }) {
+            continue;
+        }
+        plans[i].leaves += 1;
+        rest -= 1;
+    }
+}
+
+// ----------------------------------------------------------------- sampling
+
+/// Bounded Pareto host size: heavy tail, mean ≈ `mean_host_size`.
+fn sample_host_size(config: &GeneratorConfig, rng: &mut StdRng) -> u32 {
+    let alpha = config.host_size_alpha;
+    // Pareto mean = alpha/(alpha-1) * xm  (alpha > 1).
+    let xm = config.mean_host_size * (alpha - 1.0) / alpha;
+    let u: f64 = rng.random_range(1e-9..1.0);
+    let x = xm / u.powf(1.0 / alpha);
+    let cap = (config.mean_host_size * 60.0).max(8.0);
+    (x.min(cap).max(1.0)).round() as u32
+}
+
+fn sample_size(mean: u32, rng: &mut StdRng) -> u32 {
+    // Exponential around the mean: realistic long tail without a
+    // distribution dependency.
+    let u: f64 = rng.random_range(1e-9..1.0);
+    let v = -(u.ln()) * mean as f64;
+    v.clamp(300.0, 250_000.0) as u32
+}
+
+fn sample_degree(mean: f64, rng: &mut StdRng) -> u32 {
+    // 2.5% of pages are directory/portal hubs with hundreds of links —
+    // the heavy tail real link-distribution studies report. The rest
+    // follow an exponential around the configured mean.
+    if rng.random_range(0..1000) < 25 {
+        let u: f64 = rng.random_range(1e-9..1.0);
+        return 60 + (-(u.ln()) * 120.0).min(340.0) as u32;
+    }
+    let u: f64 = rng.random_range(1e-9..1.0);
+    let v = -(u.ln()) * (mean - 1.0);
+    1 + (v.round() as u32).min(60)
+}
+
+fn other_language_pool(target: Language) -> Vec<Language> {
+    // Foreign hosts draw from every modeled language except the target —
+    // "Other" (Western) sites dominate, with real CJK/Thai neighbours
+    // mixed in so the classifier faces honest negatives.
+    let mut pool = vec![Language::Other, Language::Other, Language::Other];
+    for lang in [
+        Language::Japanese,
+        Language::Thai,
+        Language::Korean,
+        Language::Chinese,
+    ] {
+        if lang != target {
+            pool.push(lang);
+        }
+    }
+    pool
+}
+
+fn page_language(
+    config: &GeneratorConfig,
+    plan: &HostPlan,
+    other_langs: &[Language],
+    rng: &mut StdRng,
+) -> Language {
+    if plan.lang == config.target {
+        if rng.random_bool(config.host_purity) {
+            config.target
+        } else {
+            other_langs[rng.random_range(0..other_langs.len())]
+        }
+    } else if rng.random_bool(config.leak) && !matches!(plan.role, Role::Gateway { .. }) {
+        config.target
+    } else {
+        plan.lang
+    }
+}
+
+fn sample_true_charset(config: &GeneratorConfig, lang: Language, rng: &mut StdRng) -> Charset {
+    if rng.random_bool(config.utf8_share) && lang != Language::Other {
+        return Charset::Utf8;
+    }
+    match lang {
+        Language::Thai => match rng.random_range(0..100) {
+            0..=79 => Charset::Tis620,
+            80..=94 => Charset::Windows874,
+            _ => Charset::Iso885911,
+        },
+        Language::Japanese => match rng.random_range(0..100) {
+            0..=49 => Charset::EucJp,
+            50..=92 => Charset::ShiftJis,
+            _ => Charset::Iso2022Jp,
+        },
+        // The 2004 Korean and Chinese webs were effectively single-
+        // charset (EUC-KR / GB2312).
+        Language::Korean => Charset::EucKr,
+        Language::Chinese => Charset::Gb2312,
+        Language::Other => match rng.random_range(0..100) {
+            0..=54 => Charset::Ascii,
+            55..=84 => Charset::Latin1,
+            _ => Charset::Utf8,
+        },
+    }
+}
+
+fn sample_label(
+    config: &GeneratorConfig,
+    true_charset: Charset,
+    rng: &mut StdRng,
+) -> Option<Charset> {
+    if !rng.random_bool(config.meta_present) {
+        return None;
+    }
+    if rng.random_bool(config.mislabel) {
+        // Observation 3 (§3): pages mislabeled as *non*-target — authors
+        // leaving editor defaults in place.
+        Some(if rng.random_bool(0.5) {
+            Charset::Latin1
+        } else {
+            Charset::Ascii
+        })
+    } else {
+        Some(true_charset)
+    }
+}
+
+fn host_name(i: usize, lang: Language, target: Language, rng: &mut StdRng) -> String {
+    let syllables = ["ban", "chai", "dee", "krung", "siam", "thai", "nara", "kyo", "sun",
+        "tech", "info", "web", "net", "data", "media", "port"];
+    let a = syllables[rng.random_range(0..syllables.len())];
+    let b = syllables[rng.random_range(0..syllables.len())];
+    let tld = match (lang, target) {
+        (Language::Thai, _) => ["co.th", "ac.th", "or.th", "go.th", "in.th"]
+            [rng.random_range(0..5)],
+        (Language::Japanese, _) => ["co.jp", "ac.jp", "ne.jp", "or.jp", "gr.jp"]
+            [rng.random_range(0..5)],
+        (Language::Korean, _) => ["co.kr", "or.kr"][rng.random_range(0..2)],
+        (Language::Chinese, _) => ["com.cn", "net.cn", "org.cn"][rng.random_range(0..3)],
+        _ => ["com", "net", "org", "co.uk", "com.au"][rng.random_range(0..5)],
+    };
+    format!("www.{a}{b}{i}.{tld}")
+}
+
+fn shuffle<T>(v: &mut [T], rng: &mut StdRng) {
+    // Fisher–Yates; avoids pulling in rand's slice trait surface.
+    for i in (1..v.len()).rev() {
+        let j = rng.random_range(0..=i);
+        v.swap(i, j);
+    }
+}
+
+// -------------------------------------------------------------------- edges
+
+/// Reachability backbone: every URL gets at least one inbound link such
+/// that the whole space is reachable from the first (largest, seed)
+/// relevant host:
+/// * within a host: page k ← random earlier HTML page of the host;
+/// * mainland host fronts ← random page of a random earlier mainland host;
+/// * leaves ← a random HTML page of their own host.
+fn add_backbone(
+    plans: &[HostPlan],
+    hosts: &[HostMeta],
+    pages: &[PageMeta],
+    target: Language,
+    edges: &mut Vec<(PageId, PageId)>,
+    rng: &mut StdRng,
+) {
+    // Mainland hosts form a host tree whose root is the LARGEST relevant
+    // host — the first seed. Every tree edge goes from a page of an
+    // earlier host to a later host's front page, and host-internal trees
+    // are rooted at front pages, so by induction every mainland page is
+    // reachable from the first seed. That is what lets soft-focused
+    // crawling reach the paper's 100% coverage (Fig. 3b).
+    let mut mainland: Vec<usize> = (0..plans.len())
+        .filter(|&i| matches!(plans[i].role, Role::Mainland))
+        .collect();
+    let root = mainland
+        .iter()
+        .enumerate()
+        .filter(|&(_, &i)| plans[i].lang == target)
+        // Tie-break toward the smaller index, matching the stable sort
+        // that picks the seed hosts, so the tree root IS the first seed.
+        .max_by_key(|&(_, &i)| (plans[i].html, std::cmp::Reverse(i)))
+        .map(|(pos, _)| pos)
+        .unwrap_or(0);
+    mainland.swap(0, root);
+    for (pos, &h) in mainland.iter().enumerate() {
+        let host = &hosts[h];
+        let html = plans[h].html;
+        // Host-internal tree over HTML pages.
+        for k in 1..html {
+            let parent = host.first_page + rng.random_range(0..k);
+            edges.push((parent, host.first_page + k));
+        }
+        // Leaf inbounds.
+        for k in html..host.page_count {
+            let parent = host.first_page + rng.random_range(0..html.max(1));
+            edges.push((parent, host.first_page + k));
+        }
+        // Host-tree edge from an earlier mainland host.
+        if pos > 0 {
+            let ph = mainland[rng.random_range(0..pos)];
+            let phost = &hosts[ph];
+            let from = phost.first_page + rng.random_range(0..plans[ph].html.max(1));
+            edges.push((from, host.first_page));
+        }
+    }
+    // Island hosts: internal tree + leaf inbounds (their front page is
+    // fed by the gateway chain, added separately).
+    for (i, plan) in plans.iter().enumerate() {
+        if !matches!(plan.role, Role::Island { .. }) {
+            continue;
+        }
+        let host = &hosts[i];
+        for k in 1..plan.html {
+            let parent = host.first_page + rng.random_range(0..k);
+            edges.push((parent, host.first_page + k));
+        }
+        for k in plan.html..host.page_count {
+            let parent = host.first_page + rng.random_range(0..plan.html.max(1));
+            edges.push((parent, host.first_page + k));
+        }
+    }
+    let _ = pages;
+}
+
+/// For each island: relevant mainland page → chain(1) → … → chain(d) →
+/// island front page. Chain pages are irrelevant by construction, so the
+/// island sits behind exactly `d` consecutive irrelevant pages.
+fn add_island_chains(
+    plans: &[HostPlan],
+    hosts: &[HostMeta],
+    pages: &[PageMeta],
+    config: &GeneratorConfig,
+    edges: &mut Vec<(PageId, PageId)>,
+    rng: &mut StdRng,
+) {
+    let relevant_mainland: Vec<PageId> = (0..pages.len() as PageId)
+        .filter(|&p| {
+            let m = &pages[p as usize];
+            m.kind == PageKind::Html
+                && m.lang == Some(config.target)
+                && matches!(plans[m.host as usize].role, Role::Mainland)
+        })
+        .collect();
+    assert!(
+        !relevant_mainland.is_empty(),
+        "no relevant mainland pages to anchor island chains"
+    );
+    for (g, plan) in plans.iter().enumerate() {
+        let Role::Gateway { island_idx, depth } = plan.role else {
+            continue;
+        };
+        let gw = &hosts[g];
+        debug_assert_eq!(plan.html, depth as u32);
+        let entry = relevant_mainland[rng.random_range(0..relevant_mainland.len())];
+        edges.push((entry, gw.first_page));
+        for k in 1..depth as u32 {
+            edges.push((gw.first_page + k - 1, gw.first_page + k));
+        }
+        let island_front = hosts[island_idx as usize].first_page;
+        edges.push((gw.first_page + depth as u32 - 1, island_front));
+    }
+}
+
+/// Random links implementing locality / intra-host bias / preferential
+/// attachment. Island and gateway hosts are excluded as *targets* of
+/// inter-host links (that exclusion is what makes islands islands), but
+/// their pages still link out into the mainland like everyone else.
+fn add_random_links(
+    plans: &[HostPlan],
+    hosts: &[HostMeta],
+    pages: &[PageMeta],
+    config: &GeneratorConfig,
+    edges: &mut Vec<(PageId, PageId)>,
+    rng: &mut StdRng,
+) {
+    // Preferential-attachment pools: cumulative HTML mass per language
+    // group over mainland hosts.
+    let target_pool = HostPool::new(plans, |_, p| {
+        matches!(p.role, Role::Mainland) && p.lang == config.target
+    });
+    let other_pool = HostPool::new(plans, |_, p| {
+        matches!(p.role, Role::Mainland) && p.lang != config.target
+    });
+    if target_pool.is_empty() || other_pool.is_empty() {
+        // Degenerate configs (relevance 0 or 1): random links stay
+        // intra-host; the backbone still connects everything.
+    }
+
+    let leaf_share = config.leaf_link_share;
+    for (h, plan) in plans.iter().enumerate() {
+        if matches!(plan.role, Role::Gateway { .. }) {
+            continue; // chains carry only their chain edge
+        }
+        let host = &hosts[h];
+        for k in 0..plan.html {
+            let p = host.first_page + k;
+            let page_lang = pages[p as usize].lang.expect("html page has lang");
+            let deg = sample_degree(config.mean_out_degree, rng);
+            for _ in 0..deg {
+                let r: f64 = rng.random_range(0.0..1.0);
+                if r < config.intra_host_ratio {
+                    // Intra-host link, biased toward the front page.
+                    if plan.html <= 1 {
+                        continue;
+                    }
+                    let to = if rng.random_bool(0.2) {
+                        host.first_page
+                    } else {
+                        host.first_page + rng.random_range(0..plan.html)
+                    };
+                    if to != p {
+                        edges.push((p, to));
+                    }
+                } else if r < config.intra_host_ratio + leaf_share {
+                    if host.page_count > plan.html {
+                        let to = host.first_page
+                            + plan.html
+                            + rng.random_range(0..host.page_count - plan.html);
+                        edges.push((p, to));
+                    }
+                } else {
+                    // Inter-host link with language locality.
+                    let same_lang = rng.random_bool(config.locality);
+                    let want_target_lang = if page_lang == config.target {
+                        same_lang
+                    } else {
+                        !same_lang
+                    };
+                    let pool = if want_target_lang { &target_pool } else { &other_pool };
+                    let Some(th) = pool.sample(rng) else { continue };
+                    if th == h {
+                        continue;
+                    }
+                    let to_host = &hosts[th];
+                    let to_html = plans[th].html;
+                    let to = if rng.random_bool(config.front_page_bias) || to_html <= 1 {
+                        to_host.first_page
+                    } else {
+                        to_host.first_page + rng.random_range(0..to_html)
+                    };
+                    edges.push((p, to));
+                }
+            }
+        }
+    }
+}
+
+/// Weighted host sampler (preferential attachment by HTML mass).
+struct HostPool {
+    hosts: Vec<usize>,
+    cumulative: Vec<u64>,
+}
+
+impl HostPool {
+    fn new(plans: &[HostPlan], filter: impl Fn(usize, &HostPlan) -> bool) -> Self {
+        let mut hosts = Vec::new();
+        let mut cumulative = Vec::new();
+        let mut sum = 0u64;
+        for (i, p) in plans.iter().enumerate() {
+            if filter(i, p) {
+                sum += p.html as u64;
+                hosts.push(i);
+                cumulative.push(sum);
+            }
+        }
+        HostPool { hosts, cumulative }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.hosts.is_empty()
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> Option<usize> {
+        let total = *self.cumulative.last()?;
+        let x = rng.random_range(0..total);
+        let idx = self.cumulative.partition_point(|&c| c <= x);
+        Some(self.hosts[idx])
+    }
+}
+
+/// Counting-sort an edge pair list into CSR (offsets + flat targets).
+/// Consumes the pair list's order; duplicate edges are retained (real
+/// pages do repeat links; the frontier deduplicates).
+fn to_csr(n: usize, pairs: &mut Vec<(PageId, PageId)>) -> (Vec<u32>, Vec<PageId>) {
+    let mut counts = vec![0u32; n + 1];
+    for &(s, _) in pairs.iter() {
+        counts[s as usize + 1] += 1;
+    }
+    for i in 0..n {
+        counts[i + 1] += counts[i];
+    }
+    let offsets = counts.clone();
+    let mut flat = vec![0 as PageId; pairs.len()];
+    let mut cursor = offsets.clone();
+    for &(s, t) in pairs.iter() {
+        let c = &mut cursor[s as usize];
+        flat[*c as usize] = t;
+        *c += 1;
+    }
+    pairs.clear();
+    pairs.shrink_to_fit();
+    (offsets, flat)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GeneratorConfig;
+
+    fn small_thai() -> WebSpace {
+        GeneratorConfig::thai_like().scaled(5_000).build(7)
+    }
+
+    #[test]
+    fn invariants_hold() {
+        small_thai().check_invariants().unwrap();
+        GeneratorConfig::japanese_like()
+            .scaled(5_000)
+            .build(7)
+            .check_invariants()
+            .unwrap();
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = small_thai();
+        let b = small_thai();
+        assert_eq!(a.num_pages(), b.num_pages());
+        assert_eq!(a.num_edges(), b.num_edges());
+        assert_eq!(a.seeds(), b.seeds());
+        for p in (0..a.num_pages() as PageId).step_by(97) {
+            assert_eq!(a.meta(p), b.meta(p));
+            assert_eq!(a.outlinks(p), b.outlinks(p));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = GeneratorConfig::thai_like().scaled(5_000).build(1);
+        let b = GeneratorConfig::thai_like().scaled(5_000).build(2);
+        assert_ne!(a.num_edges(), b.num_edges());
+    }
+
+    #[test]
+    fn size_matches_request() {
+        let ws = small_thai();
+        let n = ws.num_pages() as f64;
+        assert!((n - 5_000.0).abs() / 5_000.0 < 0.02, "pages {n}");
+    }
+
+    #[test]
+    fn relevance_ratio_close_to_config() {
+        let ws = GeneratorConfig::thai_like().scaled(40_000).build(3);
+        let ratio = ws.total_relevant() as f64 / ws.total_ok_html() as f64;
+        assert!((ratio - 0.35).abs() < 0.05, "relevance ratio {ratio}");
+    }
+
+    #[test]
+    fn ok_html_ratio_close_to_config() {
+        let ws = GeneratorConfig::thai_like().scaled(40_000).build(3);
+        let ratio = ws.total_ok_html() as f64 / ws.num_pages() as f64;
+        assert!((ratio - 0.28).abs() < 0.04, "ok html ratio {ratio}");
+    }
+
+    #[test]
+    fn japanese_preset_ratio() {
+        let ws = GeneratorConfig::japanese_like().scaled(40_000).build(3);
+        let ratio = ws.total_relevant() as f64 / ws.total_ok_html() as f64;
+        assert!((ratio - 0.71).abs() < 0.06, "relevance ratio {ratio}");
+    }
+
+    #[test]
+    fn seeds_are_relevant_fronts() {
+        let ws = small_thai();
+        for &s in ws.seeds() {
+            assert!(ws.is_relevant(s), "seed {s} not relevant");
+            let host = ws.host_of(s);
+            assert_eq!(host.first_page, s, "seed must be a front page");
+            assert!(!host.island, "seed must not be an island");
+        }
+    }
+
+    #[test]
+    fn islands_have_no_external_inbound_besides_chain() {
+        let ws = small_thai();
+        // Collect island host ids and gateway membership.
+        let island_hosts: Vec<u32> = ws
+            .hosts()
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| h.island)
+            .map(|(i, _)| i as u32)
+            .collect();
+        assert!(!island_hosts.is_empty(), "no islands generated");
+        for p in ws.page_ids() {
+            let src_host = ws.meta(p).host;
+            for &t in ws.outlinks(p) {
+                let dst = ws.meta(t);
+                let dst_host_meta = ws.host_of(t);
+                if dst_host_meta.island && src_host != dst.host {
+                    // Cross-host edge into an island must come from a
+                    // chain page (island_depth > 0, irrelevant).
+                    let src = ws.meta(p);
+                    assert!(
+                        src.island_depth > 0 && src.lang != Some(ws.target_language()),
+                        "island {t} reachable from non-chain page {p}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_page_has_inbound_except_roots() {
+        let ws = small_thai();
+        let mut inbound = vec![false; ws.num_pages()];
+        for p in ws.page_ids() {
+            for &t in ws.outlinks(p) {
+                inbound[t as usize] = true;
+            }
+        }
+        let orphans = inbound.iter().filter(|&&b| !b).count();
+        // Only the host-tree root's front page may lack inbound links
+        // (random links usually cover even that); allow a whisker.
+        assert!(orphans <= 2, "{orphans} orphan pages");
+    }
+
+    #[test]
+    fn mean_degree_in_expected_band() {
+        let ws = small_thai();
+        let html = ws.total_ok_html();
+        let mean = ws.num_edges() as f64 / html as f64;
+        // mean_out_degree random links + backbone edges.
+        assert!((6.0..18.0).contains(&mean), "mean degree {mean}");
+    }
+
+    #[test]
+    fn mislabeled_pages_exist_but_are_minority() {
+        let ws = GeneratorConfig::thai_like().scaled(20_000).build(5);
+        let mut labeled = 0u32;
+        let mut mislabeled = 0u32;
+        for p in ws.page_ids() {
+            let m = ws.meta(p);
+            if !m.is_ok_html() {
+                continue;
+            }
+            if let Some(l) = m.labeled_charset {
+                labeled += 1;
+                if l != m.true_charset {
+                    mislabeled += 1;
+                }
+            }
+        }
+        assert!(labeled > 0);
+        let rate = mislabeled as f64 / labeled as f64;
+        assert!(rate > 0.005 && rate < 0.12, "mislabel rate {rate}");
+    }
+
+    #[test]
+    fn charsets_match_language() {
+        let ws = small_thai();
+        for p in ws.page_ids() {
+            let m = ws.meta(p);
+            if !m.is_ok_html() {
+                continue;
+            }
+            match m.lang.unwrap() {
+                Language::Thai => assert!(
+                    m.true_charset.is_thai_family() || m.true_charset == Charset::Utf8
+                ),
+                Language::Japanese => assert!(
+                    m.true_charset.is_japanese_family() || m.true_charset == Charset::Utf8
+                ),
+                Language::Korean => assert!(matches!(
+                    m.true_charset,
+                    Charset::EucKr | Charset::Utf8
+                )),
+                Language::Chinese => assert!(matches!(
+                    m.true_charset,
+                    Charset::Gb2312 | Charset::Utf8
+                )),
+                Language::Other => assert!(matches!(
+                    m.true_charset,
+                    Charset::Ascii | Charset::Latin1 | Charset::Utf8
+                )),
+            }
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! The [`WebSpace`]: a compact, immutable snapshot of a virtual web.
+//!
+//! Pages live in a struct-of-arrays layout with CSR adjacency — the
+//! representation that lets a few hundred thousand pages and millions of
+//! edges simulate at tens of millions of queue operations per second
+//! without pointer chasing. URL strings are *derived on demand* from
+//! (host, path-index) rather than stored: the simulator operates on
+//! [`PageId`]s and only materialises URLs for logs, examples and
+//! content-mode synthesis.
+
+use crate::page::{HostMeta, HttpStatus, PageId, PageKind, PageMeta};
+use langcrawl_charset::Language;
+
+/// An immutable virtual web space: pages, hosts, links, seeds.
+#[derive(Debug, Clone)]
+pub struct WebSpace {
+    pub(crate) pages: Vec<PageMeta>,
+    /// CSR offsets: outlinks of page `p` are `edges[offsets[p]..offsets[p+1]]`.
+    pub(crate) offsets: Vec<u32>,
+    pub(crate) edges: Vec<PageId>,
+    pub(crate) hosts: Vec<HostMeta>,
+    pub(crate) seeds: Vec<PageId>,
+    pub(crate) target: Language,
+    /// Seed the generator used — recorded so content synthesis is
+    /// reproducible per page.
+    pub(crate) gen_seed: u64,
+}
+
+impl WebSpace {
+    /// Number of URLs in the space (HTML or otherwise).
+    pub fn num_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Number of hosts.
+    pub fn num_hosts(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Number of directed links.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Metadata for a page.
+    #[inline]
+    pub fn meta(&self, p: PageId) -> &PageMeta {
+        &self.pages[p as usize]
+    }
+
+    /// Outlinks of a page (empty for failed and non-HTML resources).
+    #[inline]
+    pub fn outlinks(&self, p: PageId) -> &[PageId] {
+        let lo = self.offsets[p as usize] as usize;
+        let hi = self.offsets[p as usize + 1] as usize;
+        &self.edges[lo..hi]
+    }
+
+    /// Host metadata for a page.
+    #[inline]
+    pub fn host_of(&self, p: PageId) -> &HostMeta {
+        &self.hosts[self.pages[p as usize].host as usize]
+    }
+
+    /// All hosts.
+    pub fn hosts(&self) -> &[HostMeta] {
+        &self.hosts
+    }
+
+    /// The crawl's seed pages.
+    pub fn seeds(&self) -> &[PageId] {
+        &self.seeds
+    }
+
+    /// The language this space was generated for.
+    pub fn target_language(&self) -> Language {
+        self.target
+    }
+
+    /// The generator seed (content synthesis derives per-page streams
+    /// from it).
+    pub fn generation_seed(&self) -> u64 {
+        self.gen_seed
+    }
+
+    /// Ground truth: is this page relevant (an OK HTML page in the
+    /// target language)? This is what the *metrics* use; strategies only
+    /// ever see classifier verdicts.
+    #[inline]
+    pub fn is_relevant(&self, p: PageId) -> bool {
+        let m = &self.pages[p as usize];
+        m.is_ok_html() && m.lang == Some(self.target)
+    }
+
+    /// Count of relevant pages — the denominator of coverage (the paper's
+    /// "explicit recall", §3.4: computable because the trace is finite).
+    pub fn total_relevant(&self) -> usize {
+        (0..self.num_pages() as PageId)
+            .filter(|&p| self.is_relevant(p))
+            .count()
+    }
+
+    /// Count of OK HTML pages (Table 3's "Total HTML pages").
+    pub fn total_ok_html(&self) -> usize {
+        self.pages.iter().filter(|m| m.is_ok_html()).count()
+    }
+
+    /// The URL of a page, derived from host name and page position.
+    /// Page 0 of a host is its front page `/`; others get stable
+    /// directory-style paths.
+    pub fn url(&self, p: PageId) -> String {
+        let m = &self.pages[p as usize];
+        let host = &self.hosts[m.host as usize];
+        let idx = p - host.first_page;
+        if idx == 0 {
+            format!("http://{}/", host.name)
+        } else {
+            match m.kind {
+                PageKind::Html => {
+                    format!("http://{}/d{}/p{}.html", host.name, idx % 17, idx)
+                }
+                PageKind::Other => format!("http://{}/img/i{}.gif", host.name, idx),
+                PageKind::Failed => format!("http://{}/gone/g{}.html", host.name, idx),
+            }
+        }
+    }
+
+    /// Iterate over all page ids.
+    pub fn page_ids(&self) -> impl Iterator<Item = PageId> + '_ {
+        0..self.pages.len() as PageId
+    }
+
+    /// Fetch the page's HTTP status (what the virtual web space answers
+    /// to the simulator's visitor).
+    #[inline]
+    pub fn status(&self, p: PageId) -> HttpStatus {
+        self.pages[p as usize].status
+    }
+
+    /// Structural integrity check, used by tests and after log replay:
+    /// CSR well-formedness, edge targets in range, hosts contiguous,
+    /// seeds valid, non-HTML pages link-free.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.offsets.len() != self.pages.len() + 1 {
+            return Err("offsets length mismatch".into());
+        }
+        if self.offsets[0] != 0 || *self.offsets.last().unwrap() as usize != self.edges.len() {
+            return Err("offset endpoints wrong".into());
+        }
+        if self.offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("offsets not monotone".into());
+        }
+        let n = self.pages.len() as u32;
+        if let Some(&bad) = self.edges.iter().find(|&&t| t >= n) {
+            return Err(format!("edge target {bad} out of range"));
+        }
+        for (i, h) in self.hosts.iter().enumerate() {
+            let end = h.first_page as u64 + h.page_count as u64;
+            if end > n as u64 {
+                return Err(format!("host {i} extends past page table"));
+            }
+            for p in h.first_page..h.first_page + h.page_count {
+                if self.pages[p as usize].host as usize != i {
+                    return Err(format!("page {p} host field inconsistent"));
+                }
+            }
+        }
+        for &s in &self.seeds {
+            if s >= n {
+                return Err(format!("seed {s} out of range"));
+            }
+            if !self.pages[s as usize].is_ok_html() {
+                return Err(format!("seed {s} is not an OK HTML page"));
+            }
+        }
+        for p in 0..n {
+            let m = &self.pages[p as usize];
+            if m.kind != PageKind::Html && !self.outlinks(p).is_empty() {
+                return Err(format!("non-HTML page {p} has outlinks"));
+            }
+            if m.kind == PageKind::Html
+                && m.status == HttpStatus::Ok
+                && m.lang.is_none()
+            {
+                return Err(format!("OK HTML page {p} lacks a ground-truth language"));
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,51 @@
+//! # langcrawl-webgraph — the virtual web space
+//!
+//! The paper evaluates crawling strategies on a **trace-driven simulator**
+//! whose "virtual web space" is built from crawl logs of the real 2004
+//! Thai and Japanese web (§4, §5.1). Those logs are proprietary and long
+//! gone, so this crate reconstructs the *structure the experiments
+//! depend on* as a seeded synthetic generator:
+//!
+//! * **language locality** (§3's key assumption): hosts carry a language;
+//!   links prefer same-language targets; a tunable `locality` knob;
+//! * **hard-focused coverage ceiling**: a fraction of relevant hosts are
+//!   *islands*, reachable from the mainland only through chains of 1..=D
+//!   consecutive irrelevant pages — exactly the structure that makes
+//!   hard-focused stop at ~70% coverage on the paper's Thai dataset while
+//!   soft-focused reaches 100% (Fig. 3b) and limited-distance coverage
+//!   grows with N (Fig. 6c);
+//! * **dataset dilution**: most URLs in a real crawl log are not OK HTML
+//!   pages (the Thai log: ~14 M URLs, 3.9 M OK HTML). Non-HTML / non-OK
+//!   *leaf* URLs inflate the frontier and dilute harvest rate;
+//! * **charset ground truth vs labels** (§3 observation 3): every HTML
+//!   page carries a true charset and a possibly missing or *mislabeled*
+//!   META charset, so the classifier path has honest errors;
+//! * **Table 3 presets**: [`GeneratorConfig::thai_like`] (35% relevant,
+//!   weak locality) and [`GeneratorConfig::japanese_like`] (71% relevant,
+//!   strong locality).
+//!
+//! The result is a compact CSR graph ([`WebSpace`]) the simulator crawls
+//! in metadata mode, plus a content synthesizer ([`WebSpace::synthesize_page`])
+//! that renders any page as real HTML bytes in its true encoding for
+//! content-mode experiments, and a crawl-log format ([`logs`]) so a web
+//! space can be persisted and replayed exactly like the paper's traces.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod builder;
+pub mod config;
+pub mod generate;
+pub mod graph;
+pub mod index;
+pub mod logs;
+pub mod page;
+pub mod stats;
+pub mod synth;
+pub mod text;
+
+pub use config::GeneratorConfig;
+pub use graph::WebSpace;
+pub use page::{HostMeta, HttpStatus, PageId, PageKind, PageMeta};
+pub use stats::DatasetStats;

@@ -1,0 +1,182 @@
+//! Per-page and per-host metadata records — the schema of the crawl log.
+
+use langcrawl_charset::{Charset, Language};
+use serde::{Deserialize, Serialize};
+
+/// Page identifier: an index into the web space's page table. `u32`
+/// bounds the space at ~4 G pages, far beyond what fits in memory anyway,
+/// and halves edge-array memory versus `usize` (CSR edges dominate the
+/// footprint).
+pub type PageId = u32;
+
+/// HTTP status of a fetch, collapsed to the classes the simulation
+/// distinguishes. The paper's Table 3 counts "pages with OK status (200)"
+/// separately from the rest of the URL population.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HttpStatus {
+    /// 200 OK.
+    Ok,
+    /// 404 / 410 — the link rot that fills real crawl logs.
+    NotFound,
+    /// 5xx.
+    ServerError,
+    /// Connection-level failure (timeout, refused).
+    Unreachable,
+}
+
+impl HttpStatus {
+    /// Numeric code for log output.
+    pub fn code(self) -> u16 {
+        match self {
+            HttpStatus::Ok => 200,
+            HttpStatus::NotFound => 404,
+            HttpStatus::ServerError => 500,
+            HttpStatus::Unreachable => 0,
+        }
+    }
+
+    /// Parse a numeric code back into a status class.
+    pub fn from_code(code: u16) -> HttpStatus {
+        match code {
+            200 => HttpStatus::Ok,
+            404 | 410 => HttpStatus::NotFound,
+            500..=599 => HttpStatus::ServerError,
+            _ => HttpStatus::Unreachable,
+        }
+    }
+}
+
+/// What kind of resource a URL turned out to be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PageKind {
+    /// An OK HTML page — the only kind with outlinks and a language.
+    Html,
+    /// A non-HTML resource (image, PDF, archive…): fetched, counted, but
+    /// never relevant and never expanded.
+    Other,
+    /// A URL whose fetch failed (see its [`HttpStatus`]).
+    Failed,
+}
+
+/// Everything the virtual web space knows about one URL.
+///
+/// Field order and types are chosen for density: the page table is the
+/// second-largest allocation after the edge array.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PageMeta {
+    /// Host this page lives on (index into the host table).
+    pub host: u32,
+    /// Resource kind.
+    pub kind: PageKind,
+    /// Fetch status.
+    pub status: HttpStatus,
+    /// Ground-truth charset of the body (meaningful for HTML pages).
+    pub true_charset: Charset,
+    /// Charset declared in the page's META tag; `None` when the page has
+    /// no declaration. May disagree with `true_charset` (mislabeling).
+    pub labeled_charset: Option<Charset>,
+    /// Body size in bytes (drives transfer delay in the timing model).
+    pub size: u32,
+    /// Ground-truth language of the body. Needed independently of
+    /// `true_charset` because UTF-8 carries any language and charset
+    /// alone cannot say which.
+    pub lang: Option<Language>,
+    /// Island-chain depth: `0` for mainland pages; for pages on an island
+    /// approach chain or island host, the number of consecutive
+    /// irrelevant pages separating the island from the mainland.
+    pub island_depth: u8,
+}
+
+impl PageMeta {
+    /// Ground-truth language of the page body (`None` for non-HTML).
+    pub fn true_language(&self) -> Option<Language> {
+        if self.kind != PageKind::Html {
+            return None;
+        }
+        self.lang
+    }
+
+    /// Is this an OK HTML page (the denominator of Table 3)?
+    pub fn is_ok_html(&self) -> bool {
+        self.kind == PageKind::Html && self.status == HttpStatus::Ok
+    }
+}
+
+/// Per-host record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HostMeta {
+    /// Host name (`www.foo.ac.th`).
+    pub name: String,
+    /// The language of the site's content.
+    pub language: Language,
+    /// First page id on this host (pages of a host are contiguous).
+    pub first_page: PageId,
+    /// Number of pages on this host.
+    pub page_count: u32,
+    /// True when the host is a relevant *island*: reachable from the
+    /// mainland only through irrelevant pages.
+    pub island: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_codes_round_trip() {
+        for s in [
+            HttpStatus::Ok,
+            HttpStatus::NotFound,
+            HttpStatus::ServerError,
+            HttpStatus::Unreachable,
+        ] {
+            assert_eq!(HttpStatus::from_code(s.code()), s);
+        }
+    }
+
+    #[test]
+    fn ok_html_predicate() {
+        let mut m = PageMeta {
+            host: 0,
+            kind: PageKind::Html,
+            status: HttpStatus::Ok,
+            true_charset: Charset::Tis620,
+            labeled_charset: Some(Charset::Tis620),
+            size: 1000,
+            lang: Some(Language::Thai),
+            island_depth: 0,
+        };
+        assert!(m.is_ok_html());
+        m.status = HttpStatus::NotFound;
+        assert!(!m.is_ok_html());
+        m.status = HttpStatus::Ok;
+        m.kind = PageKind::Other;
+        assert!(!m.is_ok_html());
+    }
+
+    #[test]
+    fn true_language_follows_charset() {
+        let m = PageMeta {
+            host: 0,
+            kind: PageKind::Html,
+            status: HttpStatus::Ok,
+            true_charset: Charset::EucJp,
+            labeled_charset: None,
+            size: 1,
+            lang: Some(Language::Japanese),
+            island_depth: 0,
+        };
+        assert_eq!(m.true_language(), Some(Language::Japanese));
+        let f = PageMeta {
+            kind: PageKind::Failed,
+            ..m
+        };
+        assert_eq!(f.true_language(), None);
+    }
+
+    #[test]
+    fn page_meta_is_compact() {
+        // Guard against accidental bloat of the page table.
+        assert!(std::mem::size_of::<PageMeta>() <= 24);
+    }
+}

@@ -1,0 +1,240 @@
+//! Dataset statistics and reachability analysis.
+//!
+//! [`DatasetStats`] regenerates the paper's Table 3 for a synthetic web
+//! space. The reachability analyses compute, *structurally*, the ceilings
+//! the crawl experiments should then exhibit:
+//!
+//! * [`reachable_all`] — what any complete crawl can reach (soft-focused
+//!   coverage limit; 100% by generator construction);
+//! * [`reachable_relevant_only`] — expansion only from relevant pages
+//!   (the hard-focused coverage ceiling);
+//! * [`reachable_limited`] — expansion through at most `n` consecutive
+//!   irrelevant pages (the limited-distance ceiling per N, Fig. 6c).
+
+use crate::graph::WebSpace;
+use crate::page::PageId;
+use std::collections::VecDeque;
+
+/// Table 3 row for a generated dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Relevant (target-language) OK HTML pages.
+    pub relevant_html: usize,
+    /// Irrelevant OK HTML pages.
+    pub irrelevant_html: usize,
+    /// Total OK HTML pages.
+    pub total_html: usize,
+    /// Total URLs of any kind.
+    pub total_urls: usize,
+    /// Hosts.
+    pub hosts: usize,
+    /// Directed links.
+    pub edges: usize,
+    /// Relevance ratio (the paper's language-specificity indicator).
+    pub relevance_ratio: f64,
+}
+
+impl DatasetStats {
+    /// Compute the statistics of a web space.
+    pub fn compute(ws: &WebSpace) -> DatasetStats {
+        let total_html = ws.total_ok_html();
+        let relevant_html = ws.total_relevant();
+        DatasetStats {
+            relevant_html,
+            irrelevant_html: total_html - relevant_html,
+            total_html,
+            total_urls: ws.num_pages(),
+            hosts: ws.num_hosts(),
+            edges: ws.num_edges(),
+            relevance_ratio: relevant_html as f64 / total_html.max(1) as f64,
+        }
+    }
+}
+
+/// BFS from the seeds following every link: the set any complete crawl
+/// can visit. Returns a visited bitmap.
+pub fn reachable_all(ws: &WebSpace) -> Vec<bool> {
+    let mut visited = vec![false; ws.num_pages()];
+    let mut queue: VecDeque<PageId> = VecDeque::new();
+    for &s in ws.seeds() {
+        if !visited[s as usize] {
+            visited[s as usize] = true;
+            queue.push_back(s);
+        }
+    }
+    while let Some(p) = queue.pop_front() {
+        for &t in ws.outlinks(p) {
+            if !visited[t as usize] {
+                visited[t as usize] = true;
+                queue.push_back(t);
+            }
+        }
+    }
+    visited
+}
+
+/// BFS that only expands links found on *relevant* pages — the set a
+/// hard-focused crawler (with a perfect classifier) can visit.
+pub fn reachable_relevant_only(ws: &WebSpace) -> Vec<bool> {
+    let mut visited = vec![false; ws.num_pages()];
+    let mut queue: VecDeque<PageId> = VecDeque::new();
+    for &s in ws.seeds() {
+        if !visited[s as usize] {
+            visited[s as usize] = true;
+            queue.push_back(s);
+        }
+    }
+    while let Some(p) = queue.pop_front() {
+        if !ws.is_relevant(p) {
+            continue; // fetched, classified irrelevant, links discarded
+        }
+        for &t in ws.outlinks(p) {
+            if !visited[t as usize] {
+                visited[t as usize] = true;
+                queue.push_back(t);
+            }
+        }
+    }
+    visited
+}
+
+/// BFS that expands links through at most `n` consecutive irrelevant
+/// pages — the limited-distance crawl's reachable set. A page may be
+/// visited at several distances; the minimal distance decides expansion,
+/// handled by processing states `(page, consec)` with `consec` strictly
+/// decreasing on improvement.
+pub fn reachable_limited(ws: &WebSpace, n: u8) -> Vec<bool> {
+    // best[p] = minimal consecutive-irrelevant count with which p was
+    // reached (u8::MAX = unreached).
+    let mut best = vec![u8::MAX; ws.num_pages()];
+    let mut queue: VecDeque<PageId> = VecDeque::new();
+    for &s in ws.seeds() {
+        if best[s as usize] == u8::MAX {
+            best[s as usize] = 0;
+            queue.push_back(s);
+        }
+    }
+    while let Some(p) = queue.pop_front() {
+        let consec = if ws.is_relevant(p) {
+            0
+        } else {
+            best[p as usize]
+        };
+        // Expansion allowed while the run of irrelevant pages including
+        // this one is at most n.
+        if consec > n {
+            continue;
+        }
+        for &t in ws.outlinks(p) {
+            let t_consec = if ws.is_relevant(t) {
+                0
+            } else {
+                consec.saturating_add(1)
+            };
+            if t_consec < best[t as usize] {
+                best[t as usize] = t_consec;
+                queue.push_back(t);
+            }
+        }
+    }
+    best.iter().map(|&b| b != u8::MAX).collect()
+}
+
+/// Fraction of relevant pages inside a reachability bitmap.
+pub fn relevant_coverage(ws: &WebSpace, visited: &[bool]) -> f64 {
+    let total = ws.total_relevant();
+    if total == 0 {
+        return 0.0;
+    }
+    let covered = ws
+        .page_ids()
+        .filter(|&p| visited[p as usize] && ws.is_relevant(p))
+        .count();
+    covered as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GeneratorConfig;
+
+    fn space() -> WebSpace {
+        GeneratorConfig::thai_like().scaled(20_000).build(17)
+    }
+
+    #[test]
+    fn table3_shape() {
+        let ws = space();
+        let s = DatasetStats::compute(&ws);
+        assert_eq!(s.relevant_html + s.irrelevant_html, s.total_html);
+        assert!(s.total_html < s.total_urls);
+        assert!((s.relevance_ratio - 0.35).abs() < 0.05);
+    }
+
+    /// The generator's central guarantee: everything is reachable from
+    /// the seeds, so a complete (soft-focused) crawl covers 100%.
+    #[test]
+    fn everything_reachable_from_seeds() {
+        let ws = space();
+        let visited = reachable_all(&ws);
+        let unreached = visited.iter().filter(|&&v| !v).count();
+        assert_eq!(unreached, 0, "{unreached} unreachable pages");
+    }
+
+    /// Hard-focused ceiling ≈ 1 − island_mass (Fig. 3b's ~70%).
+    #[test]
+    fn hard_ceiling_tracks_island_mass() {
+        let ws = space();
+        let cov = relevant_coverage(&ws, &reachable_relevant_only(&ws));
+        assert!(
+            (0.58..0.85).contains(&cov),
+            "hard-focused structural ceiling {cov}"
+        );
+    }
+
+    /// Limited-distance coverage grows with N toward 100% (Fig. 6c).
+    #[test]
+    fn limited_coverage_monotone_in_n() {
+        let ws = space();
+        let mut prev = 0.0;
+        for n in 1..=5u8 {
+            let cov = relevant_coverage(&ws, &reachable_limited(&ws, n));
+            assert!(cov >= prev - 1e-12, "N={n}: {cov} < {prev}");
+            prev = cov;
+        }
+        // With N = max island depth every island is reachable.
+        let full = relevant_coverage(&ws, &reachable_limited(&ws, 5));
+        assert!(full > 0.999, "N=5 coverage {full}");
+        // N=1 strictly below N=5 (depth spread is real).
+        let n1 = relevant_coverage(&ws, &reachable_limited(&ws, 1));
+        assert!(n1 < full - 0.02, "N=1 {n1} vs N=5 {full}");
+    }
+
+    /// Limited with huge N equals reachable_all on relevant pages.
+    #[test]
+    fn limited_large_n_equals_all() {
+        let ws = GeneratorConfig::thai_like().scaled(8_000).build(5);
+        let all = relevant_coverage(&ws, &reachable_all(&ws));
+        let lim = relevant_coverage(&ws, &reachable_limited(&ws, 100));
+        assert!((all - lim).abs() < 1e-12);
+    }
+
+    /// Hard ceiling is the N=0 case of the limited analysis.
+    #[test]
+    fn hard_equals_limited_zero() {
+        let ws = GeneratorConfig::thai_like().scaled(8_000).build(5);
+        let hard = relevant_coverage(&ws, &reachable_relevant_only(&ws));
+        let lim0 = relevant_coverage(&ws, &reachable_limited(&ws, 0));
+        assert!((hard - lim0).abs() < 1e-12, "hard {hard} vs limited0 {lim0}");
+    }
+
+    /// Japanese preset: smaller island mass ⇒ higher hard ceiling.
+    #[test]
+    fn japanese_hard_ceiling_higher() {
+        let th = GeneratorConfig::thai_like().scaled(15_000).build(9);
+        let jp = GeneratorConfig::japanese_like().scaled(15_000).build(9);
+        let th_cov = relevant_coverage(&th, &reachable_relevant_only(&th));
+        let jp_cov = relevant_coverage(&jp, &reachable_relevant_only(&jp));
+        assert!(jp_cov > th_cov, "jp {jp_cov} <= th {th_cov}");
+    }
+}

@@ -1,0 +1,68 @@
+//! Content-mode crawling: the whole stack at the byte level.
+//!
+//! Everything the crawler learns here, it learns the way a real crawler
+//! would: pages are rendered to HTML bytes in their true charset, the
+//! classifier reads the META tag and runs the byte-distribution
+//! detector, links are extracted from the markup and resolved as URL
+//! strings. Compare the result with the trace-replay (metadata-mode)
+//! simulator — they must tell the same story.
+//!
+//! ```sh
+//! cargo run --release --example content_mode
+//! ```
+
+use langcrawl::core::content::{ContentClassifier, ContentConfig, ContentSimulator};
+use langcrawl::prelude::*;
+
+fn main() {
+    let space = GeneratorConfig::thai_like().scaled(8_000).build(21);
+    println!(
+        "space: {} URLs, {} relevant Thai pages\n",
+        space.num_pages(),
+        space.total_relevant()
+    );
+
+    // Metadata mode: replay recorded charsets (the paper's §4 simulator).
+    let mut meta_sim = Simulator::new(&space, SimConfig::default());
+    let replay = meta_sim.run(
+        &mut SimpleStrategy::hard(),
+        &MetaClassifier::target(Language::Thai),
+    );
+
+    // Content mode, META-only bytes path: must agree exactly.
+    let mut content_sim = ContentSimulator::new(
+        &space,
+        ContentConfig {
+            classifier: ContentClassifier::MetaOnly,
+            ..ContentConfig::default()
+        },
+    );
+    let bytes_meta = content_sim.run(&mut SimpleStrategy::hard());
+
+    // Content mode, composite classifier: the detector rescues pages the
+    // META label lies about.
+    let mut composite_sim = ContentSimulator::new(&space, ContentConfig::default());
+    let bytes_composite = composite_sim.run(&mut SimpleStrategy::hard());
+
+    println!(
+        "{:<40} {:>9} {:>9} {:>9}",
+        "hard-focused crawl", "crawled", "harvest", "coverage"
+    );
+    for r in [&replay, &bytes_meta, &bytes_composite] {
+        println!(
+            "{:<40} {:>9} {:>8.1}% {:>8.1}%",
+            format!("{} [{}]", r.strategy, r.classifier),
+            r.crawled,
+            100.0 * r.final_harvest(),
+            100.0 * r.final_coverage()
+        );
+    }
+
+    assert_eq!(replay.samples, bytes_meta.samples, "modes must agree exactly");
+    println!(
+        "\nmetadata replay and byte-level META crawl agree sample-for-sample;\n\
+         the composite classifier adds {:.1} coverage points by detecting the\n\
+         true encoding of mislabeled pages (paper §3, observation 3).",
+        100.0 * (bytes_composite.final_coverage() - bytes_meta.final_coverage())
+    );
+}

@@ -1,0 +1,113 @@
+//! Writing your own crawl strategy against the public `Strategy` trait.
+//!
+//! Implements a "host-gated" focused strategy the paper does not have:
+//! like soft-focused, but it remembers per host how many relevant pages
+//! it has seen there, and demotes links pointing into hosts that have
+//! produced only irrelevant pages so far. Then it races the built-ins.
+//!
+//! ```sh
+//! cargo run --release --example custom_strategy
+//! ```
+
+use langcrawl::core::queue::Entry;
+use langcrawl::core::strategy::PageView;
+use langcrawl::prelude::*;
+use langcrawl::webgraph::WebSpace as Space;
+use std::collections::HashMap;
+
+/// Soft-focused with per-host reputation: three priority levels —
+/// 0: link from a relevant page into a host that has already yielded
+///    relevant pages (exploit),
+/// 1: link from a relevant page into a cold host (explore),
+/// 2: link from an irrelevant page (as soft-focused's low tier).
+struct HostGated<'a> {
+    ws: &'a Space,
+    relevant_seen: HashMap<u32, u32>,
+    irrelevant_seen: HashMap<u32, u32>,
+}
+
+impl<'a> HostGated<'a> {
+    fn new(ws: &'a Space) -> Self {
+        HostGated {
+            ws,
+            relevant_seen: HashMap::new(),
+            irrelevant_seen: HashMap::new(),
+        }
+    }
+
+    /// Has this host ever yielded a relevant page?
+    fn proven(&self, host: u32) -> bool {
+        self.relevant_seen.get(&host).copied().unwrap_or(0) > 0
+    }
+}
+
+impl Strategy for HostGated<'_> {
+    fn name(&self) -> String {
+        "host-gated soft".into()
+    }
+
+    fn levels(&self) -> usize {
+        3
+    }
+
+    fn admit(&mut self, view: &PageView<'_>, out: &mut Vec<Entry>) {
+        let host = self.ws.meta(view.page).host;
+        if view.relevance > 0.5 {
+            *self.relevant_seen.entry(host).or_default() += 1;
+        } else {
+            *self.irrelevant_seen.entry(host).or_default() += 1;
+        }
+        for &t in view.outlinks {
+            // Exploit proven hosts first; explore cold hosts second;
+            // links from irrelevant pages last (as in soft-focused).
+            let priority = if view.relevance <= 0.5 {
+                2
+            } else if self.proven(self.ws.meta(t).host) {
+                0
+            } else {
+                1
+            };
+            out.push(Entry {
+                page: t,
+                priority,
+                distance: 0,
+            });
+        }
+    }
+}
+
+fn main() {
+    let space = GeneratorConfig::thai_like().scaled(40_000).build(7);
+    let classifier = MetaClassifier::target(Language::Thai);
+    let early = space.num_pages() as u64 / 20;
+
+    println!(
+        "{:<22} {:>13} {:>10} {:>10} {:>10}",
+        "strategy", "harvest@1/20", "harvest", "coverage", "max queue"
+    );
+    let run = |mut s: Box<dyn Strategy + '_>| {
+        let mut sim = Simulator::new(&space, SimConfig::default());
+        let r = sim.run(s.as_mut(), &classifier);
+        println!(
+            "{:<22} {:>12.1}% {:>9.1}% {:>9.1}% {:>10}",
+            r.strategy,
+            100.0 * r.harvest_at(early),
+            100.0 * r.final_harvest(),
+            100.0 * r.final_coverage(),
+            r.max_queue
+        );
+        r
+    };
+
+    run(Box::new(BreadthFirst::new()));
+    let soft = run(Box::new(SimpleStrategy::soft()));
+    let gated = run(Box::new(HostGated::new(&space)));
+
+    println!(
+        "\nhost-gated vs plain soft at the 1/20 mark: {:+.1} points of harvest, \
+         same 100% coverage guarantee ({} vs {} crawled)",
+        100.0 * (gated.harvest_at(early) - soft.harvest_at(early)),
+        gated.crawled,
+        soft.crawled
+    );
+}

@@ -1,0 +1,54 @@
+//! The timing extension: what politeness actually costs an archive crawl.
+//!
+//! Runs the event-driven simulator (per-server access intervals +
+//! transfer delays — the paper's §6 future work) and answers the
+//! operational question a crawl engineer asks: "how long will the crawl
+//! take, and how many connections are worth renting?"
+//!
+//! ```sh
+//! cargo run --release --example politeness_timing
+//! ```
+
+use langcrawl::core::timing::{run_timed, TimingConfig};
+use langcrawl::prelude::*;
+
+fn main() {
+    let space = GeneratorConfig::thai_like().scaled(20_000).build(11);
+    let classifier = MetaClassifier::target(Language::Thai);
+    println!(
+        "space: {} URLs on {} hosts; strategy: prioritized limited-distance N=2\n",
+        space.num_pages(),
+        space.num_hosts()
+    );
+
+    println!(
+        "{:>12} {:>12} {:>14} {:>10} {:>12}",
+        "connections", "delay [ms]", "wall clock", "pages/s", "utilization"
+    );
+    for connections in [8usize, 32, 128] {
+        for delay in [500u64, 2_000] {
+            let cfg = TimingConfig {
+                connections,
+                per_server_delay_ms: delay,
+                ..TimingConfig::default()
+            };
+            let mut strat = LimitedDistanceStrategy::prioritized(2);
+            let r = run_timed(&space, &cfg, &mut strat, &classifier);
+            println!(
+                "{:>12} {:>12} {:>13.0}s {:>10.1} {:>11.1}%",
+                connections,
+                delay,
+                r.wall_clock_ms as f64 / 1000.0,
+                r.pages_per_second(),
+                100.0 * r.utilization
+            );
+        }
+    }
+
+    println!(
+        "\nthe crawl is politeness-bound, not bandwidth-bound: beyond a few dozen\n\
+         connections, extra parallelism only idles (utilization collapses) because\n\
+         each host still serves at most one request per delay interval — the\n\
+         phenomenon the paper's untimed simulator could not express (§4, §6)."
+    );
+}

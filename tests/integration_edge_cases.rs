@@ -1,0 +1,146 @@
+//! Edge cases and failure injection: degenerate spaces, adversarial
+//! labels, and boundary configurations the figure runs never hit.
+
+use langcrawl::prelude::*;
+use langcrawl::webgraph::builder::WebSpaceBuilder;
+
+fn crawl(ws: &WebSpace, s: &mut dyn Strategy) -> CrawlReport {
+    Simulator::new(ws, SimConfig::default()).run(s, &MetaClassifier::target(Language::Thai))
+}
+
+/// Every page lies about its charset: the META classifier sees nothing
+/// relevant, so hard-focused dies right after the seeds while soft still
+/// covers everything (admission in soft mode never requires relevance).
+#[test]
+fn universally_mislabeled_space() {
+    let mut b = WebSpaceBuilder::new(Language::Thai);
+    b.host("www.a.co.th", Language::Thai);
+    let pages: Vec<_> = (0..6).map(|_| b.page(Language::Thai)).collect();
+    b.chain(&pages).seed(pages[0]);
+    for &p in &pages {
+        b.relabel(p, Some(Charset::Latin1));
+    }
+    let ws = b.build();
+
+    let hard = crawl(&ws, &mut SimpleStrategy::hard());
+    // Seed fetched, judged irrelevant, links discarded.
+    assert_eq!(hard.crawled, 1);
+    let soft = crawl(&ws, &mut SimpleStrategy::soft());
+    assert_eq!(soft.crawled, 6);
+    assert!((soft.final_coverage() - 1.0).abs() < 1e-12);
+    // Metrics use ground truth, so harvest is 100% despite the labels.
+    assert!((soft.final_harvest() - 1.0).abs() < 1e-12);
+}
+
+/// Pages with no META at all: same failure mode, one-sidedly.
+#[test]
+fn label_free_space() {
+    let mut b = WebSpaceBuilder::new(Language::Thai);
+    b.host("www.a.co.th", Language::Thai);
+    let p0 = b.page(Language::Thai);
+    let p1 = b.page(Language::Thai);
+    b.link(p0, p1).seed(p0);
+    b.relabel(p0, None).relabel(p1, None);
+    let ws = b.build();
+    let hard = crawl(&ws, &mut SimpleStrategy::hard());
+    assert_eq!(hard.crawled, 1, "no label ⇒ judged irrelevant ⇒ no expansion");
+    // The oracle is unaffected by labels.
+    let r = Simulator::new(&ws, SimConfig::default()).run(
+        &mut SimpleStrategy::hard(),
+        &OracleClassifier::target(Language::Thai),
+    );
+    assert_eq!(r.crawled, 2);
+}
+
+/// A single-page web space.
+#[test]
+fn single_page_space() {
+    let mut b = WebSpaceBuilder::new(Language::Thai);
+    b.host("www.only.co.th", Language::Thai);
+    let p = b.page(Language::Thai);
+    b.seed(p);
+    let ws = b.build();
+    for s in [0u8, 1] {
+        let mut strat: Box<dyn Strategy> = if s == 0 {
+            Box::new(BreadthFirst::new())
+        } else {
+            Box::new(LimitedDistanceStrategy::prioritized(4))
+        };
+        let r = crawl(&ws, strat.as_mut());
+        assert_eq!(r.crawled, 1);
+        assert!((r.final_coverage() - 1.0).abs() < 1e-12);
+        assert_eq!(r.max_queue, 1);
+    }
+}
+
+/// Link cycles must terminate (visited-set dedup).
+#[test]
+fn cycles_terminate() {
+    let mut b = WebSpaceBuilder::new(Language::Thai);
+    b.host("www.loop.co.th", Language::Thai);
+    let p0 = b.page(Language::Thai);
+    let p1 = b.page(Language::Thai);
+    let p2 = b.page(Language::Thai);
+    b.chain(&[p0, p1, p2]);
+    b.link(p2, p0); // close the cycle
+    b.link(p1, p1); // self-loop
+    b.seed(p0);
+    let ws = b.build();
+    let r = crawl(&ws, &mut SimpleStrategy::soft());
+    assert_eq!(r.crawled, 3);
+}
+
+/// Duplicate seeds and duplicate links are both tolerated.
+#[test]
+fn duplicate_seeds_and_links() {
+    let mut b = WebSpaceBuilder::new(Language::Thai);
+    b.host("www.dup.co.th", Language::Thai);
+    let p0 = b.page(Language::Thai);
+    let p1 = b.page(Language::Thai);
+    b.link(p0, p1).link(p0, p1).link(p0, p1);
+    b.seed(p0).seed(p0);
+    let ws = b.build();
+    let r = crawl(&ws, &mut BreadthFirst::new());
+    assert_eq!(r.crawled, 2);
+}
+
+/// Near-degenerate generator configs still produce valid, crawlable
+/// spaces at both relevance extremes.
+#[test]
+fn generator_extremes() {
+    for relevance in [0.05f64, 0.92] {
+        let mut cfg = GeneratorConfig::thai_like().scaled(3_000);
+        cfg.relevance_ratio = relevance;
+        // Keep purity above the ratio's implied host fraction bounds.
+        cfg.host_purity = 0.95;
+        let ws = cfg.build(13);
+        ws.check_invariants().unwrap();
+        let r = crawl(&ws, &mut SimpleStrategy::soft());
+        assert!((r.final_coverage() - 1.0).abs() < 1e-9, "relevance {relevance}");
+    }
+}
+
+/// A crawl budget of 1 fetches exactly the first seed and reports sanely.
+#[test]
+fn budget_of_one() {
+    let ws = GeneratorConfig::thai_like().scaled(2_000).build(3);
+    let mut sim = Simulator::new(&ws, SimConfig::default().with_max_pages(1));
+    let r = sim.run(
+        &mut SimpleStrategy::soft(),
+        &MetaClassifier::target(Language::Thai),
+    );
+    assert_eq!(r.crawled, 1);
+    assert!(r.final_harvest() <= 1.0);
+    assert_eq!(r.samples.last().unwrap().crawled, 1);
+}
+
+/// Limited-distance with N = u8::MAX behaves like soft coverage-wise
+/// (saturating arithmetic must not wrap).
+#[test]
+fn saturating_distance_arithmetic() {
+    let ws = GeneratorConfig::thai_like().scaled(2_000).build(3);
+    let soft = crawl(&ws, &mut SimpleStrategy::soft());
+    let huge = crawl(&ws, &mut LimitedDistanceStrategy::non_prioritized(u8::MAX));
+    assert_eq!(huge.relevant_crawled, soft.relevant_crawled);
+    assert_eq!(huge.crawled, soft.crawled);
+}

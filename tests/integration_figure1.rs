@@ -1,0 +1,146 @@
+//! The paper's Figure 1, literally.
+//!
+//! Fig. 1 illustrates the limited-distance strategy with two chain
+//! diagrams: a relevant page followed by runs of irrelevant pages
+//! (n = 1, 2, …) ending in relevant pages again. With budget N the
+//! crawler must traverse every run of length ≤ N and stop inside any
+//! run longer than N. These tests build those exact diagrams with the
+//! [`langcrawl::webgraph::builder::WebSpaceBuilder`] and drive the real
+//! simulator over them.
+
+use langcrawl::prelude::*;
+use langcrawl::webgraph::builder::WebSpaceBuilder;
+use langcrawl::webgraph::PageId;
+
+/// Build one Fig.-1 path: seed (relevant) → d irrelevant pages →
+/// relevant terminal. Returns (space, terminal id).
+fn chain_space(d: usize) -> (WebSpace, PageId) {
+    let mut b = WebSpaceBuilder::new(Language::Thai);
+    b.host("www.start.co.th", Language::Thai);
+    let seed = b.page(Language::Thai);
+    b.seed(seed);
+    b.host("www.foreign.com", Language::Other);
+    let mut prev = seed;
+    for _ in 0..d {
+        let irr = b.page(Language::Other);
+        b.link(prev, irr);
+        prev = irr;
+    }
+    b.host("www.island.co.th", Language::Thai);
+    let terminal = b.page(Language::Thai);
+    b.link(prev, terminal);
+    (b.build(), terminal)
+}
+
+fn crawl(ws: &WebSpace, strategy: &mut dyn Strategy) -> CrawlReport {
+    Simulator::new(ws, SimConfig::default().with_visit_recording())
+        .run(strategy, &MetaClassifier::target(Language::Thai))
+}
+
+/// Fig. 1, upper diagram (N = 2): runs of 1 and 2 irrelevant pages are
+/// traversed; a run of 3 is not.
+#[test]
+fn figure1_n2_semantics() {
+    for (depth, reachable) in [(1usize, true), (2, true), (3, false)] {
+        let (ws, terminal) = chain_space(depth);
+        let mut strat = LimitedDistanceStrategy::non_prioritized(2);
+        let r = crawl(&ws, &mut strat);
+        let visited = r.visited.contains(&terminal);
+        assert_eq!(
+            visited, reachable,
+            "depth {depth} with N=2: visited={visited}"
+        );
+    }
+}
+
+/// Fig. 1, lower diagram (N = 3): the run of 3 becomes traversable.
+#[test]
+fn figure1_n3_semantics() {
+    for (depth, reachable) in [(2usize, true), (3, true), (4, false)] {
+        let (ws, terminal) = chain_space(depth);
+        let mut strat = LimitedDistanceStrategy::non_prioritized(3);
+        let r = crawl(&ws, &mut strat);
+        assert_eq!(r.visited.contains(&terminal), reachable, "depth {depth}");
+    }
+}
+
+/// A relevant page mid-path resets the irrelevant run — the "consecutive"
+/// in "N consecutive irrelevant pages".
+#[test]
+fn relevant_page_resets_the_run() {
+    // seed → irr → irr → REL → irr → irr → terminal, with N = 2:
+    // both 2-runs are within budget because the middle page resets.
+    let mut b = WebSpaceBuilder::new(Language::Thai);
+    b.host("www.start.co.th", Language::Thai);
+    let seed = b.page(Language::Thai);
+    b.seed(seed);
+    b.host("www.bridge.com", Language::Other);
+    let i1 = b.page(Language::Other);
+    let i2 = b.page(Language::Other);
+    let i3 = b.page(Language::Other);
+    let i4 = b.page(Language::Other);
+    b.host("www.middle.co.th", Language::Thai);
+    let mid = b.page(Language::Thai);
+    b.host("www.end.co.th", Language::Thai);
+    let end = b.page(Language::Thai);
+    b.chain(&[seed, i1, i2, mid, i3, i4, end]);
+    let ws = b.build();
+
+    let r = crawl(&ws, &mut LimitedDistanceStrategy::non_prioritized(2));
+    assert!(r.visited.contains(&end), "reset run must allow the full path");
+
+    // Without the reset (no relevant middle page) the same total of four
+    // irrelevant pages exceeds N = 2.
+    let (ws2, terminal2) = chain_space(4);
+    let r2 = crawl(&ws2, &mut LimitedDistanceStrategy::non_prioritized(2));
+    assert!(!r2.visited.contains(&terminal2));
+}
+
+/// Hard-focused is the N = 0 diagram: it fetches the first irrelevant
+/// page but never expands it.
+#[test]
+fn hard_focused_is_n_zero() {
+    let (ws, terminal) = chain_space(1);
+    let r = crawl(&ws, &mut SimpleStrategy::hard());
+    assert!(!r.visited.contains(&terminal));
+    // The irrelevant page itself was fetched (links from the relevant
+    // seed are admitted) — it is its OUTLINKS that were discarded.
+    assert_eq!(r.crawled, 2);
+}
+
+/// Soft-focused traverses any depth eventually.
+#[test]
+fn soft_focused_has_no_depth_limit() {
+    let (ws, terminal) = chain_space(7);
+    let r = crawl(&ws, &mut SimpleStrategy::soft());
+    assert!(r.visited.contains(&terminal));
+    assert!((r.final_coverage() - 1.0).abs() < 1e-12);
+}
+
+/// The prioritized mode crawls near-relevant URLs first: on a diamond
+/// with a short and a long path, the short path's pages are fetched
+/// earlier.
+#[test]
+fn prioritized_mode_orders_by_distance() {
+    let mut b = WebSpaceBuilder::new(Language::Thai);
+    b.host("www.start.co.th", Language::Thai);
+    let seed = b.page(Language::Thai);
+    b.seed(seed);
+    b.host("www.far.com", Language::Other);
+    let far1 = b.page(Language::Other);
+    let far2 = b.page(Language::Other);
+    b.host("www.near.co.th", Language::Thai);
+    let near = b.page(Language::Thai);
+    // seed links to both a relevant page and a 2-deep irrelevant chain.
+    b.link(seed, far1);
+    b.link(far1, far2);
+    b.link(seed, near);
+    let ws = b.build();
+
+    let r = crawl(&ws, &mut LimitedDistanceStrategy::prioritized(3));
+    let pos = |p: PageId| r.visited.iter().position(|&v| v == p).unwrap();
+    assert!(
+        pos(near) < pos(far2),
+        "distance-0 page must be fetched before the distance-2 page"
+    );
+}
