@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# The full CI gate, runnable locally. The workspace has zero external
+# dependencies, so every step runs --offline by design — if a dependency
+# ever sneaks in, the build step fails here first.
+set -eu
+
+echo "==> cargo build --release --offline"
+cargo build --workspace --release --offline
+
+echo "==> cargo test -q --offline"
+cargo test --workspace -q --offline
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> ci: all green"

@@ -1,44 +1,95 @@
-//! Criterion microbenches for the hot paths of the stack:
-//! URL queue operations, charset detection, HTML link extraction,
-//! web-space generation, and end-to-end simulator throughput.
+//! Self-contained microbenches for the hot paths of the stack: URL
+//! queue operations, charset detection, HTML link extraction, web-space
+//! generation, end-to-end simulator throughput — and the cost of the
+//! event-sink seam the layered engine introduced.
 //!
 //! These are the numbers that justify the perf-relevant design choices
-//! in DESIGN.md (bucketed queue, CSR graph, byte-level HTML scanning).
+//! in DESIGN.md (bucketed queue, CSR graph, byte-level HTML scanning,
+//! monomorphic engine loop). No external harness: each bench warms up,
+//! runs until a fixed time budget, and reports min/median wall time.
+//! `LANGCRAWL_SCALE` sets the space size for the simulator benches
+//! (default 50k here; the DESIGN.md overhead figure uses 200k).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use langcrawl_charset::encode::{encode_japanese, encode_thai, japanese_demo_tokens, thai_demo_tokens};
+use langcrawl_bench::runner::env_scale;
+use langcrawl_charset::encode::{
+    encode_japanese, encode_thai, japanese_demo_tokens, thai_demo_tokens,
+};
 use langcrawl_charset::{detect, Charset};
 use langcrawl_core::classifier::OracleClassifier;
 use langcrawl_core::queue::{Entry, UrlQueue};
 use langcrawl_core::sim::{SimConfig, Simulator};
-use langcrawl_core::strategy::{LimitedDistanceStrategy, SimpleStrategy};
+use langcrawl_core::strategy::{LimitedDistanceStrategy, SimpleStrategy, Strategy};
+use langcrawl_core::{CrawlEngine, EngineConfig};
 use langcrawl_html::{extract_links, extract_meta_charset};
 use langcrawl_url::{normalize, resolve, Url};
 use langcrawl_webgraph::GeneratorConfig;
 use std::hint::black_box;
+use std::time::{Duration, Instant};
 
-fn bench_queue(c: &mut Criterion) {
-    let mut g = c.benchmark_group("queue");
-    g.throughput(Throughput::Elements(100_000));
-    g.bench_function("push_pop_100k_2levels", |b| {
-        b.iter(|| {
-            let mut q = UrlQueue::new(100_000, 2);
-            for i in 0..100_000u32 {
-                q.push(Entry {
-                    page: i,
-                    priority: (i % 2) as u8,
-                    distance: 0,
-                });
-            }
-            let mut n = 0u32;
-            while let Some(e) = q.pop() {
-                n = n.wrapping_add(e.page);
-            }
-            black_box(n)
-        })
+/// Run `f` repeatedly for ~`budget`, after one warmup call. Returns the
+/// per-iteration minimum and median.
+fn measure<R>(budget: Duration, mut f: impl FnMut() -> R) -> (Duration, Duration) {
+    black_box(f());
+    let mut times = Vec::new();
+    let start = Instant::now();
+    while start.elapsed() < budget || times.len() < 3 {
+        let t = Instant::now();
+        black_box(f());
+        times.push(t.elapsed());
+        if times.len() >= 1_000 {
+            break;
+        }
+    }
+    times.sort();
+    (times[0], times[times.len() / 2])
+}
+
+fn fmt(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.1} µs", ns as f64 / 1_000.0)
+    } else {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    }
+}
+
+/// One bench line: name, timings, optional throughput from `units/iter`.
+fn bench<R>(name: &str, units: Option<(f64, &str)>, f: impl FnMut() -> R) {
+    let (min, median) = measure(Duration::from_millis(200), f);
+    let rate = match units {
+        Some((n, unit)) => format!("  ({:.1} M{unit}/s)", n / median.as_secs_f64() / 1.0e6),
+        None => String::new(),
+    };
+    println!(
+        "  {name:<40} min {:>10}  median {:>10}{rate}",
+        fmt(min),
+        fmt(median)
+    );
+}
+
+fn bench_queue() {
+    println!("queue:");
+    bench("push_pop_100k_2levels", Some((100_000.0, "ops")), || {
+        let mut q = UrlQueue::new(100_000, 2);
+        for i in 0..100_000u32 {
+            q.push(Entry {
+                page: i,
+                priority: (i % 2) as u8,
+                distance: 0,
+            });
+        }
+        let mut n = 0u32;
+        while let Some(e) = q.pop() {
+            n = n.wrapping_add(e.page);
+        }
+        n
     });
-    g.bench_function("push_pop_100k_reprioritized", |b| {
-        b.iter(|| {
+    bench(
+        "push_pop_100k_reprioritized",
+        Some((200_000.0, "ops")),
+        || {
             let mut q = UrlQueue::new(100_000, 5);
             // Every page admitted twice: low priority then high.
             for i in 0..100_000u32 {
@@ -59,14 +110,13 @@ fn bench_queue(c: &mut Criterion) {
             while let Some(e) = q.pop() {
                 n = n.wrapping_add(e.page);
             }
-            black_box(n)
-        })
-    });
-    g.finish();
+            n
+        },
+    );
 }
 
-fn bench_detect(c: &mut Criterion) {
-    let mut g = c.benchmark_group("charset_detect");
+fn bench_detect() {
+    println!("charset_detect:");
     let ja = japanese_demo_tokens();
     let ja: Vec<_> = ja.iter().cycle().take(2_000).copied().collect();
     let th = thai_demo_tokens();
@@ -77,19 +127,22 @@ fn bench_detect(c: &mut Criterion) {
         ("iso2022jp", encode_japanese(&ja, Charset::Iso2022Jp)),
         ("utf8_ja", encode_japanese(&ja, Charset::Utf8)),
         ("tis620", encode_thai(&th, Charset::Tis620)),
-        ("ascii", b"the quick brown fox jumps over the lazy dog. ".repeat(80).to_vec()),
+        (
+            "ascii",
+            b"the quick brown fox jumps over the lazy dog. "
+                .repeat(80)
+                .to_vec(),
+        ),
     ];
     for (name, bytes) in &cases {
-        g.throughput(Throughput::Bytes(bytes.len() as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(name), bytes, |b, bytes| {
-            b.iter(|| black_box(detect(black_box(bytes))).charset)
+        bench(name, Some((bytes.len() as f64, "B")), || {
+            detect(black_box(bytes)).charset
         });
     }
-    g.finish();
 }
 
-fn bench_html(c: &mut Criterion) {
-    let mut g = c.benchmark_group("html");
+fn bench_html() {
+    println!("html:");
     let mut page = String::from(
         r#"<html><head><meta http-equiv="content-type" content="text/html; charset=tis-620"><title>x</title></head><body>"#,
     );
@@ -103,69 +156,119 @@ fn bench_html(c: &mut Criterion) {
     page.push_str("</body></html>");
     let bytes = page.into_bytes();
     let base = Url::parse("http://www.example.co.th/index.html").unwrap();
-    g.throughput(Throughput::Bytes(bytes.len() as u64));
-    g.bench_function("extract_links_200", |b| {
-        b.iter(|| black_box(extract_links(black_box(&bytes), &base)).len())
+    bench("extract_links_200", Some((bytes.len() as f64, "B")), || {
+        extract_links(black_box(&bytes), &base).len()
     });
-    g.bench_function("extract_meta", |b| {
-        b.iter(|| black_box(extract_meta_charset(black_box(&bytes))))
+    bench("extract_meta", Some((bytes.len() as f64, "B")), || {
+        extract_meta_charset(black_box(&bytes))
     });
-    g.finish();
 }
 
-fn bench_url(c: &mut Criterion) {
-    let mut g = c.benchmark_group("url");
+fn bench_url() {
+    println!("url:");
     let base = Url::parse("http://www.example.ac.th/a/b/c.html").unwrap();
-    g.bench_function("resolve_relative", |b| {
-        b.iter(|| black_box(resolve(&base, black_box("../img/x/../y.gif"))))
+    bench("resolve_relative", None, || {
+        resolve(&base, black_box("../img/x/../y.gif"))
     });
     let u = Url::parse("HTTP://Example.AC.TH:80/a/./b/%7Euser/index.html?x=1").unwrap();
-    g.bench_function("normalize", |b| b.iter(|| black_box(normalize(black_box(&u)))));
-    g.finish();
+    bench("normalize", None, || normalize(black_box(&u)));
 }
 
-fn bench_generate(c: &mut Criterion) {
-    let mut g = c.benchmark_group("webgraph_generate");
-    g.sample_size(10);
+fn bench_generate() {
+    println!("webgraph_generate:");
     for scale in [10_000u32, 50_000] {
-        g.throughput(Throughput::Elements(scale as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(scale), &scale, |b, &scale| {
-            b.iter(|| {
-                black_box(GeneratorConfig::thai_like().scaled(scale).build(7)).num_edges()
-            })
-        });
+        bench(
+            &format!("thai_like_{scale}"),
+            Some((scale as f64, "URLs")),
+            || {
+                GeneratorConfig::thai_like()
+                    .scaled(scale)
+                    .build(7)
+                    .num_edges()
+            },
+        );
     }
-    g.finish();
 }
 
-fn bench_simulate(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulate");
-    g.sample_size(10);
-    let ws = GeneratorConfig::thai_like().scaled(50_000).build(7);
+fn bench_simulate(scale: u32) {
+    println!("simulate (n={scale}):");
+    let ws = GeneratorConfig::thai_like().scaled(scale).build(7);
     let oracle = OracleClassifier::target(ws.target_language());
-    g.throughput(Throughput::Elements(ws.num_pages() as u64));
-    g.bench_function("soft_focused_full_crawl_50k", |b| {
-        b.iter(|| {
-            let mut sim = Simulator::new(&ws, SimConfig::default());
-            black_box(sim.run(&mut SimpleStrategy::soft(), &oracle)).crawled
-        })
+    let pages = ws.num_pages() as f64;
+    bench("soft_focused_full_crawl", Some((pages, "pages")), || {
+        let mut sim = Simulator::new(&ws, SimConfig::default());
+        sim.run(&mut SimpleStrategy::soft(), &oracle).crawled
     });
-    g.bench_function("prioritized_limited3_full_crawl_50k", |b| {
-        b.iter(|| {
+    bench(
+        "prioritized_limited3_full_crawl",
+        Some((pages, "pages")),
+        || {
             let mut sim = Simulator::new(&ws, SimConfig::default());
-            black_box(sim.run(&mut LimitedDistanceStrategy::prioritized(3), &oracle)).crawled
-        })
-    });
-    g.finish();
+            sim.run(&mut LimitedDistanceStrategy::prioritized(3), &oracle)
+                .crawled
+        },
+    );
 }
 
-criterion_group!(
-    benches,
-    bench_queue,
-    bench_detect,
-    bench_html,
-    bench_url,
-    bench_generate,
-    bench_simulate
-);
-criterion_main!(benches);
+/// The acceptance gate for the layered refactor: the event-sink seam
+/// (Simulator = engine + metrics sink + report assembly) must cost no
+/// more than 5% over the bare engine loop with no sinks attached. The
+/// two configurations are timed *interleaved* so clock-frequency drift
+/// and cache warmth hit both equally; the comparison uses per-config
+/// minima.
+fn bench_sink_overhead(scale: u32) {
+    println!("engine sink overhead (n={scale}):");
+    let ws = GeneratorConfig::thai_like().scaled(scale).build(7);
+    let oracle = OracleClassifier::target(ws.target_language());
+    let engine = CrawlEngine::new(&ws, EngineConfig::default());
+
+    let run_bare = || {
+        let mut strategy = SimpleStrategy::soft();
+        black_box(engine.run(
+            UrlQueue::new(ws.num_pages(), strategy.levels()),
+            &mut strategy,
+            &oracle,
+            &mut [],
+        ))
+    };
+    let run_sinked = || {
+        let mut sim = Simulator::new(&ws, SimConfig::default());
+        black_box(sim.run(&mut SimpleStrategy::soft(), &oracle).crawled)
+    };
+
+    run_bare();
+    run_sinked();
+    let mut bare = Duration::MAX;
+    let mut sinked = Duration::MAX;
+    for _ in 0..15 {
+        let t = Instant::now();
+        run_bare();
+        bare = bare.min(t.elapsed());
+        let t = Instant::now();
+        run_sinked();
+        sinked = sinked.min(t.elapsed());
+    }
+    let overhead = sinked.as_secs_f64() / bare.as_secs_f64() - 1.0;
+    println!(
+        "  bare engine {:>10}   simulator+sinks {:>10}   overhead {:+.1}%  [{}]",
+        fmt(bare),
+        fmt(sinked),
+        100.0 * overhead,
+        if overhead <= 0.05 {
+            "OK"
+        } else {
+            "OVER BUDGET"
+        }
+    );
+}
+
+fn main() {
+    let scale = env_scale(50_000);
+    bench_queue();
+    bench_detect();
+    bench_html();
+    bench_url();
+    bench_generate();
+    bench_simulate(scale);
+    bench_sink_overhead(scale);
+}

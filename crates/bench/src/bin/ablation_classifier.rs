@@ -12,13 +12,24 @@
 //! tracking the mislabel + missing-META + UTF-8 rates.
 
 use langcrawl_bench::figures::ok;
+use langcrawl_bench::{runner, Experiment};
 use langcrawl_core::classifier::{
     Classifier, DetectorClassifier, MetaClassifier, OracleClassifier,
 };
-use langcrawl_core::sim::{SimConfig, Simulator};
+use langcrawl_core::sim::SimConfig;
 use langcrawl_core::strategy::SimpleStrategy;
-use langcrawl_bench::runner;
 use langcrawl_webgraph::GeneratorConfig;
+
+fn hard_crawl() -> Experiment {
+    Experiment::new(
+        "classifier",
+        "Ablation B: classifier comparison, Thai dataset",
+        GeneratorConfig::thai_like(),
+    )
+    .quiet()
+    .sim_config(SimConfig::default().with_url_filter())
+    .strategy("hard", |_| Box::new(SimpleStrategy::hard()))
+}
 
 fn main() {
     let scale = runner::env_scale(25_000); // detector path scans real bytes
@@ -27,10 +38,11 @@ fn main() {
     println!("(hard-focused crawl; detector synthesizes page bytes and runs the real prober)\n");
     let ws = GeneratorConfig::thai_like().scaled(scale).build(seed);
 
-    let classifiers: Vec<Box<dyn Classifier + Sync>> = vec![
-        Box::new(OracleClassifier::target(ws.target_language())),
-        Box::new(DetectorClassifier::target(ws.target_language())),
-        Box::new(MetaClassifier::target(ws.target_language())),
+    let experiments = [
+        hard_crawl().oracle_classifier(),
+        hard_crawl()
+            .classifier_with(|ws| Box::new(DetectorClassifier::target(ws.target_language()))),
+        hard_crawl(), // META is the default judgment path
     ];
 
     println!(
@@ -38,9 +50,8 @@ fn main() {
         "classifier", "crawled", "harvest", "coverage", "max queue"
     );
     let mut coverages = Vec::new();
-    for c in &classifiers {
-        let mut sim = Simulator::new(&ws, SimConfig::default().with_url_filter());
-        let r = sim.run(&mut SimpleStrategy::hard(), c.as_ref());
+    for e in &experiments {
+        let r = &e.run_on(&ws)[0];
         println!(
             "{:<10} {:>10} {:>11.1}% {:>11.1}% {:>12}",
             r.classifier,
@@ -71,6 +82,11 @@ fn main() {
     );
 
     // Classifier confusion counts against ground truth, page by page.
+    let classifiers: Vec<Box<dyn Classifier + Sync>> = vec![
+        Box::new(OracleClassifier::target(ws.target_language())),
+        Box::new(DetectorClassifier::target(ws.target_language())),
+        Box::new(MetaClassifier::target(ws.target_language())),
+    ];
     println!("\nPer-page agreement with ground truth (OK HTML pages):");
     for c in &classifiers {
         let mut tp = 0u32;

@@ -9,11 +9,10 @@
 //! shrinks toward zero as locality decays toward the unbiased level.
 
 use langcrawl_bench::figures::ok;
-use langcrawl_bench::runner::{self, StrategyFactory};
-use langcrawl_core::classifier::OracleClassifier;
+use langcrawl_bench::{runner, Experiment};
 use langcrawl_core::sim::SimConfig;
-use langcrawl_core::strategy::{BreadthFirst, SimpleStrategy, Strategy};
-use langcrawl_webgraph::{GeneratorConfig, WebSpace};
+use langcrawl_core::strategy::{BreadthFirst, SimpleStrategy};
+use langcrawl_webgraph::GeneratorConfig;
 
 fn main() {
     let scale = runner::env_scale(80_000);
@@ -24,30 +23,24 @@ fn main() {
         "locality", "bf harvest", "soft harvest", "hard harvest", "advantage"
     );
 
+    let e = Experiment::new(
+        "ablation_locality",
+        "locality sweep",
+        GeneratorConfig::thai_like(),
+    )
+    .oracle_classifier()
+    .sim_config(SimConfig::default().with_url_filter())
+    .strategy("bf", |_| Box::new(BreadthFirst::new()))
+    .strategy("soft", |_| Box::new(SimpleStrategy::soft()))
+    .strategy("hard", |_| Box::new(SimpleStrategy::hard()));
+
     let mut advantages = Vec::new();
     for locality in [0.40f64, 0.55, 0.70, 0.82, 0.92, 0.98] {
         let ws = GeneratorConfig::thai_like()
             .scaled(scale)
             .with_locality(locality)
             .build(seed);
-        let classifier = OracleClassifier::target(ws.target_language());
-        let factories: Vec<(&str, StrategyFactory)> = vec![
-            ("bf", Box::new(|_: &WebSpace| {
-                Box::new(BreadthFirst::new()) as Box<dyn Strategy>
-            })),
-            ("soft", Box::new(|_: &WebSpace| {
-                Box::new(SimpleStrategy::soft()) as Box<dyn Strategy>
-            })),
-            ("hard", Box::new(|_: &WebSpace| {
-                Box::new(SimpleStrategy::hard()) as Box<dyn Strategy>
-            })),
-        ];
-        let reports = runner::run_parallel(
-            &ws,
-            &factories,
-            &classifier,
-            &SimConfig::default().with_url_filter(),
-        );
+        let reports = e.run_on(&ws);
         let early = ws.num_pages() as u64 / 6;
         let bf = reports[0].harvest_at(early);
         let soft = reports[1].harvest_at(early);

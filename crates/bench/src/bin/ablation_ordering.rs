@@ -10,48 +10,31 @@
 //! the crawl from pouring effort into popular *foreign* hubs.
 
 use langcrawl_bench::figures::ok;
-use langcrawl_bench::runner::{self, StrategyFactory};
-use langcrawl_core::classifier::MetaClassifier;
+use langcrawl_bench::{write_csv_reporting, Experiment};
 use langcrawl_core::sim::SimConfig;
-use langcrawl_core::strategy::{
-    BacklinkCount, BreadthFirst, OnlinePageRank, SimpleStrategy, Strategy,
-};
-use langcrawl_webgraph::{GeneratorConfig, WebSpace};
+use langcrawl_core::strategy::{BacklinkCount, BreadthFirst, OnlinePageRank, SimpleStrategy};
+use langcrawl_webgraph::GeneratorConfig;
 
 fn main() {
-    let scale = runner::env_scale(80_000);
-    let seed = runner::env_seed();
-    println!("== Ablation E: URL-ordering baselines vs focused crawling, Thai (n={scale}, seed={seed}) ==\n");
-    let ws = GeneratorConfig::thai_like().scaled(scale).build(seed);
-    let classifier = MetaClassifier::target(ws.target_language());
+    let run = Experiment::new(
+        "ordering",
+        "Ablation E: URL-ordering baselines vs focused crawling, Thai",
+        GeneratorConfig::thai_like(),
+    )
+    .scale(80_000)
+    .sim_config(SimConfig::default().with_url_filter())
+    .strategy("breadth-first", |_| Box::new(BreadthFirst::new()))
+    .strategy("backlink-ordered", |_| Box::new(BacklinkCount::new()))
+    .strategy("pagerank-ordered", |_| Box::new(OnlinePageRank::new()))
+    .strategy("soft-focused", |_| Box::new(SimpleStrategy::soft()))
+    .run();
 
-    let factories: Vec<(&str, StrategyFactory)> = vec![
-        ("breadth-first", Box::new(|_: &WebSpace| {
-            Box::new(BreadthFirst::new()) as Box<dyn Strategy>
-        })),
-        ("backlink-ordered", Box::new(|_: &WebSpace| {
-            Box::new(BacklinkCount::new()) as Box<dyn Strategy>
-        })),
-        ("pagerank-ordered", Box::new(|_: &WebSpace| {
-            Box::new(OnlinePageRank::new()) as Box<dyn Strategy>
-        })),
-        ("soft-focused", Box::new(|_: &WebSpace| {
-            Box::new(SimpleStrategy::soft()) as Box<dyn Strategy>
-        })),
-    ];
-    let reports = runner::run_parallel(
-        &ws,
-        &factories,
-        &classifier,
-        &SimConfig::default().with_url_filter(),
-    );
-
-    let early = ws.num_pages() as u64 / 6;
+    let early = run.early(6);
     println!(
         "{:<26} {:>12} {:>10} {:>10} {:>12}",
         "strategy", "harvest@1/6", "harvest", "coverage", "max queue"
     );
-    for r in &reports {
+    for r in &run.reports {
         println!(
             "{:<26} {:>11.1}% {:>9.1}% {:>9.1}% {:>12}",
             r.strategy,
@@ -60,12 +43,17 @@ fn main() {
             100.0 * r.final_coverage(),
             r.max_queue
         );
-        runner::write_csv(r, &format!("ordering_{}", r.strategy.replace([' ', '(', ')'], "_")));
+        write_csv_reporting(
+            r,
+            &format!("ordering_{}", r.strategy.replace([' ', '(', ')'], "_")),
+        );
     }
 
-    let bf = reports[0].harvest_at(early);
-    let soft = reports[3].harvest_at(early);
-    let best_ordered = reports[1].harvest_at(early).max(reports[2].harvest_at(early));
+    let bf = run.reports[0].harvest_at(early);
+    let soft = run.reports[3].harvest_at(early);
+    let best_ordered = run.reports[1]
+        .harvest_at(early)
+        .max(run.reports[2].harvest_at(early));
     println!("\nShape checks (paper §2's motivation, quantified):");
     println!(
         "  language focus beats importance ordering: soft {:.1}% vs best-ordered {:.1}%  [{}]",
@@ -81,10 +69,10 @@ fn main() {
     );
     println!(
         "  all language-blind strategies still cover everything eventually: {:?}  [{}]",
-        reports[..3]
+        run.reports[..3]
             .iter()
             .map(|r| format!("{:.2}", r.final_coverage()))
             .collect::<Vec<_>>(),
-        ok(reports[..3].iter().all(|r| r.final_coverage() > 0.99))
+        ok(run.reports[..3].iter().all(|r| r.final_coverage() > 0.99))
     );
 }

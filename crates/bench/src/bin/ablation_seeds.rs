@@ -12,11 +12,10 @@
 //! saturate.
 
 use langcrawl_bench::figures::ok;
-use langcrawl_bench::runner::{self, StrategyFactory};
-use langcrawl_core::classifier::MetaClassifier;
+use langcrawl_bench::{runner, Experiment};
 use langcrawl_core::sim::SimConfig;
-use langcrawl_core::strategy::{SimpleStrategy, Strategy};
-use langcrawl_webgraph::{GeneratorConfig, WebSpace};
+use langcrawl_core::strategy::SimpleStrategy;
+use langcrawl_webgraph::GeneratorConfig;
 
 fn main() {
     let scale = runner::env_scale(80_000);
@@ -27,26 +26,21 @@ fn main() {
         "seeds", "soft coverage", "hard coverage", "soft harvest@⅙", "hard harvest@⅙"
     );
 
+    let e = Experiment::new(
+        "ablation_seeds",
+        "seed-count sweep",
+        GeneratorConfig::thai_like(),
+    )
+    .sim_config(SimConfig::default().with_url_filter())
+    .strategy("soft", |_| Box::new(SimpleStrategy::soft()))
+    .strategy("hard", |_| Box::new(SimpleStrategy::hard()));
+
     let mut soft_covs = Vec::new();
     for seeds in [1u32, 2, 4, 8, 16, 32] {
         let mut cfg = GeneratorConfig::thai_like().scaled(scale);
         cfg.seed_count = seeds;
         let ws = cfg.build(seed);
-        let classifier = MetaClassifier::target(ws.target_language());
-        let factories: Vec<(&str, StrategyFactory)> = vec![
-            ("soft", Box::new(|_: &WebSpace| {
-                Box::new(SimpleStrategy::soft()) as Box<dyn Strategy>
-            })),
-            ("hard", Box::new(|_: &WebSpace| {
-                Box::new(SimpleStrategy::hard()) as Box<dyn Strategy>
-            })),
-        ];
-        let reports = runner::run_parallel(
-            &ws,
-            &factories,
-            &classifier,
-            &SimConfig::default().with_url_filter(),
-        );
+        let reports = e.run_on(&ws);
         let early = ws.num_pages() as u64 / 6;
         println!(
             "{:>7} {:>13.1}% {:>13.1}% {:>14.1}% {:>14.1}%",

@@ -15,47 +15,34 @@
 //!   beats that ceiling at a modest harvest cost.
 
 use langcrawl_bench::figures::ok;
-use langcrawl_bench::runner::{self, StrategyFactory};
-use langcrawl_core::classifier::MetaClassifier;
+use langcrawl_bench::{write_csv_reporting, Experiment};
 use langcrawl_core::sim::SimConfig;
-use langcrawl_core::strategy::{
-    LimitedDistanceStrategy, SimpleStrategy, Strategy, TldScopeStrategy,
-};
-use langcrawl_webgraph::{GeneratorConfig, WebSpace};
+use langcrawl_core::strategy::{LimitedDistanceStrategy, SimpleStrategy, TldScopeStrategy};
+use langcrawl_webgraph::GeneratorConfig;
 
 fn main() {
-    let scale = runner::env_scale(80_000);
-    let seed = runner::env_seed();
-    println!("== Ablation F: ccTLD scoping vs language focus, Thai dataset (n={scale}, seed={seed}) ==\n");
-    let ws = GeneratorConfig::thai_like().scaled(scale).build(seed);
-    let classifier = MetaClassifier::target(ws.target_language());
-
-    let factories: Vec<(&str, StrategyFactory)> = vec![
-        ("tld-scope", Box::new(|ws: &WebSpace| {
-            Box::new(TldScopeStrategy::new(ws, &["th"])) as Box<dyn Strategy>
-        })),
-        ("hard-focused", Box::new(|_: &WebSpace| {
-            Box::new(SimpleStrategy::hard()) as Box<dyn Strategy>
-        })),
-        ("prior-limited-4", Box::new(|_: &WebSpace| {
-            Box::new(LimitedDistanceStrategy::prioritized(4)) as Box<dyn Strategy>
-        })),
-        ("soft-focused", Box::new(|_: &WebSpace| {
-            Box::new(SimpleStrategy::soft()) as Box<dyn Strategy>
-        })),
-    ];
-    let reports = runner::run_parallel(
-        &ws,
-        &factories,
-        &classifier,
-        &SimConfig::default().with_url_filter(),
-    );
+    let run = Experiment::new(
+        "tld",
+        "Ablation F: ccTLD scoping vs language focus, Thai dataset",
+        GeneratorConfig::thai_like(),
+    )
+    .scale(80_000)
+    .sim_config(SimConfig::default().with_url_filter())
+    .strategy("tld-scope", |ws| {
+        Box::new(TldScopeStrategy::new(ws, &["th"]))
+    })
+    .strategy("hard-focused", |_| Box::new(SimpleStrategy::hard()))
+    .strategy("prior-limited-4", |_| {
+        Box::new(LimitedDistanceStrategy::prioritized(4))
+    })
+    .strategy("soft-focused", |_| Box::new(SimpleStrategy::soft()))
+    .run();
 
     println!(
         "{:<26} {:>10} {:>10} {:>10} {:>12}",
         "strategy", "crawled", "harvest", "coverage", "max queue"
     );
-    for r in &reports {
+    for r in &run.reports {
         println!(
             "{:<26} {:>10} {:>9.1}% {:>9.1}% {:>12}",
             r.strategy,
@@ -64,12 +51,15 @@ fn main() {
             100.0 * r.final_coverage(),
             r.max_queue
         );
-        runner::write_csv(r, &format!("tld_{}", r.strategy.replace([' ', '=', '.'], "_")));
+        write_csv_reporting(
+            r,
+            &format!("tld_{}", r.strategy.replace([' ', '=', '.'], "_")),
+        );
     }
 
-    let tld = &reports[0];
-    let hard = &reports[1];
-    let limited = &reports[2];
+    let tld = &run.reports[0];
+    let hard = &run.reports[1];
+    let limited = &run.reports[2];
     println!("\nShape checks (national-archive policy comparison):");
     println!(
         "  TLD scoping yields the best harvest (no foreign fetches at all): \

@@ -17,19 +17,42 @@
 //! stays close to the world's ratio (the Thai situation).
 
 use langcrawl_bench::figures::ok;
-use langcrawl_bench::runner;
-use langcrawl_core::classifier::MetaClassifier;
-use langcrawl_core::sim::{SimConfig, Simulator};
-use langcrawl_core::strategy::{BreadthFirst, CombinedStrategy, Strategy};
-use langcrawl_webgraph::GeneratorConfig;
+use langcrawl_bench::Experiment;
+use langcrawl_core::metrics::CrawlReport;
+use langcrawl_core::sim::SimConfig;
+use langcrawl_core::strategy::{BreadthFirst, CombinedStrategy};
+use langcrawl_webgraph::{GeneratorConfig, WebSpace};
 
 fn main() {
-    let scale = runner::env_scale(120_000);
-    let seed = runner::env_seed();
-    println!("== Dataset collection: how the crawl strategy shapes the dataset (n={scale}, seed={seed}) ==\n");
-    // The "real web" around the target language: low specificity.
-    let world = GeneratorConfig::thai_like().scaled(scale).build(seed);
-    let classifier = MetaClassifier::target(world.target_language());
+    // The "real web" around the target language: low specificity. Visit
+    // recording is on so each snapshot can be re-judged page by page.
+    let run = Experiment::new(
+        "collect",
+        "Dataset collection: how the crawl strategy shapes the dataset",
+        GeneratorConfig::thai_like(),
+    )
+    .scale(120_000)
+    .sim_config(
+        SimConfig::default()
+            .with_url_filter()
+            .with_visit_recording(),
+    )
+    .strategy("bf", |_| Box::new(BreadthFirst::new()))
+    .strategy("hard+limited-0", |_| {
+        Box::new(CombinedStrategy::hard_limited(0))
+    })
+    .strategy("hard+limited-1", |_| {
+        Box::new(CombinedStrategy::hard_limited(1))
+    })
+    .strategy("hard+limited-2", |_| {
+        Box::new(CombinedStrategy::hard_limited(2))
+    })
+    .strategy("soft+limited-4", |_| {
+        Box::new(CombinedStrategy::soft_limited(4))
+    })
+    .run();
+
+    let world = &run.ws;
     let world_ratio = world.total_relevant() as f64 / world.total_ok_html() as f64;
     println!(
         "world: {} URLs, {} OK HTML pages, true relevance ratio {:.1}%\n",
@@ -38,16 +61,7 @@ fn main() {
         100.0 * world_ratio
     );
 
-    println!(
-        "{:<24} {:>10} {:>12} {:>18}",
-        "collection crawl", "crawled", "HTML pages", "snapshot relevance"
-    );
-    let measure = |mut s: Box<dyn Strategy>| -> (String, f64) {
-        let mut sim = Simulator::new(
-            &world,
-            SimConfig::default().with_url_filter().with_visit_recording(),
-        );
-        let r = sim.run(s.as_mut(), &classifier);
+    let snapshot_ratio = |r: &CrawlReport, world: &WebSpace| -> f64 {
         let mut html = 0u64;
         let mut relevant = 0u64;
         for &p in &r.visited {
@@ -58,7 +72,21 @@ fn main() {
                 }
             }
         }
-        let ratio = relevant as f64 / html.max(1) as f64;
+        relevant as f64 / html.max(1) as f64
+    };
+
+    println!(
+        "{:<24} {:>10} {:>12} {:>18}",
+        "collection crawl", "crawled", "HTML pages", "snapshot relevance"
+    );
+    let mut ratios = Vec::new();
+    for r in &run.reports {
+        let html = r
+            .visited
+            .iter()
+            .filter(|&&p| world.meta(p).is_ok_html())
+            .count();
+        let ratio = snapshot_ratio(r, world);
         println!(
             "{:<24} {:>10} {:>12} {:>17.1}%",
             r.strategy,
@@ -66,14 +94,11 @@ fn main() {
             html,
             100.0 * ratio
         );
-        (r.strategy, ratio)
+        ratios.push(ratio);
+    }
+    let [bf_ratio, hard0_ratio, hard_ratio, hard2_ratio, soft_ratio] = ratios[..] else {
+        unreachable!()
     };
-
-    let (_, bf_ratio) = measure(Box::new(BreadthFirst::new()));
-    let (_, hard0_ratio) = measure(Box::new(CombinedStrategy::hard_limited(0)));
-    let (_, hard_ratio) = measure(Box::new(CombinedStrategy::hard_limited(1)));
-    let (_, hard2_ratio) = measure(Box::new(CombinedStrategy::hard_limited(2)));
-    let (_, soft_ratio) = measure(Box::new(CombinedStrategy::soft_limited(4)));
 
     println!("\nShape checks (paper §5.1 / §5.2.1):");
     println!(

@@ -10,51 +10,42 @@
 //! quantitative.
 
 use langcrawl_bench::figures::ok;
-use langcrawl_bench::runner::{self, StrategyFactory};
-use langcrawl_core::classifier::MetaClassifier;
+use langcrawl_bench::{write_csv_reporting, Experiment};
 use langcrawl_core::sim::SimConfig;
 use langcrawl_core::strategy::{
-    ContextGraphStrategy, HitsStrategy, LimitedDistanceStrategy, SimpleStrategy, Strategy,
+    ContextGraphStrategy, HitsStrategy, LimitedDistanceStrategy, SimpleStrategy,
 };
-use langcrawl_webgraph::{GeneratorConfig, WebSpace};
+use langcrawl_webgraph::GeneratorConfig;
 
 fn main() {
-    let scale = runner::env_scale(80_000);
-    let seed = runner::env_seed();
-    println!("== Extensions: HITS distiller & context-graph vs paper strategies, Thai (n={scale}, seed={seed}) ==\n");
-    let ws = GeneratorConfig::thai_like().scaled(scale).build(seed);
-    let classifier = MetaClassifier::target(ws.target_language());
+    let run = Experiment::new(
+        "ext",
+        "Extensions: HITS distiller & context-graph vs paper strategies, Thai",
+        GeneratorConfig::thai_like(),
+    )
+    .scale(80_000)
+    .sim_config(SimConfig::default().with_url_filter())
+    .strategy("soft", |_| Box::new(SimpleStrategy::soft()))
+    .strategy("prior-limited-3", |_| {
+        Box::new(LimitedDistanceStrategy::prioritized(3))
+    })
+    .strategy("soft+hits", |_| {
+        Box::new(HitsStrategy::with_params(2_000, 20, 5))
+    })
+    .strategy("context-graph", |ws| {
+        Box::new(ContextGraphStrategy::new(ws, 4))
+    })
+    .strategy("context-graph-noisy", |ws| {
+        Box::new(ContextGraphStrategy::new(ws, 4).with_noise(150))
+    })
+    .run();
 
-    let factories: Vec<(&str, StrategyFactory)> = vec![
-        ("soft", Box::new(|_: &WebSpace| {
-            Box::new(SimpleStrategy::soft()) as Box<dyn Strategy>
-        })),
-        ("prior-limited-3", Box::new(|_: &WebSpace| {
-            Box::new(LimitedDistanceStrategy::prioritized(3)) as Box<dyn Strategy>
-        })),
-        ("soft+hits", Box::new(|_: &WebSpace| {
-            Box::new(HitsStrategy::with_params(2_000, 20, 5)) as Box<dyn Strategy>
-        })),
-        ("context-graph", Box::new(|ws: &WebSpace| {
-            Box::new(ContextGraphStrategy::new(ws, 4)) as Box<dyn Strategy>
-        })),
-        ("context-graph-noisy", Box::new(|ws: &WebSpace| {
-            Box::new(ContextGraphStrategy::new(ws, 4).with_noise(150)) as Box<dyn Strategy>
-        })),
-    ];
-    let reports = runner::run_parallel(
-        &ws,
-        &factories,
-        &classifier,
-        &SimConfig::default().with_url_filter(),
-    );
-
-    let early = ws.num_pages() as u64 / 6;
+    let early = run.early(6);
     println!(
         "{:<34} {:>10} {:>12} {:>12} {:>12} {:>12}",
         "strategy", "crawled", "harvest@⅙", "harvest", "coverage", "max queue"
     );
-    for r in &reports {
+    for r in &run.reports {
         println!(
             "{:<34} {:>10} {:>11.1}% {:>11.1}% {:>11.1}% {:>12}",
             r.strategy,
@@ -64,12 +55,15 @@ fn main() {
             100.0 * r.final_coverage(),
             r.max_queue
         );
-        runner::write_csv(r, &format!("ext_{}", r.strategy.replace([' ', '=', '.'], "_")));
+        write_csv_reporting(
+            r,
+            &format!("ext_{}", r.strategy.replace([' ', '=', '.'], "_")),
+        );
     }
 
-    let soft = &reports[0];
-    let limited = &reports[1];
-    let cg = &reports[3];
+    let soft = &run.reports[0];
+    let limited = &run.reports[1];
+    let cg = &run.reports[3];
     println!("\nObservations:");
     println!(
         "  prioritized limited-distance holds its own against the idealized \

@@ -10,87 +10,37 @@
 //! the dataset mean; soft-focused reaches 100% coverage by the end of
 //! the crawl; hard-focused stops early at ~70% coverage.
 
-use langcrawl_bench::runner::{self, print_table, StrategyFactory};
-use langcrawl_bench::gnuplot::{write_script, PlotKind};
-use langcrawl_bench::AsciiChart;
-use langcrawl_core::classifier::MetaClassifier;
+use langcrawl_bench::figures::ok;
+use langcrawl_bench::gnuplot::PlotKind;
+use langcrawl_bench::Experiment;
 use langcrawl_core::sim::SimConfig;
-use langcrawl_core::strategy::{BreadthFirst, SimpleStrategy, Strategy};
-use langcrawl_webgraph::{GeneratorConfig, WebSpace};
+use langcrawl_core::strategy::{BreadthFirst, SimpleStrategy};
+use langcrawl_webgraph::GeneratorConfig;
 
 fn main() {
-    let scale = runner::env_scale(200_000);
-    let seed = runner::env_seed();
-    println!("== Figure 3: Simple Strategy, Thai dataset (n={scale}, seed={seed}) ==");
-    let ws = GeneratorConfig::thai_like().scaled(scale).build(seed);
-    let classifier = MetaClassifier::target(ws.target_language());
-
-    let factories: Vec<(&str, StrategyFactory)> = vec![
-        ("breadth-first", Box::new(|_: &WebSpace| {
-            Box::new(BreadthFirst::new()) as Box<dyn Strategy>
-        })),
-        ("hard-focused", Box::new(|_: &WebSpace| {
-            Box::new(SimpleStrategy::hard()) as Box<dyn Strategy>
-        })),
-        ("soft-focused", Box::new(|_: &WebSpace| {
-            Box::new(SimpleStrategy::soft()) as Box<dyn Strategy>
-        })),
-    ];
-    let reports = runner::run_parallel(&ws, &factories, &classifier, &SimConfig::default().with_url_filter());
-
-    // Panel (a): harvest rate.
-    let mut chart_a = AsciiChart::new(
-        "Fig 3(a)  Harvest Rate [%] vs pages crawled",
-        "harvest%",
+    let run = Experiment::new(
+        "fig3",
+        "Figure 3: Simple Strategy, Thai dataset",
+        GeneratorConfig::thai_like(),
     )
-    .y_max(100.0);
-    for r in &reports {
-        chart_a.series(
-            &r.strategy,
-            r.samples
-                .iter()
-                .map(|s| (s.crawled as f64, 100.0 * s.harvest_rate()))
-                .collect(),
-        );
-    }
-    chart_a.print();
-    print_table("Fig 3(a) harvest rate [%]", &reports, 16, |r, j| {
-        Some(100.0 * r.samples[j].harvest_rate())
-    });
+    .sim_config(SimConfig::default().with_url_filter())
+    .strategy("breadth-first", |_| Box::new(BreadthFirst::new()))
+    .strategy("hard-focused", |_| Box::new(SimpleStrategy::hard()))
+    .strategy("soft-focused", |_| Box::new(SimpleStrategy::soft()))
+    .run();
 
-    // Panel (b): coverage.
-    let mut chart_b = AsciiChart::new(
-        "Fig 3(b)  Coverage [%] vs pages crawled",
-        "cover%",
-    )
-    .y_max(100.0);
-    for r in &reports {
-        chart_b.series(
-            &r.strategy,
-            r.samples
-                .iter()
-                .map(|s| (s.crawled as f64, 100.0 * r.coverage_at(s)))
-                .collect(),
-        );
-    }
-    chart_b.print();
-    print_table("Fig 3(b) coverage [%]", &reports, 16, |r, j| {
-        Some(100.0 * r.coverage_at(&r.samples[j]))
-    });
-
-    println!();
-    for r in &reports {
-        println!("{}", r.summary_row());
-        runner::write_csv(r, &format!("fig3_{}", r.strategy.replace(' ', "_")));
-    }
-    write_script("Fig 3(a) Harvest Rate, Thai", PlotKind::Harvest, &reports, "fig3");
-    write_script("Fig 3(b) Coverage, Thai", PlotKind::Coverage, &reports, "fig3");
+    run.harvest_panel("Fig 3(a) Harvest Rate [%]");
+    run.coverage_panel("Fig 3(b) Coverage [%]");
+    run.emit(&[
+        (PlotKind::Harvest, "Fig 3(a) Harvest Rate, Thai"),
+        (PlotKind::Coverage, "Fig 3(b) Coverage, Thai"),
+    ]);
 
     // The paper's headline claims, as checks the harness itself reports:
-    let bf = &reports[0];
-    let hard = &reports[1];
-    let soft = &reports[2];
-    let early = ws.num_pages() as u64 / 7; // "the first part of the crawl"
+    let [bf, hard, soft] = &run.reports[..] else {
+        unreachable!()
+    };
+    let early = run.early(7); // "the first part of the crawl"
     println!("\nShape checks (paper §5.2.1):");
     println!(
         "  focused beat breadth-first early:   hard {:.1}% / soft {:.1}% vs bf {:.1}%  [{}]",
@@ -110,12 +60,4 @@ fn main() {
         100.0 * hard.final_coverage(),
         ok(hard.final_coverage() < 0.9 && hard.final_coverage() > 0.4)
     );
-}
-
-fn ok(b: bool) -> &'static str {
-    if b {
-        "OK"
-    } else {
-        "MISMATCH"
-    }
 }

@@ -13,78 +13,38 @@
 //! that focusing buys little, which is why the paper moves to Thai-only
 //! experiments afterwards.
 
-use langcrawl_bench::runner::{self, print_table, StrategyFactory};
-use langcrawl_bench::gnuplot::{write_script, PlotKind};
-use langcrawl_bench::AsciiChart;
-use langcrawl_core::classifier::MetaClassifier;
+use langcrawl_bench::figures::ok;
+use langcrawl_bench::gnuplot::PlotKind;
+use langcrawl_bench::Experiment;
 use langcrawl_core::sim::SimConfig;
-use langcrawl_core::strategy::{BreadthFirst, SimpleStrategy, Strategy};
-use langcrawl_webgraph::{GeneratorConfig, WebSpace};
+use langcrawl_core::strategy::{BreadthFirst, SimpleStrategy};
+use langcrawl_webgraph::GeneratorConfig;
 
 fn main() {
-    let scale = runner::env_scale(300_000);
-    let seed = runner::env_seed();
-    println!("== Figure 4: Simple Strategy, Japanese dataset (n={scale}, seed={seed}) ==");
-    let ws = GeneratorConfig::japanese_like().scaled(scale).build(seed);
-    let classifier = MetaClassifier::target(ws.target_language());
+    let run = Experiment::new(
+        "fig4",
+        "Figure 4: Simple Strategy, Japanese dataset",
+        GeneratorConfig::japanese_like(),
+    )
+    .scale(300_000)
+    .sim_config(SimConfig::default().with_url_filter())
+    .strategy("breadth-first", |_| Box::new(BreadthFirst::new()))
+    .strategy("hard-focused", |_| Box::new(SimpleStrategy::hard()))
+    .strategy("soft-focused", |_| Box::new(SimpleStrategy::soft()))
+    .run();
 
-    let factories: Vec<(&str, StrategyFactory)> = vec![
-        ("breadth-first", Box::new(|_: &WebSpace| {
-            Box::new(BreadthFirst::new()) as Box<dyn Strategy>
-        })),
-        ("hard-focused", Box::new(|_: &WebSpace| {
-            Box::new(SimpleStrategy::hard()) as Box<dyn Strategy>
-        })),
-        ("soft-focused", Box::new(|_: &WebSpace| {
-            Box::new(SimpleStrategy::soft()) as Box<dyn Strategy>
-        })),
-    ];
-    let reports =
-        runner::run_parallel(&ws, &factories, &classifier, &SimConfig::default().with_url_filter());
+    run.harvest_panel("Fig 4(a) Harvest Rate [%]");
+    run.coverage_panel("Fig 4(b) Coverage [%]");
+    run.emit(&[
+        (PlotKind::Harvest, "Fig 4(a) Harvest Rate, Japanese"),
+        (PlotKind::Coverage, "Fig 4(b) Coverage, Japanese"),
+    ]);
 
-    let mut chart_a =
-        AsciiChart::new("Fig 4(a)  Harvest Rate [%] vs pages crawled", "harvest%").y_max(100.0);
-    for r in &reports {
-        chart_a.series(
-            &r.strategy,
-            r.samples
-                .iter()
-                .map(|s| (s.crawled as f64, 100.0 * s.harvest_rate()))
-                .collect(),
-        );
-    }
-    chart_a.print();
-    print_table("Fig 4(a) harvest rate [%]", &reports, 16, |r, j| {
-        Some(100.0 * r.samples[j].harvest_rate())
-    });
-
-    let mut chart_b =
-        AsciiChart::new("Fig 4(b)  Coverage [%] vs pages crawled", "cover%").y_max(100.0);
-    for r in &reports {
-        chart_b.series(
-            &r.strategy,
-            r.samples
-                .iter()
-                .map(|s| (s.crawled as f64, 100.0 * r.coverage_at(s)))
-                .collect(),
-        );
-    }
-    chart_b.print();
-    print_table("Fig 4(b) coverage [%]", &reports, 16, |r, j| {
-        Some(100.0 * r.coverage_at(&r.samples[j]))
-    });
-
-    println!();
-    for r in &reports {
-        println!("{}", r.summary_row());
-        runner::write_csv(r, &format!("fig4_{}", r.strategy.replace(' ', "_")));
-    }
-    write_script("Fig 4(a) Harvest Rate, Japanese", PlotKind::Harvest, &reports, "fig4");
-    write_script("Fig 4(b) Coverage, Japanese", PlotKind::Coverage, &reports, "fig4");
-
-    let bf = &reports[0];
-    let early = ws.num_pages() as u64 / 5;
-    let base_rate = ws.total_relevant() as f64 / ws.num_pages() as f64;
+    let [bf, hard, soft] = &run.reports[..] else {
+        unreachable!()
+    };
+    let early = run.early(5);
+    let base_rate = run.ws.total_relevant() as f64 / run.ws.num_pages() as f64;
     println!("\nShape checks (paper §5.2.1, Japanese discussion):");
     println!(
         "  even breadth-first harvests >70% early: {:.1}% (dataset base rate {:.1}%)  [{}]",
@@ -95,24 +55,22 @@ fn main() {
     println!(
         "  focusing buys little headroom: spread between best and worst early harvest = {:.1} pts \
          (Thai spread is far larger — compare fig3)",
-        100.0 * (reports
-            .iter()
-            .map(|r| r.harvest_at(early))
-            .fold(f64::MIN, f64::max)
-            - reports
+        100.0
+            * (run
+                .reports
                 .iter()
                 .map(|r| r.harvest_at(early))
-                .fold(f64::MAX, f64::min))
+                .fold(f64::MIN, f64::max)
+                - run
+                    .reports
+                    .iter()
+                    .map(|r| r.harvest_at(early))
+                    .fold(f64::MAX, f64::min))
     );
     println!(
         "  consistency with Thai results: soft covers {:.1}%, hard {:.1}%  [{}]",
-        100.0 * reports[2].final_coverage(),
-        100.0 * reports[1].final_coverage(),
-        ok(reports[2].final_coverage() > 0.99
-            && reports[1].final_coverage() < reports[2].final_coverage())
+        100.0 * soft.final_coverage(),
+        100.0 * hard.final_coverage(),
+        ok(soft.final_coverage() > 0.99 && hard.final_coverage() < soft.final_coverage())
     );
-}
-
-fn ok(b: bool) -> &'static str {
-    if b { "OK" } else { "MISMATCH" }
 }

@@ -7,56 +7,29 @@
 //! web scale. Expected shape here: soft's pending-URL curve several-fold
 //! above hard's, with hard's crawl ending early.
 
-use langcrawl_bench::runner::{self, print_table, StrategyFactory};
-use langcrawl_bench::gnuplot::{write_script, PlotKind};
-use langcrawl_bench::AsciiChart;
-use langcrawl_core::classifier::MetaClassifier;
-use langcrawl_core::sim::SimConfig;
-use langcrawl_core::strategy::{SimpleStrategy, Strategy};
-use langcrawl_webgraph::{GeneratorConfig, WebSpace};
+use langcrawl_bench::figures::ok;
+use langcrawl_bench::gnuplot::PlotKind;
+use langcrawl_bench::Experiment;
+use langcrawl_core::strategy::SimpleStrategy;
+use langcrawl_webgraph::GeneratorConfig;
 
 fn main() {
-    let scale = runner::env_scale(200_000);
-    let seed = runner::env_seed();
-    println!("== Figure 5: URL queue size, Simple Strategy, Thai dataset (n={scale}, seed={seed}) ==");
-    let ws = GeneratorConfig::thai_like().scaled(scale).build(seed);
-    let classifier = MetaClassifier::target(ws.target_language());
+    let run = Experiment::new(
+        "fig5",
+        "Figure 5: URL queue size, Simple Strategy, Thai dataset",
+        GeneratorConfig::thai_like(),
+    )
+    .strategy("soft-focused", |_| Box::new(SimpleStrategy::soft()))
+    .strategy("hard-focused", |_| Box::new(SimpleStrategy::hard()))
+    .run();
 
-    let factories: Vec<(&str, StrategyFactory)> = vec![
-        ("soft-focused", Box::new(|_: &WebSpace| {
-            Box::new(SimpleStrategy::soft()) as Box<dyn Strategy>
-        })),
-        ("hard-focused", Box::new(|_: &WebSpace| {
-            Box::new(SimpleStrategy::hard()) as Box<dyn Strategy>
-        })),
-    ];
-    let reports = runner::run_parallel(&ws, &factories, &classifier, &SimConfig::default());
+    run.queue_panel("Fig 5 URL queue size [URLs]");
+    run.emit(&[(PlotKind::QueueSize, "Fig 5 URL Queue Size, Thai")]);
 
-    let mut chart = AsciiChart::new("Fig 5  URL queue size [URLs] vs pages crawled", "queue");
-    for r in &reports {
-        chart.series(
-            &r.strategy,
-            r.samples
-                .iter()
-                .map(|s| (s.crawled as f64, s.queue_size as f64))
-                .collect(),
-        );
-    }
-    chart.print();
-    print_table("Fig 5 URL queue size [URLs]", &reports, 16, |r, j| {
-        Some(r.samples[j].queue_size as f64)
-    });
-
-    println!();
-    for r in &reports {
-        println!("{}", r.summary_row());
-        runner::write_csv(r, &format!("fig5_{}", r.strategy.replace(' ', "_")));
-    }
-    write_script("Fig 5 URL Queue Size, Thai", PlotKind::QueueSize, &reports, "fig5");
-
-    let soft = &reports[0];
-    let hard = &reports[1];
-    let n = ws.num_pages() as f64;
+    let [soft, hard] = &run.reports[..] else {
+        unreachable!()
+    };
+    let n = run.ws.num_pages() as f64;
     println!("\nShape checks (paper §5.2.1, Fig. 5):");
     println!(
         "  soft peak: {} URLs = {:.1}% of space (paper: ~57%)",
@@ -81,7 +54,10 @@ fn main() {
     const BYTES_PER_ENTRY: f64 = 112.0;
     let soft_frac = soft.max_queue as f64 / n;
     let hard_frac = hard.max_queue as f64 / n;
-    for (label, urls) in [("the paper's Thai log", 14.0e6), ("a full national web", 1.0e9)] {
+    for (label, urls) in [
+        ("the paper's Thai log", 14.0e6),
+        ("a full national web", 1.0e9),
+    ] {
         println!(
             "  projected peak frontier at {label} ({:.0}M URLs): soft ≈ {:.1} GB, hard ≈ {:.1} GB",
             urls / 1.0e6,
@@ -93,8 +69,4 @@ fn main() {
         "  (2004-era crawl machines had 2–8 GB of RAM: the soft-focused queue \
          does not fit, the hard/limited queues do — the paper's motivation for §3.3.2)"
     );
-}
-
-fn ok(b: bool) -> &'static str {
-    if b { "OK" } else { "MISMATCH" }
 }

@@ -5,41 +5,31 @@
 //! grows with N toward soft-focused's 100%; harvest rate *falls* as N
 //! grows — the flaw the prioritized mode (Fig. 7) fixes.
 
-use langcrawl_bench::figures::{ok, panels};
-use langcrawl_bench::runner::{self, StrategyFactory};
-use langcrawl_core::classifier::MetaClassifier;
-use langcrawl_core::sim::SimConfig;
-use langcrawl_core::strategy::{LimitedDistanceStrategy, Strategy};
-use langcrawl_webgraph::{GeneratorConfig, WebSpace};
+use langcrawl_bench::figures::ok;
+use langcrawl_bench::Experiment;
+use langcrawl_core::strategy::LimitedDistanceStrategy;
+use langcrawl_webgraph::GeneratorConfig;
 
 fn main() {
-    let scale = runner::env_scale(200_000);
-    let seed = runner::env_seed();
-    println!(
-        "== Figure 6: Non-Prioritized Limited Distance, Thai dataset (n={scale}, seed={seed}) =="
+    let mut e = Experiment::new(
+        "fig6",
+        "Figure 6: Non-Prioritized Limited Distance, Thai dataset",
+        GeneratorConfig::thai_like(),
     );
-    let ws = GeneratorConfig::thai_like().scaled(scale).build(seed);
-    let classifier = MetaClassifier::target(ws.target_language());
+    for n in 1..=4u8 {
+        e = e.strategy("limited", move |_| {
+            Box::new(LimitedDistanceStrategy::non_prioritized(n))
+        });
+    }
+    let run = e.run();
 
-    let factories: Vec<(&str, StrategyFactory)> = (1..=4u8)
-        .map(|n| {
-            (
-                "limited",
-                Box::new(move |_: &WebSpace| {
-                    Box::new(LimitedDistanceStrategy::non_prioritized(n)) as Box<dyn Strategy>
-                }) as StrategyFactory,
-            )
-        })
-        .collect();
-    let reports = runner::run_parallel(&ws, &factories, &classifier, &SimConfig::default());
-
-    panels(&reports, "Fig 6", "fig6");
+    run.three_panels("Fig 6");
 
     println!("\nShape checks (paper §5.2.2, non-prioritized):");
-    let queues: Vec<usize> = reports.iter().map(|r| r.max_queue).collect();
-    let covers: Vec<f64> = reports.iter().map(|r| r.final_coverage()).collect();
-    let early = ws.num_pages() as u64 / 6;
-    let harvests: Vec<f64> = reports.iter().map(|r| r.harvest_at(early)).collect();
+    let queues: Vec<usize> = run.reports.iter().map(|r| r.max_queue).collect();
+    let covers: Vec<f64> = run.reports.iter().map(|r| r.final_coverage()).collect();
+    let early = run.early(6);
+    let harvests: Vec<f64> = run.reports.iter().map(|r| r.harvest_at(early)).collect();
     println!(
         "  queue size grows with N:    {queues:?}  [{}]",
         ok(queues.windows(2).all(|w| w[0] < w[1]))
@@ -51,7 +41,10 @@ fn main() {
     );
     println!(
         "  early harvest FALLS with N: {:?}  [{}]",
-        harvests.iter().map(|h| format!("{h:.3}")).collect::<Vec<_>>(),
+        harvests
+            .iter()
+            .map(|h| format!("{h:.3}"))
+            .collect::<Vec<_>>(),
         ok(harvests.first() > harvests.last())
     );
 }

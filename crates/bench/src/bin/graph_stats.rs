@@ -10,7 +10,10 @@ use langcrawl_webgraph::{DatasetStats, GeneratorConfig};
 fn main() {
     let seed = runner::env_seed();
     for (name, cfg) in [
-        ("Thai-like", GeneratorConfig::thai_like().scaled(runner::env_scale(100_000))),
+        (
+            "Thai-like",
+            GeneratorConfig::thai_like().scaled(runner::env_scale(100_000)),
+        ),
         (
             "Japanese-like",
             GeneratorConfig::japanese_like().scaled(runner::env_scale(100_000)),
@@ -48,7 +51,13 @@ fn main() {
             cfg.locality,
             ok((links.target_locality - cfg.locality).abs() < 0.10)
         );
-        println!("\n{}", host_size_histogram(&ws).render("HTML pages per host (log2 bins)"));
-        println!("{}", out_degree_histogram(&ws).render("out-degree per HTML page (log2 bins)"));
+        println!(
+            "\n{}",
+            host_size_histogram(&ws).render("HTML pages per host (log2 bins)")
+        );
+        println!(
+            "{}",
+            out_degree_histogram(&ws).render("out-degree per HTML page (log2 bins)")
+        );
     }
 }

@@ -44,9 +44,7 @@ fn main() {
     for name in HARNESSES {
         let bin = bin_dir.join(name);
         let t0 = Instant::now();
-        let out = Command::new(&bin)
-            .env("LANGCRAWL_SCALE", &scale)
-            .output();
+        let out = Command::new(&bin).env("LANGCRAWL_SCALE", &scale).output();
         let (status, mismatches, oks) = match out {
             Ok(out) if out.status.success() => {
                 let text = String::from_utf8_lossy(&out.stdout);
@@ -55,7 +53,10 @@ fn main() {
                 (if mm == 0 { "pass" } else { "FAIL" }, mm, okc)
             }
             Ok(out) => {
-                eprintln!("--- {name} stderr ---\n{}", String::from_utf8_lossy(&out.stderr));
+                eprintln!(
+                    "--- {name} stderr ---\n{}",
+                    String::from_utf8_lossy(&out.stderr)
+                );
                 ("CRASH", 0, 0)
             }
             Err(e) => {

@@ -2,12 +2,17 @@
 //! schemes, plus the alias table the META classifier accepts and a live
 //! round-trip of the detector on each encoding.
 
-use langcrawl_charset::encode::{encode_japanese, encode_thai, japanese_demo_tokens, thai_demo_tokens};
+use langcrawl_charset::encode::{
+    encode_japanese, encode_thai, japanese_demo_tokens, thai_demo_tokens,
+};
 use langcrawl_charset::{charset_from_label, detect, Charset, Language};
 
 fn main() {
     println!("== Table 1: Languages and their corresponding character encoding schemes ==\n");
-    println!("{:<12} {:<40}", "Language", "Character Encoding Scheme (charset name)");
+    println!(
+        "{:<12} {:<40}",
+        "Language", "Character Encoding Scheme (charset name)"
+    );
     println!("{:-<12} {:-<40}", "", "");
     for lang in [Language::Japanese, Language::Thai] {
         let names: Vec<&str> = lang.charsets().iter().map(|c| c.label()).collect();
@@ -40,14 +45,23 @@ fn main() {
     println!("\nDetector round-trip (encode demo text, detect, map to language):");
     let ja = japanese_demo_tokens();
     let ja: Vec<_> = ja.iter().cycle().take(ja.len() * 8).copied().collect();
-    for cs in [Charset::EucJp, Charset::ShiftJis, Charset::Iso2022Jp, Charset::Utf8] {
+    for cs in [
+        Charset::EucJp,
+        Charset::ShiftJis,
+        Charset::Iso2022Jp,
+        Charset::Utf8,
+    ] {
         let d = detect(&encode_japanese(&ja, cs));
         println!(
             "  Japanese text as {:<12} -> detected {:<12} language={:<10} [{}]",
             cs.label(),
             d.charset.label(),
             d.language().map(|l| l.name()).unwrap_or("-"),
-            if d.language() == Some(Language::Japanese) { "OK" } else { "MISMATCH" }
+            if d.language() == Some(Language::Japanese) {
+                "OK"
+            } else {
+                "MISMATCH"
+            }
         );
     }
     let th = thai_demo_tokens();
@@ -59,7 +73,11 @@ fn main() {
             cs.label(),
             d.charset.label(),
             d.language().map(|l| l.name()).unwrap_or("-"),
-            if d.language() == Some(Language::Thai) { "OK" } else { "MISMATCH" }
+            if d.language() == Some(Language::Thai) {
+                "OK"
+            } else {
+                "MISMATCH"
+            }
         );
     }
 }

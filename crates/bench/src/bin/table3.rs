@@ -18,10 +18,7 @@ fn main() {
     println!("        Japanese 67,983,623/27,200,355/95,183,978 = 71% relevant;");
     println!("  ours reproduces the ratios at reduced scale)\n");
 
-    println!(
-        "{:<28} {:>14} {:>14}",
-        "", "Thai", "Japanese"
-    );
+    println!("{:<28} {:>14} {:>14}", "", "Thai", "Japanese");
     let mut rows: Vec<(String, String, String)> = Vec::new();
     let mut spaces = Vec::new();
     for cfg in [&thai, &japanese] {
@@ -31,8 +28,16 @@ fn main() {
     let s_th = DatasetStats::compute(&spaces[0]);
     let s_jp = DatasetStats::compute(&spaces[1]);
     for (name, a, b) in [
-        ("Relevant HTML pages", s_th.relevant_html, s_jp.relevant_html),
-        ("Irrelevant HTML pages", s_th.irrelevant_html, s_jp.irrelevant_html),
+        (
+            "Relevant HTML pages",
+            s_th.relevant_html,
+            s_jp.relevant_html,
+        ),
+        (
+            "Irrelevant HTML pages",
+            s_th.irrelevant_html,
+            s_jp.irrelevant_html,
+        ),
         ("Total HTML pages", s_th.total_html, s_jp.total_html),
         ("Total URLs", s_th.total_urls, s_jp.total_urls),
         ("Hosts", s_th.hosts, s_jp.hosts),
@@ -108,5 +113,9 @@ fn group(n: usize) -> String {
 }
 
 fn ok(b: bool) -> &'static str {
-    if b { "OK" } else { "MISMATCH" }
+    if b {
+        "OK"
+    } else {
+        "MISMATCH"
+    }
 }

@@ -51,7 +51,10 @@ fn main() {
     );
 
     println!("\nConnection scaling, bandwidth-bound regime (no politeness):");
-    println!("{:>13} {:>14} {:>12}", "connections", "wall clock [s]", "pages/s");
+    println!(
+        "{:>13} {:>14} {:>12}",
+        "connections", "wall clock [s]", "pages/s"
+    );
     let mut speed = Vec::new();
     for conns in [1usize, 4, 16, 64] {
         let cfg = TimingConfig {
@@ -79,7 +82,10 @@ fn main() {
     );
 
     println!("\nConnection scaling, politeness-bound regime (1 s/host):");
-    println!("{:>13} {:>14} {:>12}", "connections", "wall clock [s]", "pages/s");
+    println!(
+        "{:>13} {:>14} {:>12}",
+        "connections", "wall clock [s]", "pages/s"
+    );
     let mut polite_speed = Vec::new();
     for conns in [1usize, 16, 256] {
         let cfg = TimingConfig {
@@ -97,9 +103,10 @@ fn main() {
     }
     println!(
         "  extra connections buy nothing once politeness-bound (spread {:.1}%)  [{}]",
-        100.0 * (polite_speed.iter().cloned().fold(f64::MIN, f64::max)
-            / polite_speed.iter().cloned().fold(f64::MAX, f64::min)
-            - 1.0),
+        100.0
+            * (polite_speed.iter().cloned().fold(f64::MIN, f64::max)
+                / polite_speed.iter().cloned().fold(f64::MAX, f64::min)
+                - 1.0),
         ok(polite_speed.iter().cloned().fold(f64::MIN, f64::max)
             < polite_speed.iter().cloned().fold(f64::MAX, f64::min) * 1.25)
     );
@@ -129,7 +136,12 @@ fn main() {
                 .map(|s| 100.0 * s.relevant as f64 / s.crawled.max(1) as f64)
                 .unwrap_or(0.0)
         };
-        println!("{:>14.1} {:>15.1}% {:>15.1}%", t as f64 / 1000.0, h(&soft), h(&bf));
+        println!(
+            "{:>14.1} {:>15.1}% {:>15.1}%",
+            t as f64 / 1000.0,
+            h(&soft),
+            h(&bf)
+        );
     }
     let early_frac = |r: &langcrawl_core::timing::TimedReport, t: u64| {
         r.time_samples

@@ -6,20 +6,29 @@
 //! rows this reproduction adds).
 
 use langcrawl_bench::figures::ok;
-use langcrawl_bench::runner::{self, StrategyFactory};
-use langcrawl_core::classifier::{DetectorClassifier, MetaClassifier};
-use langcrawl_core::sim::{SimConfig, Simulator};
-use langcrawl_core::strategy::{BreadthFirst, SimpleStrategy, Strategy};
-use langcrawl_webgraph::{GeneratorConfig, WebSpace};
+use langcrawl_bench::{runner, Experiment};
+use langcrawl_core::classifier::DetectorClassifier;
+use langcrawl_core::sim::SimConfig;
+use langcrawl_core::strategy::{BreadthFirst, SimpleStrategy};
+use langcrawl_webgraph::GeneratorConfig;
 
 fn main() {
     let scale = runner::env_scale(60_000);
     let seed = runner::env_seed();
-    println!("== Wider languages: the paper's pipeline on four targets (n={scale}, seed={seed}) ==\n");
+    println!(
+        "== Wider languages: the paper's pipeline on four targets (n={scale}, seed={seed}) ==\n"
+    );
     println!(
         "{:<14} {:>10} {:>12} {:>12} {:>12} {:>12}",
         "target", "relevant", "bf harvest", "soft harvest", "soft cover", "hard cover"
     );
+
+    let e = Experiment::new("wider", "wider languages", GeneratorConfig::thai_like())
+        .quiet()
+        .sim_config(SimConfig::default().with_url_filter())
+        .strategy("bf", |_| Box::new(BreadthFirst::new()))
+        .strategy("soft", |_| Box::new(SimpleStrategy::soft()))
+        .strategy("hard", |_| Box::new(SimpleStrategy::hard()));
 
     let mut all_ok = true;
     for cfg in [
@@ -29,24 +38,7 @@ fn main() {
         GeneratorConfig::chinese_like().scaled(scale),
     ] {
         let ws = cfg.build(seed);
-        let classifier = MetaClassifier::target(ws.target_language());
-        let factories: Vec<(&str, StrategyFactory)> = vec![
-            ("bf", Box::new(|_: &WebSpace| {
-                Box::new(BreadthFirst::new()) as Box<dyn Strategy>
-            })),
-            ("soft", Box::new(|_: &WebSpace| {
-                Box::new(SimpleStrategy::soft()) as Box<dyn Strategy>
-            })),
-            ("hard", Box::new(|_: &WebSpace| {
-                Box::new(SimpleStrategy::hard()) as Box<dyn Strategy>
-            })),
-        ];
-        let reports = runner::run_parallel(
-            &ws,
-            &factories,
-            &classifier,
-            &SimConfig::default().with_url_filter(),
-        );
+        let reports = e.run_on(&ws);
         let early = ws.num_pages() as u64 / 6;
         let fine = reports[1].harvest_at(early) > reports[0].harvest_at(early)
             && reports[1].final_coverage() > 0.99;
@@ -67,7 +59,9 @@ fn main() {
     );
 
     // Detector-path spot check per language (content mode, small slice).
-    println!("\nByte-detector classification accuracy per language (content mode, 200 pages each):");
+    println!(
+        "\nByte-detector classification accuracy per language (content mode, 200 pages each):"
+    );
     for cfg in [
         GeneratorConfig::thai_like().scaled(6_000),
         GeneratorConfig::japanese_like().scaled(6_000),
@@ -102,10 +96,18 @@ fn main() {
     }
 
     // A hard run with the byte detector end-to-end on the Korean space.
-    let ws = GeneratorConfig::korean_like().scaled(8_000).build(seed);
-    let det = DetectorClassifier::target(ws.target_language());
-    let mut sim = Simulator::new(&ws, SimConfig::default().with_url_filter());
-    let r = sim.run(&mut SimpleStrategy::hard(), &det);
+    let run = Experiment::new(
+        "wider_ko",
+        "Korean detector crawl",
+        GeneratorConfig::korean_like(),
+    )
+    .quiet()
+    .scale(8_000)
+    .sim_config(SimConfig::default().with_url_filter())
+    .classifier_with(|ws| Box::new(DetectorClassifier::target(ws.target_language())))
+    .strategy("hard", |_| Box::new(SimpleStrategy::hard()))
+    .run();
+    let r = &run.reports[0];
     println!(
         "\nhard-focused Korean crawl with the byte detector: harvest {:.1}%, coverage {:.1}%  [{}]",
         100.0 * r.final_harvest(),

@@ -83,11 +83,7 @@ impl AsciiChart {
             };
             out.push_str(&format!("{label} |{}\n", row.iter().collect::<String>()));
         }
-        out.push_str(&format!(
-            "{:>9} +{}\n",
-            "",
-            "-".repeat(self.width)
-        ));
+        out.push_str(&format!("{:>9} +{}\n", "", "-".repeat(self.width)));
         out.push_str(&format!(
             "{:>9}  0{:>width$.0}\n",
             self.y_label,

@@ -1,86 +1,5 @@
-//! Shared figure rendering: the three-panel (queue / harvest / coverage)
-//! layout used by Fig. 6 and Fig. 7.
-
-use crate::chart::AsciiChart;
-use crate::gnuplot::{write_script, PlotKind};
-use crate::runner::{self, print_table};
-use langcrawl_core::metrics::CrawlReport;
-
-/// Render the (a) queue-size, (b) harvest-rate, (c) coverage panels for
-/// a set of reports, and write their CSVs under `results/` with the
-/// given file prefix.
-pub fn panels(reports: &[CrawlReport], fig: &str, file_prefix: &str) {
-    let mut chart_q = AsciiChart::new(
-        &format!("{fig}(a)  URL queue size [URLs] vs pages crawled"),
-        "queue",
-    );
-    for r in reports {
-        chart_q.series(
-            &r.strategy,
-            r.samples
-                .iter()
-                .map(|s| (s.crawled as f64, s.queue_size as f64))
-                .collect(),
-        );
-    }
-    chart_q.print();
-    print_table(
-        &format!("{fig}(a) URL queue size [URLs]"),
-        reports,
-        14,
-        |r, j| Some(r.samples[j].queue_size as f64),
-    );
-
-    let mut chart_h = AsciiChart::new(
-        &format!("{fig}(b)  Harvest Rate [%] vs pages crawled"),
-        "harvest%",
-    )
-    .y_max(100.0);
-    for r in reports {
-        chart_h.series(
-            &r.strategy,
-            r.samples
-                .iter()
-                .map(|s| (s.crawled as f64, 100.0 * s.harvest_rate()))
-                .collect(),
-        );
-    }
-    chart_h.print();
-    print_table(&format!("{fig}(b) harvest rate [%]"), reports, 14, |r, j| {
-        Some(100.0 * r.samples[j].harvest_rate())
-    });
-
-    let mut chart_c = AsciiChart::new(
-        &format!("{fig}(c)  Coverage [%] vs pages crawled"),
-        "cover%",
-    )
-    .y_max(100.0);
-    for r in reports {
-        chart_c.series(
-            &r.strategy,
-            r.samples
-                .iter()
-                .map(|s| (s.crawled as f64, 100.0 * r.coverage_at(s)))
-                .collect(),
-        );
-    }
-    chart_c.print();
-    print_table(&format!("{fig}(c) coverage [%]"), reports, 14, |r, j| {
-        Some(100.0 * r.coverage_at(&r.samples[j]))
-    });
-
-    println!();
-    for r in reports {
-        println!("{}", r.summary_row());
-        runner::write_csv(
-            r,
-            &format!("{file_prefix}_{}", r.strategy.replace([' ', '=', '.'], "_")),
-        );
-    }
-    write_script(&format!("{fig}(a) URL queue size"), PlotKind::QueueSize, reports, file_prefix);
-    write_script(&format!("{fig}(b) Harvest Rate"), PlotKind::Harvest, reports, file_prefix);
-    write_script(&format!("{fig}(c) Coverage"), PlotKind::Coverage, reports, file_prefix);
-}
+//! Shared figure-check helpers. The panel layouts themselves live on
+//! [`crate::experiment::ExperimentRun`].
 
 /// Tick-mark for shape checks.
 pub fn ok(b: bool) -> &'static str {

@@ -47,12 +47,7 @@ impl PlotKind {
 /// Render a gnuplot script plotting one curve per report, reading the
 /// CSVs written by [`crate::runner::write_csv`] under the given file
 /// prefix.
-pub fn script(
-    title: &str,
-    kind: PlotKind,
-    reports: &[CrawlReport],
-    file_prefix: &str,
-) -> String {
+pub fn script(title: &str, kind: PlotKind, reports: &[CrawlReport], file_prefix: &str) -> String {
     let mut out = String::new();
     out.push_str("set datafile separator ','\n");
     out.push_str(&format!("set title \"{title}\"\n"));
@@ -149,6 +144,9 @@ mod tests {
 
     #[test]
     fn sanitize_matches_write_csv_mangling() {
-        assert_eq!(sanitize("prior. limited-distance N=3"), "prior__limited-distance_N_3");
+        assert_eq!(
+            sanitize("prior. limited-distance N=3"),
+            "prior__limited-distance_N_3"
+        );
     }
 }

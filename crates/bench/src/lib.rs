@@ -2,9 +2,10 @@
 //!
 //! Shared machinery for the binaries that regenerate every table and
 //! figure of the paper (see DESIGN.md §4 for the experiment index) and
-//! for the Criterion microbenches.
+//! for the self-contained microbenches.
 //!
-//! Each figure binary:
+//! Each figure binary declares an [`experiment::Experiment`] — preset +
+//! scale + seed + strategy set + classifier + output prefix — and:
 //! 1. builds the preset web space (size overridable with
 //!    `LANGCRAWL_SCALE=<urls>`; seed with `LANGCRAWL_SEED=<u64>`),
 //! 2. runs the paper's strategies (in parallel, one thread each — the
@@ -16,11 +17,14 @@
 #![warn(missing_docs)]
 
 pub mod chart;
+pub mod experiment;
 pub mod figures;
 pub mod gnuplot;
 pub mod runner;
 
 pub use chart::AsciiChart;
+pub use experiment::{Experiment, ExperimentRun};
 pub use runner::{
-    default_scale, env_scale, env_seed, run_parallel, write_csv, StrategyFactory,
+    default_scale, env_scale, env_seed, run_parallel, write_csv, write_csv_reporting,
+    StrategyFactory,
 };

@@ -5,8 +5,8 @@ use langcrawl_core::metrics::CrawlReport;
 use langcrawl_core::sim::{SimConfig, Simulator};
 use langcrawl_core::strategy::Strategy;
 use langcrawl_webgraph::WebSpace;
-use std::io::Write;
-use std::path::Path;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
 
 /// A named constructor for a strategy (strategies are stateful, so each
 /// run builds a fresh one).
@@ -45,10 +45,10 @@ pub fn run_parallel(
 ) -> Vec<CrawlReport> {
     let mut out: Vec<Option<CrawlReport>> = Vec::new();
     out.resize_with(factories.len(), || None);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (slot, (_, factory)) in out.iter_mut().zip(factories.iter()) {
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut strategy = factory(ws);
                 let mut sim = Simulator::new(ws, config.clone());
                 *slot = Some(sim.run(strategy.as_mut(), classifier));
@@ -57,26 +57,29 @@ pub fn run_parallel(
         for h in handles {
             h.join().expect("experiment thread panicked");
         }
-    })
-    .expect("experiment scope");
+    });
     out.into_iter().map(|r| r.expect("report filled")).collect()
 }
 
-/// Write a report's series CSV under `results/` (created on demand);
-/// prints the path so terminal users can find it.
-pub fn write_csv(report: &CrawlReport, name: &str) {
+/// Write a report's series CSV under `results/` (created on demand) and
+/// return the path written.
+pub fn write_csv(report: &CrawlReport, name: &str) -> io::Result<PathBuf> {
     let dir = Path::new("results");
-    if std::fs::create_dir_all(dir).is_err() {
-        return; // read-only checkout: printing the tables is enough
-    }
+    std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("{name}.csv"));
-    match std::fs::File::create(&path) {
-        Ok(mut f) => {
-            if report.write_csv(&mut f).and_then(|_| f.flush()).is_ok() {
-                println!("  [csv] {}", path.display());
-            }
-        }
-        Err(e) => eprintln!("  [csv] cannot write {}: {e}", path.display()),
+    let mut f = std::fs::File::create(&path)?;
+    report.write_csv(&mut f)?;
+    f.flush()?;
+    Ok(path)
+}
+
+/// Write a report's CSV and print where it went — or why it didn't.
+/// Figure binaries treat output as best-effort (a read-only checkout
+/// still prints its tables) but the failure is always reported.
+pub fn write_csv_reporting(report: &CrawlReport, name: &str) {
+    match write_csv(report, name) {
+        Ok(path) => println!("  [csv] {}", path.display()),
+        Err(e) => eprintln!("  [csv] cannot write {name}.csv: {e}"),
     }
 }
 
@@ -111,12 +114,18 @@ pub fn print_table(
     }
 }
 
+/// Truncate to at most `n` bytes without splitting a UTF-8 sequence:
+/// strategy names can be non-ASCII (e.g. Thai script), where a blind
+/// `&s[..n]` panics on a char boundary.
 fn truncate(s: &str, n: usize) -> &str {
     if s.len() <= n {
-        s
-    } else {
-        &s[..n]
+        return s;
     }
+    let mut end = n;
+    while !s.is_char_boundary(end) {
+        end -= 1;
+    }
+    &s[..end]
 }
 
 #[cfg(test)]
@@ -131,8 +140,14 @@ mod tests {
         let ws = GeneratorConfig::thai_like().scaled(3_000).build(2);
         let oracle = OracleClassifier::target(ws.target_language());
         let factories: Vec<(&str, StrategyFactory)> = vec![
-            ("bf", Box::new(|_: &WebSpace| Box::new(BreadthFirst::new()) as Box<dyn Strategy>)),
-            ("soft", Box::new(|_: &WebSpace| Box::new(SimpleStrategy::soft()) as Box<dyn Strategy>)),
+            (
+                "bf",
+                Box::new(|_: &WebSpace| Box::new(BreadthFirst::new()) as Box<dyn Strategy>),
+            ),
+            (
+                "soft",
+                Box::new(|_: &WebSpace| Box::new(SimpleStrategy::soft()) as Box<dyn Strategy>),
+            ),
         ];
         let reports = run_parallel(&ws, &factories, &oracle, &SimConfig::default());
         assert_eq!(reports.len(), 2);
@@ -148,5 +163,39 @@ mod tests {
         // (Env vars unset in the test harness.)
         assert_eq!(env_scale(123), 123);
         assert_eq!(env_seed(), 42);
+    }
+
+    #[test]
+    fn truncate_is_char_boundary_safe() {
+        // A Thai-script strategy name: every char is 3 bytes in UTF-8, so
+        // most byte offsets fall inside a character.
+        let thai = "กลยุทธ์เชิงลึกจำกัด"; // "limited-depth strategy"
+        for n in 0..=thai.len() + 2 {
+            let t = truncate(thai, n);
+            assert!(t.len() <= n || thai.len() <= n);
+            assert!(thai.starts_with(t));
+        }
+        assert_eq!(truncate("ascii-name", 5), "ascii");
+        assert_eq!(truncate("short", 26), "short");
+        // 26-byte table column on a Thai name must not panic (the
+        // original regression: `&s[..26]` inside a 3-byte char).
+        let col = truncate(thai, 26);
+        assert!(col.len() <= 26);
+        assert!(!col.is_empty());
+    }
+
+    #[test]
+    fn write_csv_reports_path() {
+        let ws = GeneratorConfig::thai_like().scaled(2_000).build(3);
+        let oracle = OracleClassifier::target(ws.target_language());
+        let mut sim = Simulator::new(&ws, SimConfig::default());
+        let report = sim.run(&mut BreadthFirst::new(), &oracle);
+        // `write_csv` resolves `results/` relative to the cwd; clean up
+        // the artifact afterwards.
+        let path = write_csv(&report, "unit_test_report").expect("csv written");
+        assert!(path.ends_with("results/unit_test_report.csv"));
+        let written = std::fs::read_to_string(&path).unwrap();
+        assert!(written.starts_with("crawled,"));
+        std::fs::remove_file(&path).ok();
     }
 }

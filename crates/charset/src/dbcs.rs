@@ -80,10 +80,7 @@ pub fn korean_from_unicode(c: char) -> Option<Kuten> {
     let cp = c as u32;
     if (0xAC00..0xAC00 + 25 * 94).contains(&cp) {
         let off = cp - 0xAC00;
-        Kuten::new(
-            rows::HANGUL_FIRST + (off / 94) as u8,
-            (off % 94 + 1) as u8,
-        )
+        Kuten::new(rows::HANGUL_FIRST + (off / 94) as u8, (off % 94 + 1) as u8)
     } else {
         None
     }

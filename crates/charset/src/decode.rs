@@ -48,9 +48,7 @@ fn decode_eucjp(bytes: &[u8]) -> String {
                 // Half-width kana: map into the Unicode half-width block.
                 if let Some(&t) = bytes.get(i + 1) {
                     if (0xA1..=0xDF).contains(&t) {
-                        out.push(
-                            char::from_u32(0xFF61 + (t as u32 - 0xA1)).unwrap_or(REPLACEMENT),
-                        );
+                        out.push(char::from_u32(0xFF61 + (t as u32 - 0xA1)).unwrap_or(REPLACEMENT));
                         i += 2;
                         continue;
                     }

@@ -7,8 +7,8 @@
 //! violated, and rank the survivors by distribution confidence.
 
 use crate::prober::{
-    EucJpProber, EucKrProber, Gb2312Prober, Iso2022JpProber, Latin1Prober, Prober,
-    ShiftJisProber, ThaiProber, Utf8Prober,
+    EucJpProber, EucKrProber, Gb2312Prober, Iso2022JpProber, Latin1Prober, Prober, ShiftJisProber,
+    ThaiProber, Utf8Prober,
 };
 use crate::types::{Charset, Language};
 
@@ -130,9 +130,7 @@ pub fn detect_with(bytes: &[u8], config: &DetectorConfig) -> Detection {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::encode::{
-        encode_japanese, encode_thai, japanese_demo_tokens, thai_demo_tokens,
-    };
+    use crate::encode::{encode_japanese, encode_thai, japanese_demo_tokens, thai_demo_tokens};
 
     #[test]
     fn ascii_detected() {
@@ -147,7 +145,12 @@ mod tests {
         // Repeat the phrase so distribution statistics stabilise, as a
         // real page body would.
         let toks: Vec<_> = toks.iter().cycle().take(toks.len() * 8).copied().collect();
-        for cs in [Charset::EucJp, Charset::ShiftJis, Charset::Iso2022Jp, Charset::Utf8] {
+        for cs in [
+            Charset::EucJp,
+            Charset::ShiftJis,
+            Charset::Iso2022Jp,
+            Charset::Utf8,
+        ] {
             let bytes = encode_japanese(&toks, cs);
             let d = detect(&bytes);
             assert_eq!(d.charset, cs, "expected {cs}, got {:?}", d);
@@ -234,9 +237,7 @@ mod tests {
 
     #[test]
     fn korean_and_chinese_detected() {
-        use crate::dbcs::{
-            chinese_demo_tokens, encode_chinese, encode_korean, korean_demo_tokens,
-        };
+        use crate::dbcs::{chinese_demo_tokens, encode_chinese, encode_korean, korean_demo_tokens};
         let kr = korean_demo_tokens();
         let kr: Vec<_> = kr.iter().cycle().take(kr.len() * 8).copied().collect();
         let d = detect(&encode_korean(&kr, Charset::EucKr));
@@ -261,9 +262,7 @@ mod tests {
     /// its own prober.
     #[test]
     fn euc_family_cross_discrimination() {
-        use crate::dbcs::{
-            chinese_demo_tokens, encode_chinese, encode_korean, korean_demo_tokens,
-        };
+        use crate::dbcs::{chinese_demo_tokens, encode_chinese, encode_korean, korean_demo_tokens};
         let ja = japanese_demo_tokens();
         let ja: Vec<_> = ja.iter().cycle().take(ja.len() * 8).copied().collect();
         let d = detect(&encode_japanese(&ja, Charset::EucJp));

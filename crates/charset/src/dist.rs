@@ -118,8 +118,8 @@ impl KoreanDistribution {
         self.chars += 1;
         self.weight_sum += match k.ku {
             r if (kr::HANGUL_FIRST..=kr::HANGUL_LAST).contains(&r) => 1.0,
-            1..=12 => 0.5,           // symbols/punctuation rows
-            42..=93 => 0.15,         // hanja: rare in modern text
+            1..=12 => 0.5,   // symbols/punctuation rows
+            42..=93 => 0.15, // hanja: rare in modern text
             _ => 0.05,
         };
     }

@@ -124,7 +124,11 @@ impl Kuten {
         let row_pair = (adjusted - 0x81) * 2; // 0-based pair of JIS rows
         let (j1, j2) = if trail < 0x9F {
             // First (odd) row of the pair.
-            let j2 = if trail > 0x7E { trail - 0x20 } else { trail - 0x1F };
+            let j2 = if trail > 0x7E {
+                trail - 0x20
+            } else {
+                trail - 0x1F
+            };
             (row_pair + 0x21, j2)
         } else {
             (row_pair + 0x22, trail - 0x7E)
@@ -171,10 +175,7 @@ impl Kuten {
             0xFF01..=0xFF5E => Kuten::new(rows::FULLWIDTH_LATIN, (cp - 0xFF00) as u8),
             0x4E00..=0x6785 => {
                 let off = cp - 0x4E00;
-                Kuten::new(
-                    rows::KANJI_FIRST + (off / 94) as u8,
-                    (off % 94 + 1) as u8,
-                )
+                Kuten::new(rows::KANJI_FIRST + (off / 94) as u8, (off % 94 + 1) as u8)
             }
             _ => None,
         }
@@ -252,7 +253,11 @@ mod tests {
     fn sjis_round_trip_exhaustive() {
         for k in all_kuten() {
             let [l, t] = k.to_sjis();
-            assert_eq!(Kuten::from_sjis(l, t), Some(k), "kuten {k:?} → {l:02X} {t:02X}");
+            assert_eq!(
+                Kuten::from_sjis(l, t),
+                Some(k),
+                "kuten {k:?} → {l:02X} {t:02X}"
+            );
         }
     }
 

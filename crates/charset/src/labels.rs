@@ -25,8 +25,7 @@ use crate::types::Charset;
 /// assert_eq!(charset_from_label("klingon-8"), Charset::Unknown);
 /// ```
 pub fn charset_from_label(label: &str) -> Charset {
-    let trimmed = label
-        .trim_matches(|c: char| c.is_ascii_whitespace() || c == '"' || c == '\'');
+    let trimmed = label.trim_matches(|c: char| c.is_ascii_whitespace() || c == '"' || c == '\'');
     // Labels are short; a stack buffer lowercase avoids allocation on the
     // hot path (every crawled page consults this).
     let mut buf = [0u8; 32];
@@ -42,8 +41,9 @@ pub fn charset_from_label(label: &str) -> Charset {
         b"utf-8" | b"utf8" | b"unicode-1-1-utf-8" => Charset::Utf8,
         b"iso-8859-1" | b"iso8859-1" | b"latin1" | b"latin-1" | b"l1" | b"cp819"
         | b"iso_8859-1" | b"windows-1252" | b"cp1252" => Charset::Latin1,
-        b"euc-jp" | b"eucjp" | b"x-euc-jp" | b"cseucpkdfmtjapanese" | b"x-euc"
-        | b"euc_jp" => Charset::EucJp,
+        b"euc-jp" | b"eucjp" | b"x-euc-jp" | b"cseucpkdfmtjapanese" | b"x-euc" | b"euc_jp" => {
+            Charset::EucJp
+        }
         b"shift_jis" | b"shift-jis" | b"shiftjis" | b"sjis" | b"x-sjis" | b"s-jis"
         | b"ms_kanji" | b"csshiftjis" | b"windows-31j" | b"cp932" | b"x-ms-cp932" => {
             Charset::ShiftJis
@@ -51,9 +51,7 @@ pub fn charset_from_label(label: &str) -> Charset {
         b"iso-2022-jp" | b"iso2022jp" | b"csiso2022jp" | b"jis" | b"iso-2022-jp-2" => {
             Charset::Iso2022Jp
         }
-        b"tis-620" | b"tis620" | b"tis620.2533" | b"tis-620.2533" | b"cstis620" => {
-            Charset::Tis620
-        }
+        b"tis-620" | b"tis620" | b"tis620.2533" | b"tis-620.2533" | b"cstis620" => Charset::Tis620,
         b"windows-874" | b"cp874" | b"x-cp874" | b"ms874" | b"cp-874" => Charset::Windows874,
         b"iso-8859-11" | b"iso8859-11" | b"iso_8859-11" | b"latin/thai" => Charset::Iso885911,
         b"euc-kr" | b"euckr" | b"euc_kr" | b"x-euc-kr" | b"ks_c_5601-1987" | b"ksc5601"

@@ -42,18 +42,18 @@ pub enum ThaiClass {
 pub fn classify(b: u8) -> ThaiClass {
     match b {
         0xA1..=0xCE => ThaiClass::Consonant,
-        0xCF => ThaiClass::Sign,             // ฯ paiyannoi
+        0xCF => ThaiClass::Sign, // ฯ paiyannoi
         0xD0..=0xD3 => ThaiClass::FollowVowel,
         0xD4..=0xD9 => ThaiClass::AboveBelowVowel,
-        0xDA => ThaiClass::ToneMark,         // ฺ phinthu (below)
-        0xDF => ThaiClass::Sign,             // ฿ baht
+        0xDA => ThaiClass::ToneMark, // ฺ phinthu (below)
+        0xDF => ThaiClass::Sign,     // ฿ baht
         0xE0..=0xE4 => ThaiClass::LeadVowel,
-        0xE5 => ThaiClass::Independent,      // ๅ lakkhangyao
-        0xE6 => ThaiClass::Sign,             // ๆ maiyamok
-        0xE7..=0xEE => ThaiClass::ToneMark,  // ็ ่ ้ ๊ ๋ ์ ํ ๎
-        0xEF => ThaiClass::Punct,            // ๏ fongman
+        0xE5 => ThaiClass::Independent,     // ๅ lakkhangyao
+        0xE6 => ThaiClass::Sign,            // ๆ maiyamok
+        0xE7..=0xEE => ThaiClass::ToneMark, // ็ ่ ้ ๊ ๋ ์ ํ ๎
+        0xEF => ThaiClass::Punct,           // ๏ fongman
         0xF0..=0xF9 => ThaiClass::Digit,
-        0xFA..=0xFB => ThaiClass::Punct,     // ๚ ๛
+        0xFA..=0xFB => ThaiClass::Punct, // ๚ ๛
         _ => ThaiClass::NotThai,
     }
 }
@@ -116,11 +116,7 @@ pub fn valid_in_family(b: u8, charset: crate::Charset) -> bool {
         Charset::Tis620 => is_thai_byte(b),
         Charset::Iso885911 => is_thai_byte(b) || b == 0xA0,
         Charset::Windows874 => {
-            is_thai_byte(b)
-                || b == 0xA0
-                || b == 0x80
-                || b == 0x85
-                || (0x91..=0x97).contains(&b)
+            is_thai_byte(b) || b == 0xA0 || b == 0x80 || b == 0x85 || (0x91..=0x97).contains(&b)
         }
         _ => false,
     }

@@ -1,6 +1,5 @@
 //! The charset and language taxonomy (the paper's Table 1).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A character encoding scheme the classifier can recognise.
@@ -8,7 +7,8 @@ use std::fmt;
 /// The set covers every encoding in the paper's Table 1, plus the
 /// surrounding encodings a crawler of that era actually met (ASCII, UTF-8,
 /// Latin-1) so the detector has realistic negatives to reject.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Charset {
     /// Pure 7-bit US-ASCII.
     Ascii,
@@ -54,10 +54,7 @@ impl Charset {
             Charset::Tis620 | Charset::Windows874 | Charset::Iso885911 => Some(Language::Thai),
             Charset::EucKr => Some(Language::Korean),
             Charset::Gb2312 => Some(Language::Chinese),
-            Charset::Ascii
-            | Charset::Utf8
-            | Charset::Latin1
-            | Charset::Unknown => None,
+            Charset::Ascii | Charset::Utf8 | Charset::Latin1 | Charset::Unknown => None,
         }
     }
 
@@ -102,12 +99,18 @@ impl Charset {
     /// differ only in a handful of code points and are interchangeable for
     /// language identification.
     pub fn is_thai_family(self) -> bool {
-        matches!(self, Charset::Tis620 | Charset::Windows874 | Charset::Iso885911)
+        matches!(
+            self,
+            Charset::Tis620 | Charset::Windows874 | Charset::Iso885911
+        )
     }
 
     /// Whether this is one of the Japanese family encodings.
     pub fn is_japanese_family(self) -> bool {
-        matches!(self, Charset::EucJp | Charset::ShiftJis | Charset::Iso2022Jp)
+        matches!(
+            self,
+            Charset::EucJp | Charset::ShiftJis | Charset::Iso2022Jp
+        )
     }
 }
 
@@ -119,7 +122,8 @@ impl fmt::Display for Charset {
 
 /// Natural language of a web page, as far as the crawler's classifier is
 /// concerned.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Language {
     /// Japanese — the paper's highly language-specific dataset.
     Japanese,

@@ -2,205 +2,234 @@
 //! randomly generated token streams, plus totality on arbitrary bytes.
 
 use langcrawl_charset::dbcs::{
-    chinese_from_unicode, chinese_to_unicode, encode_chinese, encode_korean,
-    korean_from_unicode, korean_to_unicode, DbToken,
+    chinese_from_unicode, chinese_to_unicode, encode_chinese, encode_korean, korean_from_unicode,
+    korean_to_unicode, DbToken,
 };
 use langcrawl_charset::decode::decode;
 use langcrawl_charset::encode::{encode_japanese, encode_thai, JaToken, ThToken};
 use langcrawl_charset::kuten::Kuten;
 use langcrawl_charset::{detect, thai, Charset, Language};
-use proptest::prelude::*;
+use langcrawl_minicheck::{check_default, Gen};
 
 /// Random Japanese token streams with a realistic composition: mostly
 /// hiragana, some katakana/kanji/punctuation, occasional ASCII.
-fn arb_japanese_tokens() -> impl Strategy<Value = Vec<JaToken>> {
-    let tok = prop_oneof![
-        5 => (1u8..=83).prop_map(|t| JaToken::K(Kuten::new(4, t).unwrap())),
-        1 => (1u8..=86).prop_map(|t| JaToken::K(Kuten::new(5, t).unwrap())),
-        2 => ((16u8..=47), (1u8..=94)).prop_map(|(k, t)| JaToken::K(Kuten::new(k, t).unwrap())),
-        1 => (1u8..=6).prop_map(|t| JaToken::K(Kuten::new(1, t).unwrap())),
-        1 => (0x20u8..=0x7E).prop_map(JaToken::Ascii),
-    ];
-    proptest::collection::vec(tok, 30..200)
+fn arb_japanese_tokens(g: &mut Gen) -> Vec<JaToken> {
+    g.vec(30..200, |g| match g.weighted(&[5, 1, 2, 1, 1]) {
+        0 => JaToken::K(Kuten::new(4, g.u8(1..=83)).unwrap()),
+        1 => JaToken::K(Kuten::new(5, g.u8(1..=86)).unwrap()),
+        2 => JaToken::K(Kuten::new(g.u8(16..=47), g.u8(1..=94)).unwrap()),
+        3 => JaToken::K(Kuten::new(1, g.u8(1..=6)).unwrap()),
+        _ => JaToken::Ascii(g.u8(0x20..=0x7E)),
+    })
 }
 
 /// Random Thai token streams built from canonical syllables so the
 /// orthography scorer sees genuine structure.
-fn arb_thai_tokens() -> impl Strategy<Value = Vec<ThToken>> {
-    let consonant = 0xA1u8..=0xCE;
-    let syllable = (consonant, proptest::option::of(0xD4u8..=0xD9), proptest::option::of(0xE8u8..=0xEB))
-        .prop_map(|(c, v, t)| {
-            let mut s = vec![ThToken::Thai(c)];
-            if let Some(v) = v {
-                s.push(ThToken::Thai(v));
-            }
-            if let Some(t) = t {
-                s.push(ThToken::Thai(t));
-            }
-            s
-        });
-    proptest::collection::vec(syllable, 15..80).prop_map(|sylls| {
-        let mut out = Vec::new();
-        for (i, s) in sylls.into_iter().enumerate() {
-            if i % 6 == 5 {
-                out.push(ThToken::Ascii(b' '));
-            }
-            out.extend(s);
+fn arb_thai_tokens(g: &mut Gen) -> Vec<ThToken> {
+    let sylls = g.vec(15..80, |g| {
+        let mut s = vec![ThToken::Thai(g.u8(0xA1..=0xCE))];
+        if let Some(v) = g.option(|g| g.u8(0xD4..=0xD9)) {
+            s.push(ThToken::Thai(v));
         }
-        out
-    })
+        if let Some(t) = g.option(|g| g.u8(0xE8..=0xEB)) {
+            s.push(ThToken::Thai(t));
+        }
+        s
+    });
+    let mut out = Vec::new();
+    for (i, s) in sylls.into_iter().enumerate() {
+        if i % 6 == 5 {
+            out.push(ThToken::Ascii(b' '));
+        }
+        out.extend(s);
+    }
+    out
 }
 
-proptest! {
-    /// Whatever Japanese legacy charset we encode into, the detector
-    /// recovers a Japanese verdict.
-    #[test]
-    fn japanese_encode_detect_round_trip(toks in arb_japanese_tokens()) {
+/// Whatever Japanese legacy charset we encode into, the detector recovers
+/// a Japanese verdict.
+#[test]
+fn japanese_encode_detect_round_trip() {
+    check_default(|g| {
+        let toks = arb_japanese_tokens(g);
         for cs in [Charset::EucJp, Charset::ShiftJis, Charset::Iso2022Jp] {
             let bytes = encode_japanese(&toks, cs);
             let d = detect(&bytes);
-            prop_assert_eq!(
+            assert_eq!(
                 d.language(),
                 Some(Language::Japanese),
-                "charset {} detected as {:?}",
-                cs,
-                d
+                "charset {cs} detected as {d:?}"
             );
         }
-    }
+    });
+}
 
-    /// UTF-8-encoded Japanese is detected as UTF-8 with a Japanese hint.
-    #[test]
-    fn japanese_utf8_detect(toks in arb_japanese_tokens()) {
+/// UTF-8-encoded Japanese is detected as UTF-8 with a Japanese hint.
+#[test]
+fn japanese_utf8_detect() {
+    check_default(|g| {
+        let toks = arb_japanese_tokens(g);
         let bytes = encode_japanese(&toks, Charset::Utf8);
         let d = detect(&bytes);
-        prop_assert_eq!(d.charset, Charset::Utf8);
-        prop_assert_eq!(d.language(), Some(Language::Japanese));
-    }
+        assert_eq!(d.charset, Charset::Utf8);
+        assert_eq!(d.language(), Some(Language::Japanese));
+    });
+}
 
-    /// Thai text detects as the Thai family in TIS-620 and as UTF-8+Thai
-    /// in UTF-8.
-    #[test]
-    fn thai_encode_detect_round_trip(toks in arb_thai_tokens()) {
+/// Thai text detects as the Thai family in TIS-620 and as UTF-8+Thai in
+/// UTF-8.
+#[test]
+fn thai_encode_detect_round_trip() {
+    check_default(|g| {
+        let toks = arb_thai_tokens(g);
         let bytes = encode_thai(&toks, Charset::Tis620);
         let d = detect(&bytes);
-        prop_assert!(d.charset.is_thai_family(), "detected {:?}", d);
-        prop_assert_eq!(d.language(), Some(Language::Thai));
+        assert!(d.charset.is_thai_family(), "detected {d:?}");
+        assert_eq!(d.language(), Some(Language::Thai));
 
         let utf8 = encode_thai(&toks, Charset::Utf8);
         let d8 = detect(&utf8);
-        prop_assert_eq!(d8.charset, Charset::Utf8);
-        prop_assert_eq!(d8.language(), Some(Language::Thai));
-    }
+        assert_eq!(d8.charset, Charset::Utf8);
+        assert_eq!(d8.language(), Some(Language::Thai));
+    });
+}
 
-    /// Decoding the encoded bytes yields the same Unicode string across
-    /// every charset capable of carrying the text.
-    #[test]
-    fn japanese_decode_consistency(toks in arb_japanese_tokens()) {
+/// Decoding the encoded bytes yields the same Unicode string across every
+/// charset capable of carrying the text.
+#[test]
+fn japanese_decode_consistency() {
+    check_default(|g| {
+        let toks = arb_japanese_tokens(g);
         let reference = decode(&encode_japanese(&toks, Charset::Utf8), Charset::Utf8);
         for cs in [Charset::EucJp, Charset::ShiftJis, Charset::Iso2022Jp] {
             let roundtrip = decode(&encode_japanese(&toks, cs), cs);
-            prop_assert_eq!(&roundtrip, &reference, "{}", cs);
+            assert_eq!(&roundtrip, &reference, "{cs}");
         }
-        let clean = !reference.contains('\u{FFFD}');
-        prop_assert!(clean, "replacement char in decoded reference");
-    }
+        assert!(
+            !reference.contains('\u{FFFD}'),
+            "replacement char in decoded reference"
+        );
+    });
+}
 
-    /// Thai decode consistency across the family.
-    #[test]
-    fn thai_decode_consistency(toks in arb_thai_tokens()) {
+/// Thai decode consistency across the family.
+#[test]
+fn thai_decode_consistency() {
+    check_default(|g| {
+        let toks = arb_thai_tokens(g);
         let reference = decode(&encode_thai(&toks, Charset::Utf8), Charset::Utf8);
         for cs in [Charset::Tis620, Charset::Windows874, Charset::Iso885911] {
             let roundtrip = decode(&encode_thai(&toks, cs), cs);
-            prop_assert_eq!(&roundtrip, &reference, "{}", cs);
+            assert_eq!(&roundtrip, &reference, "{cs}");
         }
-    }
+    });
+}
 
-    /// Detection and decoding are total on arbitrary bytes: no panics,
-    /// and the confidence is always within [0, 1].
-    #[test]
-    fn detect_total_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+/// Detection and decoding are total on arbitrary bytes: no panics, and
+/// the confidence is always within [0, 1].
+#[test]
+fn detect_total_on_garbage() {
+    check_default(|g| {
+        let bytes = g.bytes(0..512);
         let d = detect(&bytes);
-        prop_assert!((0.0..=1.0).contains(&d.confidence));
+        assert!((0.0..=1.0).contains(&d.confidence));
         for &cs in Charset::all() {
             let _ = decode(&bytes, cs);
         }
-    }
+    });
+}
 
-    /// Pure ASCII always detects as ASCII regardless of content.
-    #[test]
-    fn ascii_always_ascii(s in "[ -~]{0,256}") {
-        // The ESC byte is the one 7-bit byte that is not "plain ASCII".
-        prop_assume!(!s.contains('\u{1b}'));
-        prop_assert_eq!(detect(s.as_bytes()).charset, Charset::Ascii);
-    }
+/// Pure ASCII always detects as ASCII regardless of content. (The ESC
+/// byte is the one 7-bit byte that is not "plain ASCII", so the
+/// generator's alphabet stops short of it.)
+#[test]
+fn ascii_always_ascii() {
+    check_default(|g| {
+        let s: String = g
+            .vec(0..256, |g| g.u8(0x20..=0x7E) as char)
+            .into_iter()
+            .collect();
+        assert_eq!(detect(s.as_bytes()).charset, Charset::Ascii);
+    });
+}
 
-    /// Every assigned TIS-620 byte survives a byte→char→byte round trip.
-    #[test]
-    fn tis620_byte_round_trip(b in 0x80u8..=0xFF) {
+/// Every assigned TIS-620 byte survives a byte→char→byte round trip.
+#[test]
+fn tis620_byte_round_trip() {
+    // Small exhaustive domain — enumerate it instead of sampling.
+    for b in 0x80u8..=0xFF {
         if thai::is_thai_byte(b) {
             let c = thai::to_unicode(b).unwrap();
-            prop_assert_eq!(thai::from_unicode(c), Some(b));
+            assert_eq!(thai::from_unicode(c), Some(b));
         } else {
-            prop_assert_eq!(thai::to_unicode(b), None);
+            assert_eq!(thai::to_unicode(b), None);
         }
     }
+}
 
-    /// Korean text detects as EUC-KR (legacy) / Korean (UTF-8) for any
-    /// hangul-row token stream.
-    #[test]
-    fn korean_encode_detect_round_trip(
-        cells in proptest::collection::vec((16u8..=40, 1u8..=94), 30..150)
-    ) {
-        let toks: Vec<DbToken> = cells
-            .iter()
-            .map(|&(ku, ten)| DbToken::Cell(Kuten::new(ku, ten).unwrap()))
-            .collect();
+/// Korean text detects as EUC-KR (legacy) / Korean (UTF-8) for any
+/// hangul-row token stream.
+#[test]
+fn korean_encode_detect_round_trip() {
+    check_default(|g| {
+        let toks: Vec<DbToken> = g.vec(30..150, |g| {
+            DbToken::Cell(Kuten::new(g.u8(16..=40), g.u8(1..=94)).unwrap())
+        });
         let d = detect(&encode_korean(&toks, Charset::EucKr));
-        prop_assert_eq!(d.language(), Some(Language::Korean), "{:?}", d);
+        assert_eq!(d.language(), Some(Language::Korean), "{d:?}");
         let d8 = detect(&encode_korean(&toks, Charset::Utf8));
-        prop_assert_eq!(d8.charset, Charset::Utf8);
-        prop_assert_eq!(d8.language(), Some(Language::Korean));
-    }
+        assert_eq!(d8.charset, Charset::Utf8);
+        assert_eq!(d8.language(), Some(Language::Korean));
+    });
+}
 
-    /// Chinese text (with its level-2 tail) detects as GB2312 / Chinese.
-    #[test]
-    fn chinese_encode_detect_round_trip(
-        l1 in proptest::collection::vec((16u8..=55, 1u8..=94), 40..120),
-        l2 in proptest::collection::vec((56u8..=87, 1u8..=94), 20..60)
-    ) {
+/// Chinese text (with its level-2 tail) detects as GB2312 / Chinese.
+#[test]
+fn chinese_encode_detect_round_trip() {
+    check_default(|g| {
+        let l1 = g.vec(40..120, |g| (g.u8(16..=55), g.u8(1..=94)));
+        let l2 = g.vec(20..60, |g| (g.u8(56..=87), g.u8(1..=94)));
         let mut toks: Vec<DbToken> = Vec::new();
         for (a, b) in l1.iter().zip(l2.iter().cycle()) {
             toks.push(DbToken::Cell(Kuten::new(a.0, a.1).unwrap()));
             toks.push(DbToken::Cell(Kuten::new(b.0, b.1).unwrap()));
         }
         let d = detect(&encode_chinese(&toks, Charset::Gb2312));
-        prop_assert_eq!(d.language(), Some(Language::Chinese), "{:?}", d);
+        assert_eq!(d.language(), Some(Language::Chinese), "{d:?}");
         let d8 = detect(&encode_chinese(&toks, Charset::Utf8));
-        prop_assert_eq!(d8.language(), Some(Language::Chinese));
-    }
+        assert_eq!(d8.language(), Some(Language::Chinese));
+    });
+}
 
-    /// The DBCS model Unicode mappings are injective with exact inverses
-    /// on their hot rows.
-    #[test]
-    fn dbcs_unicode_round_trips(ku in 16u8..=87, ten in 1u8..=94) {
+/// The DBCS model Unicode mappings are injective with exact inverses on
+/// their hot rows.
+#[test]
+fn dbcs_unicode_round_trips() {
+    check_default(|g| {
+        let ku = g.u8(16..=87);
+        let ten = g.u8(1..=94);
         if ku <= 40 {
             let k = Kuten::new(ku, ten).unwrap();
-            prop_assert_eq!(korean_from_unicode(korean_to_unicode(k)), Some(k));
+            assert_eq!(korean_from_unicode(korean_to_unicode(k)), Some(k));
         }
         let k = Kuten::new(ku, ten).unwrap();
-        prop_assert_eq!(chinese_from_unicode(chinese_to_unicode(k)), Some(k));
-    }
+        assert_eq!(chinese_from_unicode(chinese_to_unicode(k)), Some(k));
+    });
+}
 
-    /// Kuten ↔ every legacy encoding is bijective on the 94×94 grid.
-    #[test]
-    fn kuten_transform_bijective(ku in 1u8..=94, ten in 1u8..=94) {
-        let k = Kuten::new(ku, ten).unwrap();
-        let [el, et] = k.to_eucjp();
-        prop_assert_eq!(Kuten::from_eucjp(el, et), Some(k));
-        let [sl, st] = k.to_sjis();
-        prop_assert_eq!(Kuten::from_sjis(sl, st), Some(k));
-        let [jl, jt] = k.to_jis();
-        prop_assert_eq!(Kuten::from_jis(jl, jt), Some(k));
+/// Kuten ↔ every legacy encoding is bijective on the 94×94 grid.
+#[test]
+fn kuten_transform_bijective() {
+    // Small exhaustive domain — enumerate the whole grid.
+    for ku in 1u8..=94 {
+        for ten in 1u8..=94 {
+            let k = Kuten::new(ku, ten).unwrap();
+            let [el, et] = k.to_eucjp();
+            assert_eq!(Kuten::from_eucjp(el, et), Some(k));
+            let [sl, st] = k.to_sjis();
+            assert_eq!(Kuten::from_sjis(sl, st), Some(k));
+            let [jl, jt] = k.to_jis();
+            assert_eq!(Kuten::from_jis(jl, jt), Some(k));
+        }
     }
 }

@@ -2,7 +2,7 @@
 //! fetch early on? Prints the composition (relevant / dead / foreign) of
 //! the first sixth of a Thai-like crawl — the breakdown used to calibrate
 //! the generator's trap-host and leaf-share knobs against Fig. 3.
-use langcrawl_core::classifier::{MetaClassifier, Classifier};
+use langcrawl_core::classifier::{Classifier, MetaClassifier};
 use langcrawl_core::queue::{Entry, UrlQueue};
 use langcrawl_core::strategy::{PageView, SimpleStrategy, Strategy};
 use langcrawl_webgraph::{GeneratorConfig, PageKind};
@@ -12,34 +12,89 @@ fn main() {
     let cls = MetaClassifier::target(ws.target_language());
     let mut strat = SimpleStrategy::soft();
     let mut q = UrlQueue::new(ws.num_pages(), 2);
-    for &s in ws.seeds() { q.push(Entry{page:s,priority:0,distance:0}); }
-    let (mut crawled, mut rel, mut failed, mut other, mut irr_html_target_host, mut irr_html_other_host, mut rel_but_meta_miss) = (0u64,0,0,0,0,0,0);
+    for &s in ws.seeds() {
+        q.push(Entry {
+            page: s,
+            priority: 0,
+            distance: 0,
+        });
+    }
+    let (
+        mut crawled,
+        mut rel,
+        mut failed,
+        mut other,
+        mut irr_html_target_host,
+        mut irr_html_other_host,
+        mut rel_but_meta_miss,
+    ) = (0u64, 0, 0, 0, 0, 0, 0);
     let mut adm = Vec::new();
     let budget = ws.num_pages() as u64 / 7;
     while let Some(e) = q.pop() {
         crawled += 1;
         let m = ws.meta(e.page);
-        let relv = if m.is_ok_html() { cls.relevance(&ws, e.page) } else { 0.0 };
-        if ws.is_relevant(e.page) { rel += 1; if relv < 0.5 { rel_but_meta_miss += 1; } }
-        else {
+        let relv = if m.is_ok_html() {
+            cls.relevance(&ws, e.page)
+        } else {
+            0.0
+        };
+        if ws.is_relevant(e.page) {
+            rel += 1;
+            if relv < 0.5 {
+                rel_but_meta_miss += 1;
+            }
+        } else {
             match m.kind {
                 PageKind::Failed => failed += 1,
                 PageKind::Other => other += 1,
                 PageKind::Html => {
-                    if ws.host_of(e.page).language == ws.target_language() { irr_html_target_host += 1 } else { irr_html_other_host += 1 }
+                    if ws.host_of(e.page).language == ws.target_language() {
+                        irr_html_target_host += 1
+                    } else {
+                        irr_html_other_host += 1
+                    }
                 }
             }
         }
-        let outs = if m.is_ok_html() { ws.outlinks(e.page) } else { &[] };
-        let v = PageView{page:e.page, relevance:relv, consec_irrelevant: if relv>0.5{0}else{e.distance+1}, outlinks:outs, crawled};
+        let outs = if m.is_ok_html() {
+            ws.outlinks(e.page)
+        } else {
+            &[]
+        };
+        let v = PageView {
+            page: e.page,
+            relevance: relv,
+            consec_irrelevant: if relv > 0.5 { 0 } else { e.distance + 1 },
+            outlinks: outs,
+            crawled,
+        };
         adm.clear();
         strat.admit(&v, &mut adm);
-        for &a in &adm { if ws.meta(a.page).kind == PageKind::Other { continue; } q.push(a); }
-        if crawled >= budget { break; }
+        for &a in &adm {
+            if ws.meta(a.page).kind == PageKind::Other {
+                continue;
+            }
+            q.push(a);
+        }
+        if crawled >= budget {
+            break;
+        }
     }
-    println!("first {} fetches: relevant={} ({:.1}%) [of which META-missed {}]", crawled, rel, 100.0*rel as f64/crawled as f64, rel_but_meta_miss);
-    println!("  failed={} ({:.1}%) other={} irrHTMLtargetHost={} ({:.1}%) irrHTMLotherHost={} ({:.1}%)",
-        failed, 100.0*failed as f64/crawled as f64, other,
-        irr_html_target_host, 100.0*irr_html_target_host as f64/crawled as f64,
-        irr_html_other_host, 100.0*irr_html_other_host as f64/crawled as f64);
+    println!(
+        "first {} fetches: relevant={} ({:.1}%) [of which META-missed {}]",
+        crawled,
+        rel,
+        100.0 * rel as f64 / crawled as f64,
+        rel_but_meta_miss
+    );
+    println!(
+        "  failed={} ({:.1}%) other={} irrHTMLtargetHost={} ({:.1}%) irrHTMLotherHost={} ({:.1}%)",
+        failed,
+        100.0 * failed as f64 / crawled as f64,
+        other,
+        irr_html_target_host,
+        100.0 * irr_html_target_host as f64 / crawled as f64,
+        irr_html_other_host,
+        100.0 * irr_html_other_host as f64 / crawled as f64
+    );
 }

@@ -82,9 +82,7 @@ impl<'a> ContentSimulator<'a> {
 
     /// Classify rendered page bytes per the configured §3.2 pipeline.
     fn classify(&self, bytes: &[u8], target: Language) -> f64 {
-        let meta_lang = || {
-            extract_meta_charset(bytes).and_then(|cs| cs.language())
-        };
+        let meta_lang = || extract_meta_charset(bytes).and_then(|cs| cs.language());
         let detector_lang = || detect_with(bytes, &self.config.detector).language();
         let judged = match self.config.classifier {
             ContentClassifier::MetaOnly => meta_lang(),

@@ -1,0 +1,351 @@
+//! The crawl engine — the loop of Fig. 2, decomposed along its seams.
+//!
+//! The engine owns exactly one thing: the *order of operations* of a
+//! crawl step. Everything with a policy lives behind a seam:
+//!
+//! * **what to crawl next** — a [`Frontier`] passed per run;
+//! * **what a page means** — the [`Classifier`];
+//! * **what to enqueue** — the [`Strategy`] (the paper's observer);
+//! * **who watches** — any number of [`EventSink`]s receiving the typed
+//!   event stream ([`CrawlEvent`]).
+//!
+//! [`crate::sim::Simulator`] is the convenience wrapper that wires the
+//! default frontier and sinks back together and returns a
+//! [`crate::metrics::CrawlReport`]; scaling work (sharded frontiers,
+//! async fetch, checkpointing) plugs in here without touching it.
+
+use crate::classifier::Classifier;
+use crate::event::{interest, CrawlEvent, EventSink};
+use crate::frontier::Frontier;
+use crate::queue::Entry;
+use crate::strategy::{PageView, Strategy};
+use langcrawl_webgraph::{PageKind, WebSpace};
+
+/// Engine parameters — the subset of [`crate::sim::SimConfig`] the loop
+/// itself needs (visit recording is a sink concern, not an engine one).
+#[derive(Debug, Clone, Default)]
+pub struct EngineConfig {
+    /// Stop after this many fetches (`None` = run the frontier dry).
+    pub max_pages: Option<u64>,
+    /// Emit [`CrawlEvent::Sampled`] every this many fetches (`None` =
+    /// pick ~512 points across the space automatically).
+    pub sample_interval: Option<u64>,
+    /// Drop obviously non-HTML URLs (the extension filter) before they
+    /// reach the frontier.
+    pub url_filter: bool,
+}
+
+/// What the engine can report without any sink attached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineOutcome {
+    /// Total pages crawled.
+    pub crawled: u64,
+    /// Total ground-truth relevant pages crawled.
+    pub relevant_crawled: u64,
+    /// High-water mark of the frontier's distinct pending count.
+    pub max_pending: usize,
+    /// Total frontier pushes accepted.
+    pub total_pushes: u64,
+}
+
+/// The layered crawl engine.
+pub struct CrawlEngine<'a> {
+    ws: &'a WebSpace,
+    config: EngineConfig,
+}
+
+impl<'a> CrawlEngine<'a> {
+    /// An engine over a virtual web space.
+    pub fn new(ws: &'a WebSpace, config: EngineConfig) -> Self {
+        CrawlEngine { ws, config }
+    }
+
+    /// The web space this engine crawls.
+    pub fn web_space(&self) -> &'a WebSpace {
+        self.ws
+    }
+
+    /// Run one crawl: seed the `frontier`, loop pop → download →
+    /// classify → admit, narrate every step to `sinks`, and return the
+    /// outcome. The engine is reusable — each run takes a fresh frontier.
+    ///
+    /// The per-page event order is fixed: [`CrawlEvent::Fetched`],
+    /// [`CrawlEvent::Classified`], then [`CrawlEvent::Filtered`] (only
+    /// when the URL filter dropped links) and [`CrawlEvent::Admitted`],
+    /// then [`CrawlEvent::Sampled`] on sampling fetches. One
+    /// [`CrawlEvent::Finished`] closes the run. Variants no attached
+    /// sink declares in [`EventSink::interests`] are skipped entirely.
+    pub fn run<F: Frontier>(
+        &self,
+        mut frontier: F,
+        strategy: &mut dyn Strategy,
+        classifier: &dyn Classifier,
+        sinks: &mut [&mut dyn EventSink],
+    ) -> EngineOutcome {
+        let ws = self.ws;
+        let sample_interval = self
+            .config
+            .sample_interval
+            .unwrap_or_else(|| (ws.num_pages() as u64 / 512).max(1));
+        let budget = self.config.max_pages.unwrap_or(u64::MAX);
+        // Union of the sinks' interest masks: event variants nobody
+        // listens to are never constructed or dispatched.
+        let wants = sinks.iter().fold(0u8, |m, s| m | s.interests());
+
+        for &s in ws.seeds() {
+            frontier.push(Entry {
+                page: s,
+                priority: 0,
+                distance: 0,
+            });
+        }
+
+        let mut crawled: u64 = 0;
+        let mut relevant_crawled: u64 = 0;
+        let mut admissions: Vec<Entry> = Vec::with_capacity(64);
+
+        while let Some(entry) = frontier.pop() {
+            let p = entry.page;
+            crawled += 1;
+            if wants & interest::FETCHED != 0 {
+                emit(sinks, CrawlEvent::Fetched { page: p, crawled });
+            }
+
+            // "Download": the virtual web space answers with the page's
+            // properties. Only OK HTML pages have content to classify.
+            let meta = ws.meta(p);
+            let relevance = if meta.is_ok_html() {
+                classifier.relevance(ws, p)
+            } else {
+                0.0
+            };
+            let relevant = ws.is_relevant(p);
+            if relevant {
+                relevant_crawled += 1; // metrics use ground truth
+            }
+            if wants & interest::CLASSIFIED != 0 {
+                emit(
+                    sinks,
+                    CrawlEvent::Classified {
+                        page: p,
+                        relevance,
+                        relevant,
+                    },
+                );
+            }
+
+            // The run of consecutive irrelevant pages ending here: a
+            // relevant page resets it, an irrelevant one extends the
+            // referrer path's run carried on the queue entry.
+            let consec = if relevance > 0.5 {
+                0
+            } else {
+                entry.distance.saturating_add(1)
+            };
+
+            let outlinks = if meta.is_ok_html() {
+                ws.outlinks(p)
+            } else {
+                &[]
+            };
+            let view = PageView {
+                page: p,
+                relevance,
+                consec_irrelevant: consec,
+                outlinks,
+                crawled,
+            };
+            admissions.clear();
+            strategy.admit(&view, &mut admissions);
+
+            let offered = admissions.len() as u32;
+            let mut enqueued = 0u32;
+            let mut dropped = 0u32;
+            for &a in &admissions {
+                if self.config.url_filter && ws.meta(a.page).kind == PageKind::Other {
+                    dropped += 1;
+                    continue; // extension-filtered before entering the queue
+                }
+                if frontier.push(a) {
+                    enqueued += 1;
+                }
+            }
+            if dropped > 0 && wants & interest::FILTERED != 0 {
+                emit(sinks, CrawlEvent::Filtered { page: p, dropped });
+            }
+            if wants & interest::ADMITTED != 0 {
+                emit(
+                    sinks,
+                    CrawlEvent::Admitted {
+                        page: p,
+                        offered,
+                        enqueued,
+                    },
+                );
+            }
+
+            if wants & interest::SAMPLED != 0 && crawled.is_multiple_of(sample_interval) {
+                emit(
+                    sinks,
+                    CrawlEvent::Sampled {
+                        crawled,
+                        relevant: relevant_crawled,
+                        pending: frontier.pending(),
+                    },
+                );
+            }
+            if crawled >= budget {
+                break;
+            }
+        }
+
+        if wants & interest::FINISHED != 0 {
+            emit(
+                sinks,
+                CrawlEvent::Finished {
+                    crawled,
+                    relevant: relevant_crawled,
+                    pending: frontier.pending(),
+                    max_pending: frontier.max_pending(),
+                    total_pushes: frontier.total_pushes(),
+                },
+            );
+        }
+
+        EngineOutcome {
+            crawled,
+            relevant_crawled,
+            max_pending: frontier.max_pending(),
+            total_pushes: frontier.total_pushes(),
+        }
+    }
+}
+
+#[inline]
+fn emit(sinks: &mut [&mut dyn EventSink], event: CrawlEvent) {
+    for sink in sinks.iter_mut() {
+        sink.on_event(&event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::OracleClassifier;
+    use crate::event::{MetricsSampler, PhaseTimingSink, VisitRecorder};
+    use crate::frontier::BestFirstFrontier;
+    use crate::queue::UrlQueue;
+    use crate::strategy::{BreadthFirst, SimpleStrategy};
+    use langcrawl_webgraph::GeneratorConfig;
+
+    fn space() -> WebSpace {
+        GeneratorConfig::thai_like().scaled(4_000).build(9)
+    }
+
+    #[test]
+    fn engine_runs_without_sinks() {
+        let ws = space();
+        let engine = CrawlEngine::new(&ws, EngineConfig::default());
+        let outcome = engine.run(
+            UrlQueue::new(ws.num_pages(), 1),
+            &mut BreadthFirst::new(),
+            &OracleClassifier::target(ws.target_language()),
+            &mut [],
+        );
+        assert_eq!(outcome.crawled, ws.num_pages() as u64);
+        assert!(outcome.relevant_crawled > 0);
+    }
+
+    #[test]
+    fn sinks_compose() {
+        let ws = space();
+        let engine = CrawlEngine::new(&ws, EngineConfig::default());
+        let mut metrics = MetricsSampler::new();
+        let mut visits = VisitRecorder::new();
+        let mut timing = PhaseTimingSink::new();
+        let mut strategy = SimpleStrategy::soft();
+        let classifier = OracleClassifier::target(ws.target_language());
+        let outcome = engine.run(
+            UrlQueue::new(ws.num_pages(), strategy.levels()),
+            &mut strategy,
+            &classifier,
+            &mut [&mut metrics, &mut visits, &mut timing],
+        );
+        assert_eq!(visits.visited().len() as u64, outcome.crawled);
+        assert_eq!(timing.pages, outcome.crawled);
+        let samples = metrics.into_samples();
+        assert_eq!(samples.last().unwrap().crawled, outcome.crawled);
+        assert_eq!(samples.last().unwrap().relevant, outcome.relevant_crawled);
+    }
+
+    #[test]
+    fn best_first_frontier_plugs_in() {
+        let ws = space();
+        let engine = CrawlEngine::new(&ws, EngineConfig::default());
+        let oracle = OracleClassifier::target(ws.target_language());
+        let bucketed = engine.run(
+            UrlQueue::new(ws.num_pages(), 2),
+            &mut SimpleStrategy::soft(),
+            &oracle,
+            &mut [],
+        );
+        let best_first = engine.run(
+            BestFirstFrontier::new(ws.num_pages()),
+            &mut SimpleStrategy::soft(),
+            &oracle,
+            &mut [],
+        );
+        // Soft-focused crawling visits every reachable page under any
+        // work-conserving frontier; only the order differs.
+        assert_eq!(bucketed.crawled, best_first.crawled);
+        assert_eq!(bucketed.relevant_crawled, best_first.relevant_crawled);
+    }
+
+    #[test]
+    fn uninteresting_events_are_never_emitted() {
+        /// Panics on anything but the variants it declared.
+        struct FinishOnly {
+            finished: bool,
+        }
+        impl EventSink for FinishOnly {
+            fn on_event(&mut self, event: &CrawlEvent) {
+                match event {
+                    CrawlEvent::Finished { .. } => self.finished = true,
+                    other => panic!("undeclared event emitted: {other:?}"),
+                }
+            }
+            fn interests(&self) -> u8 {
+                interest::FINISHED
+            }
+        }
+        let ws = space();
+        let engine = CrawlEngine::new(&ws, EngineConfig::default());
+        let mut sink = FinishOnly { finished: false };
+        engine.run(
+            UrlQueue::new(ws.num_pages(), 1),
+            &mut BreadthFirst::new(),
+            &OracleClassifier::target(ws.target_language()),
+            &mut [&mut sink],
+        );
+        assert!(sink.finished);
+    }
+
+    #[test]
+    fn budget_stops_engine() {
+        let ws = space();
+        let engine = CrawlEngine::new(
+            &ws,
+            EngineConfig {
+                max_pages: Some(100),
+                ..EngineConfig::default()
+            },
+        );
+        let outcome = engine.run(
+            UrlQueue::new(ws.num_pages(), 1),
+            &mut BreadthFirst::new(),
+            &OracleClassifier::target(ws.target_language()),
+            &mut [],
+        );
+        assert_eq!(outcome.crawled, 100);
+    }
+}

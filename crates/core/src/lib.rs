@@ -5,26 +5,42 @@
 //! a trace-driven simulator for evaluating language-specific crawl
 //! strategies, together with the strategies themselves.
 //!
-//! The architecture mirrors the paper's Fig. 2 exactly:
+//! The architecture mirrors the paper's Fig. 2, decomposed into layers:
 //!
 //! ```text
 //!            next URL ┌─────────┐ new URLs
 //!        ┌───────────►│ Visitor │────────────┐
 //!        │            └────┬────┘            │
 //!   ┌────┴────┐ visited    │ URL        ┌────▼─────┐
-//!   │Simulator│◄───────────┤            │ URL queue│
+//!   │ Engine  │◄───────────┤            │ Frontier │
 //!   └────┬────┘            ▼            └──────────┘
 //!        │            ┌──────────┐ relevance ┌──────────┐
 //!        └───────────►│Classifier│──────────►│ Observer │
-//!                     └──────────┘  score    └──────────┘
+//!                     └────┬─────┘  score    └──────────┘
+//!                          │ events
+//!                     ┌────▼─────┐
+//!                     │EventSinks│  metrics · visits · timings
+//!                     └──────────┘
 //!            crawl logs + LinkDB  =  langcrawl_webgraph::WebSpace
 //! ```
 //!
-//! * [`sim::Simulator`] — drives the crawl loop over a
-//!   [`langcrawl_webgraph::WebSpace`] (the crawl logs / LinkDB).
-//! * The **visitor** is the fetch-and-extract step inside the loop: it
-//!   asks the virtual web space for a page's status, charset and
-//!   outlinks.
+//! * [`engine::CrawlEngine`] — the crawl loop itself: pop, "download",
+//!   classify, admit. Every policy is injected; the loop owns only the
+//!   order of operations. The **visitor** is the fetch-and-extract step
+//!   inside it: it asks the virtual web space for a page's status,
+//!   charset and outlinks.
+//! * [`frontier`] — *what to crawl next*: the [`frontier::Frontier`]
+//!   trait with two implementations — [`queue::UrlQueue`] (FIFO rings
+//!   bucketed by priority level, the paper's discipline, with the
+//!   distinct-pending counter that Fig. 5/6(a)/7(a) plot) and
+//!   [`frontier::BestFirstFrontier`] (a binary-heap frontier ordering by
+//!   the full admission key).
+//! * [`event`] — *who watches*: the engine narrates the crawl as typed
+//!   [`event::CrawlEvent`]s to any number of composable
+//!   [`event::EventSink`]s — metrics sampling, visit recording,
+//!   per-phase timing.
+//! * [`sim::Simulator`] — the paper-shaped façade: default frontier +
+//!   default sinks, returning a [`metrics::CrawlReport`].
 //! * [`classifier`] — relevance judgment (§3.2): by META charset label
 //!   ([`classifier::MetaClassifier`], what the paper used for Thai), by
 //!   running the byte-distribution detector over synthesized page bytes
@@ -35,8 +51,6 @@
 //!   hard- and soft-focused modes (§3.3.1, Table 2); the limited-distance
 //!   strategy in non-prioritized and prioritized modes (§3.3.2); plus the
 //!   related-work extensions (HITS distiller, context-graph crawler).
-//! * [`queue`] — the URL queue: FIFO rings bucketed by priority level,
-//!   with the distinct-pending counter that Fig. 5/6(a)/7(a) plot.
 //! * [`metrics`] — harvest rate, coverage (explicit recall), queue-size
 //!   series (§3.4).
 //! * [`timing`] — the paper's stated future work (§6): an event-driven
@@ -47,6 +61,9 @@
 
 pub mod classifier;
 pub mod content;
+pub mod engine;
+pub mod event;
+pub mod frontier;
 pub mod metrics;
 pub mod queue;
 pub mod sim;
@@ -55,6 +72,9 @@ pub mod timing;
 
 pub use classifier::{Classifier, DetectorClassifier, MetaClassifier, OracleClassifier};
 pub use content::{ContentClassifier, ContentConfig, ContentSimulator};
+pub use engine::{CrawlEngine, EngineConfig, EngineOutcome};
+pub use event::{interest, CrawlEvent, EventSink, MetricsSampler, PhaseTimingSink, VisitRecorder};
+pub use frontier::{BestFirstFrontier, Frontier};
 pub use metrics::CrawlReport;
 pub use sim::{SimConfig, Simulator};
 pub use strategy::{BreadthFirst, LimitedDistanceStrategy, SimpleStrategy, Strategy};

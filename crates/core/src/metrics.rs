@@ -10,10 +10,9 @@
 //! All three are recorded as a time series over "pages crawled", the
 //! x-axis of every figure in the paper.
 
-use serde::{Deserialize, Serialize};
-
 /// One point of the crawl time series.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Sample {
     /// Pages crawled so far (x-axis).
     pub crawled: u64,
@@ -35,7 +34,12 @@ impl Sample {
 }
 
 /// Result of one simulated crawl.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Derives `Eq`: every field is exact (integers and strings), so two
+/// reports from deterministic runs can be compared bit-for-bit — the
+/// engine-parity test depends on this.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CrawlReport {
     /// Strategy name (e.g. `"soft-focused"`).
     pub strategy: String,
@@ -55,7 +59,7 @@ pub struct CrawlReport {
     pub total_pushes: u64,
     /// Crawled page ids in fetch order; empty unless the run was
     /// configured with [`crate::sim::SimConfig::with_visit_recording`].
-    #[serde(default)]
+    #[cfg_attr(feature = "serde", serde(default))]
     pub visited: Vec<u32>,
 }
 
@@ -124,6 +128,52 @@ impl CrawlReport {
         Ok(())
     }
 
+    /// Serialize the report as one JSON object.
+    ///
+    /// Hand-rolled (like [`CrawlReport::write_csv`]) so the default
+    /// offline build needs no serde; the `serde` cargo feature adds
+    /// derive-based serialization on top for environments that have the
+    /// dependency available.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + 64 * self.samples.len());
+        out.push_str("{\"strategy\":");
+        json_string(&mut out, &self.strategy);
+        out.push_str(",\"classifier\":");
+        json_string(&mut out, &self.classifier);
+        out.push_str(",\"samples\":[");
+        for (i, s) in self.samples.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"crawled\":{},\"relevant\":{},\"queue_size\":{}}}",
+                s.crawled, s.relevant, s.queue_size
+            ));
+        }
+        out.push_str(&format!(
+            "],\"crawled\":{},\"relevant_crawled\":{},\"total_relevant\":{},\
+             \"max_queue\":{},\"total_pushes\":{},\"visited\":[",
+            self.crawled,
+            self.relevant_crawled,
+            self.total_relevant,
+            self.max_queue,
+            self.total_pushes
+        ));
+        for (i, v) in self.visited.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&v.to_string());
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Write the JSON form of the report.
+    pub fn write_json<W: std::io::Write>(&self, mut w: W) -> std::io::Result<()> {
+        w.write_all(self.to_json().as_bytes())
+    }
+
     /// Render a compact fixed-width summary row for bench tables.
     pub fn summary_row(&self) -> String {
         format!(
@@ -137,6 +187,24 @@ impl CrawlReport {
     }
 }
 
+/// Append `s` as a JSON string literal (quotes, backslashes and control
+/// characters escaped).
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,9 +214,21 @@ mod tests {
             strategy: "test".into(),
             classifier: "oracle".into(),
             samples: vec![
-                Sample { crawled: 10, relevant: 6, queue_size: 50 },
-                Sample { crawled: 100, relevant: 40, queue_size: 500 },
-                Sample { crawled: 1000, relevant: 200, queue_size: 100 },
+                Sample {
+                    crawled: 10,
+                    relevant: 6,
+                    queue_size: 50,
+                },
+                Sample {
+                    crawled: 100,
+                    relevant: 40,
+                    queue_size: 500,
+                },
+                Sample {
+                    crawled: 1000,
+                    relevant: 200,
+                    queue_size: 100,
+                },
             ],
             crawled: 1000,
             relevant_crawled: 200,
@@ -199,6 +279,21 @@ mod tests {
         };
         assert_eq!(r.final_harvest(), 0.0);
         assert_eq!(r.final_coverage(), 0.0);
+    }
+
+    #[test]
+    fn json_output_shape() {
+        let mut r = report();
+        r.strategy = "soft \"quoted\"\nstrategy".into();
+        r.visited = vec![3, 1, 4];
+        let json = r.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains(r#""strategy":"soft \"quoted\"\nstrategy""#));
+        assert!(json.contains(r#""samples":[{"crawled":10,"relevant":6,"queue_size":50}"#));
+        assert!(json.contains(r#""visited":[3,1,4]"#));
+        let mut buf = Vec::new();
+        r.write_json(&mut buf).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), json);
     }
 
     #[test]

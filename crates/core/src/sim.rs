@@ -1,16 +1,22 @@
-//! The simulator proper — the crawl loop of Fig. 2.
+//! The simulator — the paper-shaped façade over the layered engine.
 //!
-//! The loop body *is* the visitor: pop the next URL from the queue,
-//! "download" it from the virtual web space (status, charset, outlinks
-//! come from the trace), have the classifier judge relevance, hand the
-//! observation to the observer (strategy), and push whatever it admits.
-//! Ground-truth relevance is recorded separately for metrics — the
-//! strategy never sees it.
+//! [`Simulator::run`] used to *be* the crawl loop; it is now a thin
+//! wrapper that assembles the default configuration of the layered
+//! engine — a [`UrlQueue`] frontier, a
+//! [`crate::event::MetricsSampler`], and (when requested) a
+//! [`crate::event::VisitRecorder`] — hands them to
+//! [`crate::engine::CrawlEngine`], and packages the result as a
+//! [`CrawlReport`]. Its observable behavior is bit-identical to the old
+//! monolithic loop (the `engine_parity` integration test pins this).
+//! Experiments that want a different frontier or extra observers use
+//! the engine directly.
 
 use crate::classifier::Classifier;
-use crate::metrics::{CrawlReport, Sample};
-use crate::queue::{Entry, UrlQueue};
-use crate::strategy::{PageView, Strategy};
+use crate::engine::{CrawlEngine, EngineConfig};
+use crate::event::{EventSink, MetricsSampler, VisitRecorder};
+use crate::metrics::CrawlReport;
+use crate::queue::UrlQueue;
+use crate::strategy::Strategy;
 use langcrawl_webgraph::WebSpace;
 
 /// Simulation parameters.
@@ -88,110 +94,36 @@ impl<'a> Simulator<'a> {
     /// from the seeds.
     pub fn run(&mut self, strategy: &mut dyn Strategy, classifier: &dyn Classifier) -> CrawlReport {
         let ws = self.ws;
-        let n = ws.num_pages();
-        let sample_interval = self
-            .config
-            .sample_interval
-            .unwrap_or_else(|| (n as u64 / 512).max(1));
-        let budget = self.config.max_pages.unwrap_or(u64::MAX);
+        let engine = CrawlEngine::new(
+            ws,
+            EngineConfig {
+                max_pages: self.config.max_pages,
+                sample_interval: self.config.sample_interval,
+                url_filter: self.config.url_filter,
+            },
+        );
+        let frontier = UrlQueue::new(ws.num_pages(), strategy.levels());
 
-        let mut queue = UrlQueue::new(n, strategy.levels());
-        for &s in ws.seeds() {
-            queue.push(Entry {
-                page: s,
-                priority: 0,
-                distance: 0,
-            });
-        }
-
-        let mut crawled: u64 = 0;
-        let mut relevant_crawled: u64 = 0;
-        let mut samples: Vec<Sample> = Vec::with_capacity(600);
-        let mut admissions: Vec<Entry> = Vec::with_capacity(64);
-        let mut visited: Vec<langcrawl_webgraph::PageId> = Vec::new();
-
-        while let Some(entry) = queue.pop() {
-            let p = entry.page;
-            crawled += 1;
-            if self.config.record_visits {
-                visited.push(p);
-            }
-
-            // "Download": the virtual web space answers with the page's
-            // properties. Only OK HTML pages have content to classify.
-            let meta = ws.meta(p);
-            let relevance = if meta.is_ok_html() {
-                classifier.relevance(ws, p)
-            } else {
-                0.0
-            };
-            if ws.is_relevant(p) {
-                relevant_crawled += 1; // metrics use ground truth
-            }
-
-            // The run of consecutive irrelevant pages ending here: a
-            // relevant page resets it, an irrelevant one extends the
-            // referrer path's run carried on the queue entry.
-            let consec = if relevance > 0.5 {
-                0
-            } else {
-                entry.distance.saturating_add(1)
-            };
-
-            let outlinks = if meta.is_ok_html() {
-                ws.outlinks(p)
-            } else {
-                &[]
-            };
-            let view = PageView {
-                page: p,
-                relevance,
-                consec_irrelevant: consec,
-                outlinks,
-                crawled,
-            };
-            admissions.clear();
-            strategy.admit(&view, &mut admissions);
-            for &a in &admissions {
-                if self.config.url_filter
-                    && ws.meta(a.page).kind == langcrawl_webgraph::PageKind::Other
-                {
-                    continue; // extension-filtered before entering the queue
-                }
-                queue.push(a);
-            }
-
-            if crawled.is_multiple_of(sample_interval) {
-                samples.push(Sample {
-                    crawled,
-                    relevant: relevant_crawled,
-                    queue_size: queue.pending(),
-                });
-            }
-            if crawled >= budget {
-                break;
-            }
-        }
-
-        // Always close the series with the final state.
-        if samples.last().map(|s| s.crawled) != Some(crawled) {
-            samples.push(Sample {
-                crawled,
-                relevant: relevant_crawled,
-                queue_size: queue.pending(),
-            });
-        }
+        let mut metrics = MetricsSampler::new();
+        let mut visits = VisitRecorder::new();
+        let outcome = if self.config.record_visits {
+            let mut sinks: [&mut dyn EventSink; 2] = [&mut metrics, &mut visits];
+            engine.run(frontier, strategy, classifier, &mut sinks)
+        } else {
+            let mut sinks: [&mut dyn EventSink; 1] = [&mut metrics];
+            engine.run(frontier, strategy, classifier, &mut sinks)
+        };
 
         CrawlReport {
             strategy: strategy.name(),
             classifier: classifier.name().to_string(),
-            samples,
-            crawled,
-            relevant_crawled,
+            samples: metrics.into_samples(),
+            crawled: outcome.crawled,
+            relevant_crawled: outcome.relevant_crawled,
             total_relevant: ws.total_relevant() as u64,
-            max_queue: queue.max_pending(),
-            total_pushes: queue.total_pushes(),
-            visited,
+            max_queue: outcome.max_pending,
+            total_pushes: outcome.total_pushes,
+            visited: visits.into_visited(),
         }
     }
 }
@@ -212,8 +144,15 @@ mod tests {
     fn breadth_first_crawls_everything() {
         let ws = space();
         let mut sim = Simulator::new(&ws, SimConfig::default());
-        let r = sim.run(&mut BreadthFirst::new(), &OracleClassifier::target(Language::Thai));
-        assert_eq!(r.crawled, ws.num_pages() as u64, "BFS must exhaust the space");
+        let r = sim.run(
+            &mut BreadthFirst::new(),
+            &OracleClassifier::target(Language::Thai),
+        );
+        assert_eq!(
+            r.crawled,
+            ws.num_pages() as u64,
+            "BFS must exhaust the space"
+        );
         assert!((r.final_coverage() - 1.0).abs() < 1e-12);
     }
 
@@ -225,7 +164,11 @@ mod tests {
             &mut SimpleStrategy::soft(),
             &OracleClassifier::target(Language::Thai),
         );
-        assert!((r.final_coverage() - 1.0).abs() < 1e-9, "soft coverage {}", r.final_coverage());
+        assert!(
+            (r.final_coverage() - 1.0).abs() < 1e-9,
+            "soft coverage {}",
+            r.final_coverage()
+        );
     }
 
     #[test]
@@ -295,7 +238,10 @@ mod tests {
         for n in [1u8, 2, 3, 4] {
             let r = sim.run(&mut LimitedDistanceStrategy::non_prioritized(n), &oracle);
             let cov = r.final_coverage();
-            assert!(cov >= prev - 0.02, "N={n}: coverage {cov} < previous {prev}");
+            assert!(
+                cov >= prev - 0.02,
+                "N={n}: coverage {cov} < previous {prev}"
+            );
             prev = cov;
         }
     }
@@ -318,7 +264,10 @@ mod tests {
     fn budget_stops_the_crawl() {
         let ws = space();
         let mut sim = Simulator::new(&ws, SimConfig::default().with_max_pages(500));
-        let r = sim.run(&mut BreadthFirst::new(), &OracleClassifier::target(Language::Thai));
+        let r = sim.run(
+            &mut BreadthFirst::new(),
+            &OracleClassifier::target(Language::Thai),
+        );
         assert_eq!(r.crawled, 500);
         assert_eq!(r.samples.last().unwrap().crawled, 500);
     }

@@ -115,7 +115,10 @@ fn compute_layers(ws: &WebSpace, max_layer: u8) -> Vec<u8> {
 impl Strategy for ContextGraphStrategy {
     fn name(&self) -> String {
         if self.noise_pm > 0 {
-            format!("context-graph L={} noise={}‰", self.max_layer, self.noise_pm)
+            format!(
+                "context-graph L={} noise={}‰",
+                self.max_layer, self.noise_pm
+            )
         } else {
             format!("context-graph L={}", self.max_layer)
         }
@@ -132,8 +135,7 @@ impl Strategy for ContextGraphStrategy {
             // Outside the context graph: the original discards these.
             return;
         }
-        if self.noise_pm > 0 && (self.tick.wrapping_mul(2654435761) % 1000) < self.noise_pm as u64
-        {
+        if self.noise_pm > 0 && (self.tick.wrapping_mul(2654435761) % 1000) < self.noise_pm as u64 {
             l = l.saturating_add(1);
             if l > self.max_layer {
                 return;

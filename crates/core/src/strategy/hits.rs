@@ -55,8 +55,7 @@ impl HitsStrategy {
         }
         // Dense index for the crawled pages.
         let ids: Vec<PageId> = self.adjacency.keys().copied().collect();
-        let index: HashMap<PageId, usize> =
-            ids.iter().enumerate().map(|(i, &p)| (p, i)).collect();
+        let index: HashMap<PageId, usize> = ids.iter().enumerate().map(|(i, &p)| (p, i)).collect();
         let n = ids.len();
         let mut hub = vec![1.0f64; n];
         let mut auth = vec![1.0f64; n];
@@ -89,7 +88,11 @@ impl HitsStrategy {
         }
         let _ = auth;
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&a, &b| hub[b].partial_cmp(&hub[a]).unwrap_or(std::cmp::Ordering::Equal));
+        order.sort_by(|&a, &b| {
+            hub[b]
+                .partial_cmp(&hub[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         order
             .into_iter()
             .take(self.top_hubs)
@@ -124,8 +127,7 @@ impl Strategy for HitsStrategy {
 
     fn admit(&mut self, view: &PageView<'_>, out: &mut Vec<Entry>) {
         // Record the crawled subgraph.
-        self.adjacency
-            .insert(view.page, view.outlinks.to_vec());
+        self.adjacency.insert(view.page, view.outlinks.to_vec());
         self.relevant.insert(view.page, view.relevance > 0.5);
 
         // Base behaviour: soft-focused.

@@ -107,8 +107,11 @@ impl OnlinePageRank {
             return;
         }
         let base = (1.0 - self.damping) / n as f64;
-        let mut rank: HashMap<PageId, f64> =
-            self.adjacency.keys().map(|&p| (p, 1.0 / n as f64)).collect();
+        let mut rank: HashMap<PageId, f64> = self
+            .adjacency
+            .keys()
+            .map(|&p| (p, 1.0 / n as f64))
+            .collect();
         for _ in 0..self.iterations {
             let mut next: HashMap<PageId, f64> =
                 self.adjacency.keys().map(|&p| (p, base)).collect();
@@ -160,11 +163,7 @@ impl Strategy for OnlinePageRank {
         }
         let n = self.adjacency.len().max(1);
         // Rank share each of this page's links inherits right now.
-        let own_rank = self
-            .rank
-            .get(&view.page)
-            .copied()
-            .unwrap_or(1.0 / n as f64);
+        let own_rank = self.rank.get(&view.page).copied().unwrap_or(1.0 / n as f64);
         let share = own_rank / view.outlinks.len().max(1) as f64;
         for &t in view.outlinks {
             out.push(Entry {

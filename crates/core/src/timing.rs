@@ -166,7 +166,13 @@ pub fn run_timed(
                         let e = pend.pop_front().expect("tracked host has entries");
                         parked_total -= 1;
                         launch_fetch(
-                            ws, config, e, now, &mut server_free, &mut in_flight, &mut busy_ms,
+                            ws,
+                            config,
+                            e,
+                            now,
+                            &mut server_free,
+                            &mut in_flight,
+                            &mut busy_ms,
                         );
                         if pend.is_empty() {
                             host_pending.remove(&h);
@@ -186,7 +192,13 @@ pub fn run_timed(
                 let h = ws.meta(e.page).host;
                 if server_free[h as usize] <= now {
                     launch_fetch(
-                        ws, config, e, now, &mut server_free, &mut in_flight, &mut busy_ms,
+                        ws,
+                        config,
+                        e,
+                        now,
+                        &mut server_free,
+                        &mut in_flight,
+                        &mut busy_ms,
                     );
                 } else {
                     let pend = host_pending.entry(h).or_default();
@@ -205,7 +217,9 @@ pub fn run_timed(
         let Some(Reverse((finish, entry))) = in_flight.pop() else {
             // No fetch in flight: if work is parked behind politeness,
             // idle forward to the earliest ready host; otherwise done.
-            let Some(&Reverse((t, _))) = host_ready.peek() else { break };
+            let Some(&Reverse((t, _))) = host_ready.peek() else {
+                break;
+            };
             now = now.max(t);
             assign!();
             if in_flight.is_empty() {
@@ -231,7 +245,11 @@ pub fn run_timed(
         } else {
             entry.distance.saturating_add(1)
         };
-        let outlinks = if meta.is_ok_html() { ws.outlinks(p) } else { &[] };
+        let outlinks = if meta.is_ok_html() {
+            ws.outlinks(p)
+        } else {
+            &[]
+        };
         let view = PageView {
             page: p,
             relevance,

@@ -1,28 +1,57 @@
-//! Property tests for the simulator core: the URL queue against a
-//! reference model, and crawl-level invariants over random spaces,
-//! strategies and budgets.
+//! Property tests for the simulator core: both [`Frontier`]
+//! implementations against a reference model parameterized by their pop
+//! discipline, and crawl-level invariants over random spaces, strategies
+//! and budgets.
 
 use langcrawl_core::classifier::{MetaClassifier, OracleClassifier};
+use langcrawl_core::frontier::{BestFirstFrontier, Frontier};
 use langcrawl_core::queue::{Entry, UrlQueue};
 use langcrawl_core::sim::{SimConfig, Simulator};
 use langcrawl_core::strategy::{
     BreadthFirst, CombinedStrategy, LimitedDistanceStrategy, SimpleStrategy,
 };
+use langcrawl_minicheck::{check, check_default, Gen};
 use langcrawl_webgraph::GeneratorConfig;
-use proptest::prelude::*;
 
-// ---------------------------------------------------------------- queue
+// ------------------------------------------------------------- frontier
 
-/// Reference model of the queue: a sorted scan over explicit state.
-#[derive(Default)]
-struct ModelQueue {
+/// How a frontier orders its pending set: the sort key computed from a
+/// page's best admission `(key, seq)` pair. Lowest wins; FIFO seq breaks
+/// ties in both disciplines.
+type PopOrder = fn(u16, u64) -> (u16, u64);
+
+/// [`UrlQueue`]: priority *level* only — distance never affects order.
+fn bucketed_order(key: u16, seq: u64) -> (u16, u64) {
+    (key >> 8, seq)
+}
+
+/// [`BestFirstFrontier`]: the full `(priority, distance)` key.
+fn best_first_order(key: u16, seq: u64) -> (u16, u64) {
+    (key, seq)
+}
+
+/// Reference model of a frontier: a sorted scan over explicit state,
+/// generic over the pop discipline. Admission semantics (accept first
+/// discovery or a strictly better key; never after done) are shared by
+/// both implementations and fixed here.
+struct ModelFrontier {
     /// (page, best key, insertion sequence of the best admission)
     pending: Vec<(u32, u16, u64)>,
     done: std::collections::HashSet<u32>,
     seq: u64,
+    order: PopOrder,
 }
 
-impl ModelQueue {
+impl ModelFrontier {
+    fn new(order: PopOrder) -> Self {
+        ModelFrontier {
+            pending: Vec::new(),
+            done: std::collections::HashSet::new(),
+            seq: 0,
+            order,
+        }
+    }
+
     fn push(&mut self, e: Entry) -> bool {
         if self.done.contains(&e.page) {
             return false;
@@ -47,12 +76,12 @@ impl ModelQueue {
     }
 
     fn pop(&mut self) -> Option<u32> {
-        // Lowest priority level first; FIFO (insertion seq) within level.
+        let order = self.order;
         let idx = self
             .pending
             .iter()
             .enumerate()
-            .min_by_key(|(_, (_, key, seq))| ((key >> 8), *seq))
+            .min_by_key(|(_, (_, key, seq))| order(*key, *seq))
             .map(|(i, _)| i)?;
         let (page, _, _) = self.pending.remove(idx);
         self.done.insert(page);
@@ -60,67 +89,135 @@ impl ModelQueue {
     }
 }
 
-fn arb_ops() -> impl Strategy<Value = Vec<(u8, u32, u8, u8)>> {
-    // (op, page, priority, distance): op 0..3 = push, 3 = pop.
-    proptest::collection::vec(
-        (0u8..4, 0u32..64, 0u8..4, 0u8..4),
-        1..400,
-    )
+/// (op, page, priority, distance): op 0..3 = push, 3 = pop.
+fn arb_ops(g: &mut Gen) -> Vec<(u8, u32, u8, u8)> {
+    g.vec(1..400, |g| {
+        (g.u8(0..=3), g.u32(0..64), g.u8(0..=3), g.u8(0..=3))
+    })
 }
 
-proptest! {
-    /// The production queue and the reference model agree on every pop,
-    /// under arbitrary interleavings of pushes (including duplicates and
-    /// re-prioritizations) and pops.
-    #[test]
-    fn queue_matches_reference_model(ops in arb_ops()) {
-        let mut real = UrlQueue::new(64, 4);
-        let mut model = ModelQueue::default();
-        for (op, page, priority, distance) in ops {
-            if op < 3 {
-                let e = Entry { page, priority, distance };
-                prop_assert_eq!(real.push(e), model.push(e), "push {:?}", e);
-            } else {
-                prop_assert_eq!(real.pop().map(|e| e.page), model.pop());
-            }
+/// Drive a real frontier and the model through the same op sequence,
+/// asserting agreement on every push verdict and every pop.
+fn assert_matches_model<F: Frontier>(mut real: F, order: PopOrder, ops: &[(u8, u32, u8, u8)]) {
+    let mut model = ModelFrontier::new(order);
+    for &(op, page, priority, distance) in ops {
+        if op < 3 {
+            let e = Entry {
+                page,
+                priority,
+                distance,
+            };
+            assert_eq!(real.push(e), model.push(e), "push {e:?}");
+        } else {
+            assert_eq!(real.pop().map(|e| e.page), model.pop());
         }
-        // Drain both fully.
-        loop {
-            let a = real.pop().map(|e| e.page);
-            let b = model.pop();
-            prop_assert_eq!(a, b);
-            if a.is_none() {
-                break;
-            }
+        assert_eq!(real.pending(), model.pending.len());
+    }
+    // Drain both fully.
+    loop {
+        let a = real.pop().map(|e| e.page);
+        let b = model.pop();
+        assert_eq!(a, b);
+        if a.is_none() {
+            break;
         }
     }
+}
 
-    /// pending() always equals the count of distinct admitted-not-popped
-    /// pages, regardless of duplicates.
-    #[test]
-    fn queue_pending_counts_distinct(ops in arb_ops()) {
-        let mut real = UrlQueue::new(64, 4);
+/// The bucketed queue and the reference model agree on every pop, under
+/// arbitrary interleavings of pushes (including duplicates and
+/// re-prioritizations) and pops.
+#[test]
+fn url_queue_matches_reference_model() {
+    check_default(|g| {
+        let ops = arb_ops(g);
+        assert_matches_model(UrlQueue::new(64, 4), bucketed_order, &ops);
+    });
+}
+
+/// The best-first heap frontier obeys the same contract under its own
+/// pop discipline — the trait seam carries both policies faithfully.
+#[test]
+fn best_first_matches_reference_model() {
+    check_default(|g| {
+        let ops = arb_ops(g);
+        assert_matches_model(BestFirstFrontier::new(64), best_first_order, &ops);
+    });
+}
+
+/// For BOTH implementations: `pending()` always equals the count of
+/// distinct admitted-not-popped pages regardless of duplicates and
+/// re-prioritizations, and `done` pages never re-enter.
+#[test]
+fn frontier_pending_counts_distinct_and_done_is_final() {
+    fn run(real: &mut dyn Frontier, ops: &[(u8, u32, u8, u8)]) {
         let mut admitted = std::collections::HashSet::new();
-        let mut popped = 0usize;
-        for (op, page, priority, distance) in ops {
+        let mut popped_pages = std::collections::HashSet::new();
+        for &(op, page, priority, distance) in ops {
             if op < 3 {
-                real.push(Entry { page, priority, distance });
+                let accepted = real.push(Entry {
+                    page,
+                    priority,
+                    distance,
+                });
                 if real.was_admitted(page) {
                     admitted.insert(page);
                 }
-            } else if real.pop().is_some() {
-                popped += 1;
+                assert!(
+                    !(accepted && popped_pages.contains(&page)),
+                    "done page {page} re-entered the frontier"
+                );
+            } else if let Some(e) = real.pop() {
+                assert!(popped_pages.insert(e.page), "page {} popped twice", e.page);
+                assert!(real.is_done(e.page));
             }
+            assert_eq!(real.pending(), admitted.len() - popped_pages.len());
+            assert!(real.pending() <= real.max_pending());
         }
-        prop_assert_eq!(real.pending(), admitted.len() - popped);
     }
+    check_default(|g| {
+        let ops = arb_ops(g);
+        run(&mut UrlQueue::new(64, 4), &ops);
+        run(&mut BestFirstFrontier::new(64), &ops);
+    });
+}
+
+/// Pop order respects `(ordering key, FIFO)`: for any push-only prefix,
+/// draining either frontier yields keys that never decrease under its
+/// own discipline.
+#[test]
+fn frontier_pop_order_is_monotone_in_key() {
+    fn drain_keys(real: &mut dyn Frontier, order: PopOrder) {
+        let mut prev: Option<(u16, u64)> = None;
+        let mut seq = 0u64;
+        while let Some(e) = real.pop() {
+            let key = ((e.priority as u16) << 8) | e.distance as u16;
+            let k = (order(key, 0).0, seq);
+            if let Some(p) = prev {
+                assert!(k.0 >= p.0, "pop key went backwards: {p:?} then {k:?}");
+            }
+            prev = Some(k);
+            seq += 1;
+        }
+    }
+    check_default(|g| {
+        let pushes = g.vec(1..200, |g| Entry {
+            page: g.u32(0..64),
+            priority: g.u8(0..=3),
+            distance: g.u8(0..=3),
+        });
+        let mut q = UrlQueue::new(64, 4);
+        let mut b = BestFirstFrontier::new(64);
+        for &e in &pushes {
+            q.push(e);
+            Frontier::push(&mut b, e);
+        }
+        drain_keys(&mut q, bucketed_order);
+        drain_keys(&mut b, best_first_order);
+    });
 }
 
 // ------------------------------------------------------------- simulator
-
-fn arb_strategy() -> impl Strategy<Value = u8> {
-    0u8..7
-}
 
 fn build_strategy(code: u8) -> Box<dyn langcrawl_core::strategy::Strategy> {
     match code {
@@ -134,19 +231,17 @@ fn build_strategy(code: u8) -> Box<dyn langcrawl_core::strategy::Strategy> {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+/// Crawl-level invariants hold for every strategy, seed and budget:
+/// monotone series, coverage ≤ 1, queue accounting consistent, no page
+/// crawled twice (crawled ≤ space size).
+#[test]
+fn crawl_invariants() {
+    check(12, |g| {
+        let code = g.u8(0..=6);
+        let seed = g.u64(0..1000);
+        let budget = g.option(|g| g.u64(100..3000));
+        let filter = g.bool(0.5);
 
-    /// Crawl-level invariants hold for every strategy, seed and budget:
-    /// monotone series, coverage ≤ 1, queue accounting consistent, no
-    /// page crawled twice (crawled ≤ space size).
-    #[test]
-    fn crawl_invariants(
-        code in arb_strategy(),
-        seed in 0u64..1000,
-        budget in proptest::option::of(100u64..3000),
-        filter in any::<bool>(),
-    ) {
         let ws = GeneratorConfig::thai_like().scaled(4_000).build(seed);
         let mut config = SimConfig {
             max_pages: budget,
@@ -160,42 +255,52 @@ proptest! {
         let classifier = MetaClassifier::target(ws.target_language());
         let r = sim.run(strategy.as_mut(), &classifier);
 
-        prop_assert!(r.crawled <= ws.num_pages() as u64);
+        assert!(r.crawled <= ws.num_pages() as u64);
         if let Some(b) = budget {
-            prop_assert!(r.crawled <= b);
+            assert!(r.crawled <= b);
         }
-        prop_assert!(r.relevant_crawled <= r.crawled);
-        prop_assert!(r.final_coverage() <= 1.0 + 1e-12);
-        prop_assert!(r.final_harvest() <= 1.0 + 1e-12);
+        assert!(r.relevant_crawled <= r.crawled);
+        assert!(r.final_coverage() <= 1.0 + 1e-12);
+        assert!(r.final_harvest() <= 1.0 + 1e-12);
         let mut prev = (0u64, 0u64);
         for s in &r.samples {
-            prop_assert!(s.crawled > prev.0);
-            prop_assert!(s.relevant >= prev.1);
-            prop_assert!(s.relevant <= s.crawled);
-            prop_assert!(s.queue_size <= ws.num_pages());
+            assert!(s.crawled > prev.0);
+            assert!(s.relevant >= prev.1);
+            assert!(s.relevant <= s.crawled);
+            assert!(s.queue_size <= ws.num_pages());
             prev = (s.crawled, s.relevant);
         }
-        prop_assert_eq!(r.samples.last().map(|s| s.crawled), Some(r.crawled));
-    }
+        assert_eq!(r.samples.last().map(|s| s.crawled), Some(r.crawled));
+    });
+}
 
-    /// Oracle-classified soft-focused crawling always reaches exactly
-    /// 100% coverage, whatever the seed — the generator's reachability
-    /// guarantee seen through the whole simulator stack.
-    #[test]
-    fn soft_oracle_always_full_coverage(seed in 0u64..500) {
+/// Oracle-classified soft-focused crawling always reaches exactly 100%
+/// coverage, whatever the seed — the generator's reachability guarantee
+/// seen through the whole simulator stack.
+#[test]
+fn soft_oracle_always_full_coverage() {
+    check(12, |g| {
+        let seed = g.u64(0..500);
         let ws = GeneratorConfig::thai_like().scaled(3_000).build(seed);
         let mut sim = Simulator::new(&ws, SimConfig::default());
         let r = sim.run(
             &mut SimpleStrategy::soft(),
             &OracleClassifier::target(ws.target_language()),
         );
-        prop_assert!((r.final_coverage() - 1.0).abs() < 1e-12, "seed {seed}: {}", r.final_coverage());
-    }
+        assert!(
+            (r.final_coverage() - 1.0).abs() < 1e-12,
+            "seed {seed}: {}",
+            r.final_coverage()
+        );
+    });
+}
 
-    /// The limited-distance crawl never exceeds its structural ceiling
-    /// and its coverage is monotone in N for any seed.
-    #[test]
-    fn limited_distance_bounded_by_structure(seed in 0u64..200) {
+/// The limited-distance crawl never exceeds its structural ceiling and
+/// its coverage is monotone in N for any seed.
+#[test]
+fn limited_distance_bounded_by_structure() {
+    check(12, |g| {
+        let seed = g.u64(0..200);
         let ws = GeneratorConfig::thai_like().scaled(3_000).build(seed);
         let oracle = OracleClassifier::target(ws.target_language());
         let mut prev = 0.0f64;
@@ -206,14 +311,14 @@ proptest! {
                 &ws,
                 &langcrawl_webgraph::stats::reachable_limited(&ws, n),
             );
-            prop_assert!(
+            assert!(
                 r.final_coverage() <= ceiling + 1e-9,
                 "N={n}: crawl {} exceeds structural ceiling {}",
                 r.final_coverage(),
                 ceiling
             );
-            prop_assert!(r.final_coverage() + 1e-9 >= prev, "N={n} not monotone");
+            assert!(r.final_coverage() + 1e-9 >= prev, "N={n} not monotone");
             prev = r.final_coverage();
         }
-    }
+    });
 }

@@ -47,11 +47,11 @@ pub fn decode_entities(s: &str) -> String {
             "quot" => Some('"'),
             "apos" => Some('\''),
             _ if name.starts_with("#x") || name.starts_with("#X") => {
-                u32::from_str_radix(&name[2..], 16).ok().and_then(char::from_u32)
+                u32::from_str_radix(&name[2..], 16)
+                    .ok()
+                    .and_then(char::from_u32)
             }
-            _ if name.starts_with('#') => {
-                name[1..].parse::<u32>().ok().and_then(char::from_u32)
-            }
+            _ if name.starts_with('#') => name[1..].parse::<u32>().ok().and_then(char::from_u32),
             _ => None,
         };
         match decoded {

@@ -58,8 +58,7 @@ pub fn extract_raw_refs(page: &[u8]) -> Vec<(Vec<u8>, String)> {
         if tag.closing {
             continue;
         }
-        let attr_name: &str = if tag.is("a") || tag.is("area") || tag.is("link") || tag.is("base")
-        {
+        let attr_name: &str = if tag.is("a") || tag.is("area") || tag.is("link") || tag.is("base") {
             "href"
         } else if tag.is("frame") || tag.is("iframe") {
             "src"

@@ -106,9 +106,7 @@ mod tests {
         );
         // content-type without charset parameter.
         assert_eq!(
-            extract_meta_charset(
-                br#"<meta http-equiv="content-type" content="text/html">"#
-            ),
+            extract_meta_charset(br#"<meta http-equiv="content-type" content="text/html">"#),
             None
         );
     }
@@ -137,7 +135,9 @@ mod tests {
     fn survives_legacy_bytes_before_meta() {
         let mut page = b"<title>".to_vec();
         page.extend_from_slice(&[0xA4, 0xB3, 0xA4, 0xF3, 0xA4, 0xCB]);
-        page.extend_from_slice(b"</title><meta http-equiv=content-type content=\"text/html; charset=euc-jp\">");
+        page.extend_from_slice(
+            b"</title><meta http-equiv=content-type content=\"text/html; charset=euc-jp\">",
+        );
         assert_eq!(extract_meta_charset(&page), Some(Charset::EucJp));
     }
 

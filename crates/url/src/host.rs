@@ -54,8 +54,8 @@ const TWO_LEVEL_SUFFIXES: &[&str] = &[
     // Japan (JPRS organisational second levels)
     "ac.jp", "ad.jp", "co.jp", "ed.jp", "go.jp", "gr.jp", "lg.jp", "ne.jp", "or.jp",
     // Common elsewhere, so cross-language links normalize sensibly
-    "co.uk", "org.uk", "ac.uk", "com.au", "net.au", "org.au", "co.kr", "or.kr",
-    "com.cn", "net.cn", "org.cn", "com.tw", "org.tw",
+    "co.uk", "org.uk", "ac.uk", "com.au", "net.au", "org.au", "co.kr", "or.kr", "com.cn", "net.cn",
+    "org.cn", "com.tw", "org.tw",
 ];
 
 /// Return the *public suffix* of a host: the longest known registry suffix
@@ -80,7 +80,9 @@ pub fn host_suffix(host: &str) -> Option<&str> {
             }
         }
     }
-    host.rfind('.').map(|i| &host[i + 1..]).filter(|s| !s.is_empty())
+    host.rfind('.')
+        .map(|i| &host[i + 1..])
+        .filter(|s| !s.is_empty())
 }
 
 /// Return the registrable domain: the public suffix plus one label.
@@ -147,7 +149,10 @@ mod tests {
     #[test]
     fn registrable_basic() {
         assert_eq!(registrable_domain("www.chula.ac.th"), Some("chula.ac.th"));
-        assert_eq!(registrable_domain("a.b.c.example.co.jp"), Some("example.co.jp"));
+        assert_eq!(
+            registrable_domain("a.b.c.example.co.jp"),
+            Some("example.co.jp")
+        );
         assert_eq!(registrable_domain("news.yahoo.com"), Some("yahoo.com"));
         assert_eq!(registrable_domain("yahoo.com"), Some("yahoo.com"));
     }

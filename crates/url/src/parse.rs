@@ -96,9 +96,7 @@ impl Url {
         let rest = rest.strip_prefix("//").ok_or(ParseError::NotAbsolute)?;
 
         // The authority ends at the first '/', '?', or '#'.
-        let auth_end = rest
-            .find(['/', '?', '#'])
-            .unwrap_or(rest.len());
+        let auth_end = rest.find(['/', '?', '#']).unwrap_or(rest.len());
         let (authority, tail) = rest.split_at(auth_end);
         let (host, port) = split_host_port(authority)?;
 
@@ -172,7 +170,10 @@ fn split_host_port(authority: &str) -> Result<(String, Option<u16>), ParseError>
                 // "http://host:/path" — tolerated, treated as no port.
                 (h, None)
             } else {
-                (h, Some(p.parse::<u16>().map_err(|_| ParseError::InvalidPort)?))
+                (
+                    h,
+                    Some(p.parse::<u16>().map_err(|_| ParseError::InvalidPort)?),
+                )
             }
         }
         None => (hostport, None),
@@ -247,26 +248,47 @@ mod tests {
 
     #[test]
     fn rejects_non_web_schemes() {
-        for bad in ["mailto:x@y", "ftp://h/", "javascript:void(0)", "file:///etc"] {
-            assert_eq!(Url::parse(bad).unwrap_err(), ParseError::UnsupportedScheme, "{bad}");
+        for bad in [
+            "mailto:x@y",
+            "ftp://h/",
+            "javascript:void(0)",
+            "file:///etc",
+        ] {
+            assert_eq!(
+                Url::parse(bad).unwrap_err(),
+                ParseError::UnsupportedScheme,
+                "{bad}"
+            );
         }
     }
 
     #[test]
     fn rejects_relative() {
-        assert_eq!(Url::parse("http:relative").unwrap_err(), ParseError::NotAbsolute);
+        assert_eq!(
+            Url::parse("http:relative").unwrap_err(),
+            ParseError::NotAbsolute
+        );
     }
 
     #[test]
     fn rejects_empty_and_controls() {
         assert_eq!(Url::parse("   ").unwrap_err(), ParseError::Empty);
-        assert_eq!(Url::parse("http://h/\npath").unwrap_err(), ParseError::ControlChar);
+        assert_eq!(
+            Url::parse("http://h/\npath").unwrap_err(),
+            ParseError::ControlChar
+        );
     }
 
     #[test]
     fn rejects_bad_port_and_host() {
-        assert_eq!(Url::parse("http://h:70000/").unwrap_err(), ParseError::InvalidPort);
-        assert_eq!(Url::parse("http://h:abc/").unwrap_err(), ParseError::InvalidPort);
+        assert_eq!(
+            Url::parse("http://h:70000/").unwrap_err(),
+            ParseError::InvalidPort
+        );
+        assert_eq!(
+            Url::parse("http://h:abc/").unwrap_err(),
+            ParseError::InvalidPort
+        );
         assert_eq!(Url::parse("http:///p").unwrap_err(), ParseError::EmptyHost);
         assert!(matches!(
             Url::parse("http://ho st/").unwrap_err(),

@@ -43,7 +43,10 @@ pub fn resolve(base: &Url, reference: &str) -> Result<Url, ParseError> {
             && maybe_scheme
                 .chars()
                 .all(|c| c.is_ascii_alphanumeric() || matches!(c, '+' | '-' | '.'))
-            && maybe_scheme.chars().next().is_some_and(|c| c.is_ascii_alphabetic())
+            && maybe_scheme
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_alphabetic())
         {
             // It names a scheme: either a web URL or something to reject.
             return Url::parse(r);
@@ -163,7 +166,11 @@ mod tests {
             ("../../g", "http://a/g"),
         ];
         for (r, expect) in cases {
-            assert_eq!(resolve(&base(), r).unwrap().to_string(), expect, "ref {r:?}");
+            assert_eq!(
+                resolve(&base(), r).unwrap().to_string(),
+                expect,
+                "ref {r:?}"
+            );
         }
     }
 
@@ -185,7 +192,11 @@ mod tests {
             ("g/../h", "http://a/b/c/h"),
         ];
         for (r, expect) in cases {
-            assert_eq!(resolve(&base(), r).unwrap().to_string(), expect, "ref {r:?}");
+            assert_eq!(
+                resolve(&base(), r).unwrap().to_string(),
+                expect,
+                "ref {r:?}"
+            );
         }
     }
 

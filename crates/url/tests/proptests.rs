@@ -1,126 +1,174 @@
-//! Property-based tests for URL parsing, resolution, and normalization.
+//! Property-based tests for URL parsing, resolution, and normalization,
+//! driven by the workspace's own deterministic `minicheck` harness.
 
+use langcrawl_minicheck::{check_default, Gen};
 use langcrawl_url::{normalize, remove_dot_segments, resolve, Url};
-use proptest::prelude::*;
 
-/// Strategy producing syntactically valid absolute URLs component-wise.
-fn arb_url() -> impl Strategy<Value = String> {
-    let scheme = prop_oneof![Just("http"), Just("https")];
-    let host = proptest::collection::vec("[a-z0-9-]{1,8}", 1..4)
-        .prop_map(|labels| labels.join("."));
-    let port = proptest::option::of(1u16..=65535);
-    let path = proptest::collection::vec("[a-zA-Z0-9._~-]{0,6}", 0..5)
-        .prop_map(|segs| {
-            if segs.is_empty() {
-                "/".to_string()
-            } else {
-                format!("/{}", segs.join("/"))
+/// A syntactically valid absolute URL built component-wise.
+fn arb_url(g: &mut Gen) -> String {
+    let scheme = *g.pick(&["http", "https"]);
+    let labels = g.vec(1..4, |g| {
+        g.string_of("abcdefghijklmnopqrstuvwxyz0123456789-", 1..9)
+    });
+    let mut u = format!("{scheme}://{}", labels.join("."));
+    if let Some(port) = g.option(|g| g.u32(1..65536)) {
+        u.push_str(&format!(":{port}"));
+    }
+    let segs = g.vec(0..5, |g| {
+        g.string_of("abcdefghijklmnopqrstuvwxyzABCDEF0123456789._~-", 0..7)
+    });
+    if segs.is_empty() {
+        u.push('/');
+    } else {
+        for s in &segs {
+            u.push('/');
+            u.push_str(s);
+        }
+    }
+    if let Some(q) = g.option(|g| g.string_of("abc0123456789=&", 1..13)) {
+        u.push('?');
+        u.push_str(&q);
+    }
+    u
+}
+
+/// A relative reference made of plausible path material.
+fn arb_reference(g: &mut Gen) -> String {
+    match g.weighted(&[2, 2, 1, 1, 1]) {
+        0 => {
+            // Relative path with dot segments.
+            let parts = g.vec(1..6, |g| match g.weighted(&[1, 1, 3]) {
+                0 => "..".to_string(),
+                1 => ".".to_string(),
+                _ => {
+                    let s = g.string_of("abcdefghijklmnop0123456789", 1..6);
+                    if s.is_empty() {
+                        "x".into()
+                    } else {
+                        s
+                    }
+                }
+            });
+            parts.join("/")
+        }
+        1 => {
+            // Absolute path (never "//...", which is protocol-relative).
+            let n = g.usize(1..5);
+            let mut s = String::new();
+            for _ in 0..n {
+                s.push('/');
+                s.push_str(&g.string_of("abcdefghij0123456789", 1..6));
             }
-        });
-    let query = proptest::option::of("[a-z0-9=&]{1,12}");
-    (scheme, host, port, path, query).prop_map(|(s, h, p, path, q)| {
-        let mut u = format!("{s}://{h}");
-        if let Some(p) = p {
-            u.push_str(&format!(":{p}"));
+            if g.bool(0.3) {
+                s.push('/');
+            }
+            s
         }
-        u.push_str(&path);
-        if let Some(q) = q {
-            u.push('?');
-            u.push_str(&q);
-        }
-        u
-    })
+        2 => "/".to_string(),
+        3 => format!("?{}", g.string_of("abc0123456789=&", 1..9)),
+        _ => format!("#{}", g.string_of("abcdefg0123456789", 1..9)),
+    }
 }
 
-/// Relative references made of plausible path material.
-fn arb_reference() -> impl Strategy<Value = String> {
-    prop_oneof![
-        // relative path with dots
-        proptest::collection::vec(
-            prop_oneof![
-                Just("..".to_string()),
-                Just(".".to_string()),
-                "[a-z0-9]{1,5}".prop_map(|s| s),
-            ],
-            1..6
-        )
-        .prop_map(|v| v.join("/")),
-        // absolute path (never "//...", which is protocol-relative)
-        "(/[a-z0-9]{1,5}){1,4}/?".prop_map(|s| s),
-        Just("/".to_string()),
-        // query only
-        "[a-z0-9=&]{1,8}".prop_map(|s| format!("?{s}")),
-        // fragment only
-        "[a-z0-9]{1,8}".prop_map(|s| format!("#{s}")),
-    ]
-}
-
-proptest! {
-    /// Display → parse is the identity on parsed URLs.
-    #[test]
-    fn parse_display_round_trip(s in arb_url()) {
+/// Display → parse is the identity on parsed URLs.
+#[test]
+fn parse_display_round_trip() {
+    check_default(|g| {
+        let s = arb_url(g);
         let u = Url::parse(&s).unwrap();
         let re = Url::parse(&u.to_string()).unwrap();
-        prop_assert_eq!(u, re);
-    }
+        assert_eq!(u, re);
+    });
+}
 
-    /// Normalization is idempotent: normalize(parse(normalize(u))) == normalize(u).
-    #[test]
-    fn normalize_idempotent(s in arb_url()) {
+/// Normalization is idempotent: normalize(parse(normalize(u))) == normalize(u).
+#[test]
+fn normalize_idempotent() {
+    check_default(|g| {
+        let s = arb_url(g);
         let u = Url::parse(&s).unwrap();
         let n1 = normalize(&u);
         let n2 = normalize(&Url::parse(&n1).unwrap());
-        prop_assert_eq!(n1, n2);
-    }
+        assert_eq!(n1, n2);
+    });
+}
 
-    /// Resolving an absolute URL against any base returns that URL.
-    #[test]
-    fn resolve_absolute_identity(b in arb_url(), a in arb_url()) {
+/// Resolving an absolute URL against any base returns that URL.
+#[test]
+fn resolve_absolute_identity() {
+    check_default(|g| {
+        let b = arb_url(g);
+        let a = arb_url(g);
         let base = Url::parse(&b).unwrap();
         let resolved = resolve(&base, &a).unwrap();
-        prop_assert_eq!(resolved, Url::parse(&a).unwrap());
-    }
+        assert_eq!(resolved, Url::parse(&a).unwrap());
+    });
+}
 
-    /// Resolution always yields a URL on the base's host (for non-absolute,
-    /// non-protocol-relative references) with a rooted, dot-free path.
-    #[test]
-    fn resolve_stays_on_host(b in arb_url(), r in arb_reference()) {
+/// Resolution always yields a URL on the base's host (for non-absolute,
+/// non-protocol-relative references) with a rooted, dot-free path.
+#[test]
+fn resolve_stays_on_host() {
+    check_default(|g| {
+        let b = arb_url(g);
+        let r = arb_reference(g);
         let base = Url::parse(&b).unwrap();
         let resolved = resolve(&base, &r).unwrap();
-        prop_assert_eq!(&resolved.host, &base.host);
-        prop_assert!(resolved.path.starts_with('/'));
+        assert_eq!(&resolved.host, &base.host, "ref {r:?}");
+        assert!(resolved.path.starts_with('/'));
         for seg in resolved.path.split('/') {
-            prop_assert_ne!(seg, ".");
-            prop_assert_ne!(seg, "..");
+            assert_ne!(seg, ".");
+            assert_ne!(seg, "..");
         }
-    }
+    });
+}
 
-    /// remove_dot_segments output never contains dot segments and is
-    /// idempotent.
-    #[test]
-    fn dot_segments_gone(path in "(/([a-z0-9]{0,4}|\\.|\\.\\.)){0,8}/?") {
+/// remove_dot_segments output never contains dot segments and is
+/// idempotent.
+#[test]
+fn dot_segments_gone() {
+    check_default(|g| {
+        let mut path = String::new();
+        for _ in 0..g.usize(0..8) {
+            path.push('/');
+            match g.weighted(&[1, 1, 3]) {
+                0 => path.push('.'),
+                1 => path.push_str(".."),
+                _ => path.push_str(&g.string_of("abcz0189", 0..5)),
+            }
+        }
+        if g.bool(0.3) {
+            path.push('/');
+        }
         let once = remove_dot_segments(&path);
-        prop_assert!(once.starts_with('/'));
+        assert!(once.starts_with('/'), "input {path:?} gave {once:?}");
         for seg in once.split('/') {
-            prop_assert_ne!(seg, ".");
-            prop_assert_ne!(seg, "..");
+            assert_ne!(seg, ".");
+            assert_ne!(seg, "..");
         }
-        prop_assert_eq!(remove_dot_segments(&once), once.clone());
-    }
+        assert_eq!(remove_dot_segments(&once), once);
+    });
+}
 
-    /// Normalized equal implies same server key (host + effective port).
-    #[test]
-    fn normal_equal_same_server(a in arb_url(), b in arb_url()) {
-        let ua = Url::parse(&a).unwrap();
-        let ub = Url::parse(&b).unwrap();
+/// Normalized equal implies same server key (host + effective port).
+#[test]
+fn normal_equal_same_server() {
+    check_default(|g| {
+        let ua = Url::parse(&arb_url(g)).unwrap();
+        let ub = Url::parse(&arb_url(g)).unwrap();
         if normalize(&ua) == normalize(&ub) {
-            prop_assert_eq!(ua.server_key(), ub.server_key());
+            assert_eq!(ua.server_key(), ub.server_key());
         }
-    }
+    });
+}
 
-    /// Parsing never panics on arbitrary printable input.
-    #[test]
-    fn parse_total_on_garbage(s in "\\PC{0,64}") {
+/// Parsing never panics on arbitrary printable (and not so printable)
+/// input.
+#[test]
+fn parse_total_on_garbage() {
+    check_default(|g| {
+        let bytes = g.bytes(0..64);
+        let s = String::from_utf8_lossy(&bytes);
         let _ = Url::parse(&s);
-    }
+    });
 }

@@ -156,7 +156,9 @@ mod tests {
     #[test]
     fn measured_locality_tracks_configuration() {
         for loc in [0.6f64, 0.82, 0.95] {
-            let cfg = GeneratorConfig::thai_like().scaled(30_000).with_locality(loc);
+            let cfg = GeneratorConfig::thai_like()
+                .scaled(30_000)
+                .with_locality(loc);
             let ws = cfg.build(9);
             let stats = link_stats(&ws);
             // Random links follow the knob exactly; the backbone adds a
@@ -186,13 +188,16 @@ mod tests {
         // leaf links fall out of the denominator. What matters is the
         // band: well above the knob, well below saturation.
         assert!(
-            stats.intra_host_ratio > cfg.intra_host_ratio
-                && stats.intra_host_ratio < 0.95,
+            stats.intra_host_ratio > cfg.intra_host_ratio && stats.intra_host_ratio < 0.95,
             "intra {}",
             stats.intra_host_ratio
         );
         // Hub tail exists.
-        assert!(stats.max_out_degree > 100, "max degree {}", stats.max_out_degree);
+        assert!(
+            stats.max_out_degree > 100,
+            "max degree {}",
+            stats.max_out_degree
+        );
         // Leaf share tracks its knob loosely (backbone adds leaf inbounds).
         assert!(
             (stats.leaf_link_share - cfg.leaf_link_share).abs() < 0.25,

@@ -128,7 +128,8 @@ impl WebSpaceBuilder {
             target: self.target,
             gen_seed: 0,
         };
-        ws.check_invariants().expect("builder fixture is consistent");
+        ws.check_invariants()
+            .expect("builder fixture is consistent");
         ws
     }
 }

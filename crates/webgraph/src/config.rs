@@ -1,7 +1,6 @@
 //! Generator configuration and the Table 3 dataset presets.
 
 use langcrawl_charset::Language;
-use serde::{Deserialize, Serialize};
 
 /// All knobs of the synthetic web-space generator.
 ///
@@ -9,7 +8,8 @@ use serde::{Deserialize, Serialize};
 /// reports for its datasets; [`GeneratorConfig::scaled`] changes only the
 /// size, preserving every ratio, so experiments can be run at whatever
 /// scale the machine affords.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct GeneratorConfig {
     /// Target language of the archiving crawl (what "relevant" means).
     pub target: Language,

@@ -2,7 +2,8 @@
 //!
 //! Reconstructs, at configurable scale, the structural properties of the
 //! paper's crawl-log datasets (see the crate docs for the inventory).
-//! Everything is driven by a single `u64` seed through `StdRng`, so a
+//! Everything is driven by a single `u64` seed through the workspace's
+//! internal xoshiro256** PRNG (`langcrawl_rng::Rng`), so a
 //! `(config, seed)` pair identifies a web space exactly.
 //!
 //! ## Construction outline
@@ -27,8 +28,8 @@ use crate::config::GeneratorConfig;
 use crate::graph::WebSpace;
 use crate::page::{HostMeta, HttpStatus, PageId, PageKind, PageMeta};
 use langcrawl_charset::{Charset, Language};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+
+use langcrawl_rng::Rng;
 
 /// Role of a host in the generated topology.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -53,7 +54,7 @@ struct HostPlan {
 /// [`GeneratorConfig::build`]'s implementation.
 pub fn generate(config: &GeneratorConfig, seed: u64) -> WebSpace {
     config.validate();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
 
     let n_total = config.total_urls as u64;
     let n_html = ((n_total as f64) * config.ok_html_ratio).round() as u64;
@@ -98,7 +99,11 @@ pub fn generate(config: &GeneratorConfig, seed: u64) -> WebSpace {
             let failed = rng.random_bool(0.6);
             pages.push(PageMeta {
                 host: i as u32,
-                kind: if failed { PageKind::Failed } else { PageKind::Other },
+                kind: if failed {
+                    PageKind::Failed
+                } else {
+                    PageKind::Other
+                },
                 status: if failed {
                     match rng.random_range(0..10) {
                         0..=6 => HttpStatus::NotFound,
@@ -157,17 +162,19 @@ pub fn generate(config: &GeneratorConfig, seed: u64) -> WebSpace {
 
 // ---------------------------------------------------------------- planning
 
-fn plan_hosts(config: &GeneratorConfig, n_html: u64, rng: &mut StdRng) -> Vec<HostPlan> {
+fn plan_hosts(config: &GeneratorConfig, n_html: u64, rng: &mut Rng) -> Vec<HostPlan> {
     let f_target = config.target_host_fraction();
     let target_budget = ((n_html as f64) * f_target).round() as u64;
     let other_budget = n_html.saturating_sub(target_budget);
 
     // Sample host sizes until each language budget is filled.
     let mut plans: Vec<HostPlan> = Vec::new();
-    let fill = |budget: u64, lang: Language, plans: &mut Vec<HostPlan>, rng: &mut StdRng| {
+    let fill = |budget: u64, lang: Language, plans: &mut Vec<HostPlan>, rng: &mut Rng| {
         let mut used = 0u64;
         while used < budget {
-            let size = sample_host_size(config, rng).min((budget - used) as u32).max(1);
+            let size = sample_host_size(config, rng)
+                .min((budget - used) as u32)
+                .max(1);
             plans.push(HostPlan {
                 lang,
                 html: size,
@@ -243,7 +250,7 @@ fn plan_hosts(config: &GeneratorConfig, n_html: u64, rng: &mut StdRng) -> Vec<Ho
     plans
 }
 
-fn distribute_leaves(plans: &mut [HostPlan], n_leaves: u64, rng: &mut StdRng) {
+fn distribute_leaves(plans: &mut [HostPlan], n_leaves: u64, rng: &mut Rng) {
     let total_html: u64 = plans.iter().map(|p| p.html as u64).sum();
     if total_html == 0 {
         return;
@@ -266,7 +273,11 @@ fn distribute_leaves(plans: &mut [HostPlan], n_leaves: u64, rng: &mut StdRng) {
                 && rng.random_range(0..100) < 15
         })
         .collect();
-    let trap_budget = if traps.is_empty() { 0 } else { n_leaves * 85 / 100 };
+    let trap_budget = if traps.is_empty() {
+        0
+    } else {
+        n_leaves * 85 / 100
+    };
     let trap_html: u64 = traps
         .iter()
         .map(|&i| plans[i].html as u64)
@@ -302,7 +313,7 @@ fn distribute_leaves(plans: &mut [HostPlan], n_leaves: u64, rng: &mut StdRng) {
 // ----------------------------------------------------------------- sampling
 
 /// Bounded Pareto host size: heavy tail, mean ≈ `mean_host_size`.
-fn sample_host_size(config: &GeneratorConfig, rng: &mut StdRng) -> u32 {
+fn sample_host_size(config: &GeneratorConfig, rng: &mut Rng) -> u32 {
     let alpha = config.host_size_alpha;
     // Pareto mean = alpha/(alpha-1) * xm  (alpha > 1).
     let xm = config.mean_host_size * (alpha - 1.0) / alpha;
@@ -312,7 +323,7 @@ fn sample_host_size(config: &GeneratorConfig, rng: &mut StdRng) -> u32 {
     (x.min(cap).max(1.0)).round() as u32
 }
 
-fn sample_size(mean: u32, rng: &mut StdRng) -> u32 {
+fn sample_size(mean: u32, rng: &mut Rng) -> u32 {
     // Exponential around the mean: realistic long tail without a
     // distribution dependency.
     let u: f64 = rng.random_range(1e-9..1.0);
@@ -320,7 +331,7 @@ fn sample_size(mean: u32, rng: &mut StdRng) -> u32 {
     v.clamp(300.0, 250_000.0) as u32
 }
 
-fn sample_degree(mean: f64, rng: &mut StdRng) -> u32 {
+fn sample_degree(mean: f64, rng: &mut Rng) -> u32 {
     // 2.5% of pages are directory/portal hubs with hundreds of links —
     // the heavy tail real link-distribution studies report. The rest
     // follow an exponential around the configured mean.
@@ -355,7 +366,7 @@ fn page_language(
     config: &GeneratorConfig,
     plan: &HostPlan,
     other_langs: &[Language],
-    rng: &mut StdRng,
+    rng: &mut Rng,
 ) -> Language {
     if plan.lang == config.target {
         if rng.random_bool(config.host_purity) {
@@ -370,7 +381,7 @@ fn page_language(
     }
 }
 
-fn sample_true_charset(config: &GeneratorConfig, lang: Language, rng: &mut StdRng) -> Charset {
+fn sample_true_charset(config: &GeneratorConfig, lang: Language, rng: &mut Rng) -> Charset {
     if rng.random_bool(config.utf8_share) && lang != Language::Other {
         return Charset::Utf8;
     }
@@ -397,11 +408,7 @@ fn sample_true_charset(config: &GeneratorConfig, lang: Language, rng: &mut StdRn
     }
 }
 
-fn sample_label(
-    config: &GeneratorConfig,
-    true_charset: Charset,
-    rng: &mut StdRng,
-) -> Option<Charset> {
+fn sample_label(config: &GeneratorConfig, true_charset: Charset, rng: &mut Rng) -> Option<Charset> {
     if !rng.random_bool(config.meta_present) {
         return None;
     }
@@ -418,25 +425,29 @@ fn sample_label(
     }
 }
 
-fn host_name(i: usize, lang: Language, target: Language, rng: &mut StdRng) -> String {
-    let syllables = ["ban", "chai", "dee", "krung", "siam", "thai", "nara", "kyo", "sun",
-        "tech", "info", "web", "net", "data", "media", "port"];
+fn host_name(i: usize, lang: Language, target: Language, rng: &mut Rng) -> String {
+    let syllables = [
+        "ban", "chai", "dee", "krung", "siam", "thai", "nara", "kyo", "sun", "tech", "info", "web",
+        "net", "data", "media", "port",
+    ];
     let a = syllables[rng.random_range(0..syllables.len())];
     let b = syllables[rng.random_range(0..syllables.len())];
     let tld = match (lang, target) {
-        (Language::Thai, _) => ["co.th", "ac.th", "or.th", "go.th", "in.th"]
-            [rng.random_range(0..5)],
-        (Language::Japanese, _) => ["co.jp", "ac.jp", "ne.jp", "or.jp", "gr.jp"]
-            [rng.random_range(0..5)],
-        (Language::Korean, _) => ["co.kr", "or.kr"][rng.random_range(0..2)],
-        (Language::Chinese, _) => ["com.cn", "net.cn", "org.cn"][rng.random_range(0..3)],
-        _ => ["com", "net", "org", "co.uk", "com.au"][rng.random_range(0..5)],
+        (Language::Thai, _) => {
+            ["co.th", "ac.th", "or.th", "go.th", "in.th"][rng.random_range(0..5usize)]
+        }
+        (Language::Japanese, _) => {
+            ["co.jp", "ac.jp", "ne.jp", "or.jp", "gr.jp"][rng.random_range(0..5usize)]
+        }
+        (Language::Korean, _) => ["co.kr", "or.kr"][rng.random_range(0..2usize)],
+        (Language::Chinese, _) => ["com.cn", "net.cn", "org.cn"][rng.random_range(0..3usize)],
+        _ => ["com", "net", "org", "co.uk", "com.au"][rng.random_range(0..5usize)],
     };
     format!("www.{a}{b}{i}.{tld}")
 }
 
-fn shuffle<T>(v: &mut [T], rng: &mut StdRng) {
-    // Fisher–Yates; avoids pulling in rand's slice trait surface.
+fn shuffle<T>(v: &mut [T], rng: &mut Rng) {
+    // Fisher–Yates; the rng crate deliberately has no slice helpers.
     for i in (1..v.len()).rev() {
         let j = rng.random_range(0..=i);
         v.swap(i, j);
@@ -457,7 +468,7 @@ fn add_backbone(
     pages: &[PageMeta],
     target: Language,
     edges: &mut Vec<(PageId, PageId)>,
-    rng: &mut StdRng,
+    rng: &mut Rng,
 ) {
     // Mainland hosts form a host tree whose root is the LARGEST relevant
     // host — the first seed. Every tree edge goes from a page of an
@@ -527,7 +538,7 @@ fn add_island_chains(
     pages: &[PageMeta],
     config: &GeneratorConfig,
     edges: &mut Vec<(PageId, PageId)>,
-    rng: &mut StdRng,
+    rng: &mut Rng,
 ) {
     let relevant_mainland: Vec<PageId> = (0..pages.len() as PageId)
         .filter(|&p| {
@@ -567,7 +578,7 @@ fn add_random_links(
     pages: &[PageMeta],
     config: &GeneratorConfig,
     edges: &mut Vec<(PageId, PageId)>,
-    rng: &mut StdRng,
+    rng: &mut Rng,
 ) {
     // Preferential-attachment pools: cumulative HTML mass per language
     // group over mainland hosts.
@@ -622,7 +633,11 @@ fn add_random_links(
                     } else {
                         !same_lang
                     };
-                    let pool = if want_target_lang { &target_pool } else { &other_pool };
+                    let pool = if want_target_lang {
+                        &target_pool
+                    } else {
+                        &other_pool
+                    };
                     let Some(th) = pool.sample(rng) else { continue };
                     if th == h {
                         continue;
@@ -666,7 +681,7 @@ impl HostPool {
         self.hosts.is_empty()
     }
 
-    fn sample(&self, rng: &mut StdRng) -> Option<usize> {
+    fn sample(&self, rng: &mut Rng) -> Option<usize> {
         let total = *self.cumulative.last()?;
         let x = rng.random_range(0..total);
         let idx = self.cumulative.partition_point(|&c| c <= x);
@@ -861,20 +876,18 @@ mod tests {
                 continue;
             }
             match m.lang.unwrap() {
-                Language::Thai => assert!(
-                    m.true_charset.is_thai_family() || m.true_charset == Charset::Utf8
-                ),
-                Language::Japanese => assert!(
-                    m.true_charset.is_japanese_family() || m.true_charset == Charset::Utf8
-                ),
-                Language::Korean => assert!(matches!(
-                    m.true_charset,
-                    Charset::EucKr | Charset::Utf8
-                )),
-                Language::Chinese => assert!(matches!(
-                    m.true_charset,
-                    Charset::Gb2312 | Charset::Utf8
-                )),
+                Language::Thai => {
+                    assert!(m.true_charset.is_thai_family() || m.true_charset == Charset::Utf8)
+                }
+                Language::Japanese => {
+                    assert!(m.true_charset.is_japanese_family() || m.true_charset == Charset::Utf8)
+                }
+                Language::Korean => {
+                    assert!(matches!(m.true_charset, Charset::EucKr | Charset::Utf8))
+                }
+                Language::Chinese => {
+                    assert!(matches!(m.true_charset, Charset::Gb2312 | Charset::Utf8))
+                }
                 Language::Other => assert!(matches!(
                     m.true_charset,
                     Charset::Ascii | Charset::Latin1 | Charset::Utf8

@@ -178,10 +178,7 @@ impl WebSpace {
             if m.kind != PageKind::Html && !self.outlinks(p).is_empty() {
                 return Err(format!("non-HTML page {p} has outlinks"));
             }
-            if m.kind == PageKind::Html
-                && m.status == HttpStatus::Ok
-                && m.lang.is_none()
-            {
+            if m.kind == PageKind::Html && m.status == HttpStatus::Ok && m.lang.is_none() {
                 return Err(format!("OK HTML page {p} lacks a ground-truth language"));
             }
         }

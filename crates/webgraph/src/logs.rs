@@ -115,8 +115,7 @@ pub fn read_log<R: BufRead>(r: R) -> io::Result<WebSpace> {
                 let host: u32 = parse_num(f.next(), &bad)?;
                 let kind = parse_kind(f.next().ok_or_else(|| bad("P kind"))?)?;
                 let status = HttpStatus::from_code(parse_num(f.next(), &bad)?);
-                let true_charset =
-                    charset_from_label(f.next().ok_or_else(|| bad("P charset"))?);
+                let true_charset = charset_from_label(f.next().ok_or_else(|| bad("P charset"))?);
                 let label_field = f.next().ok_or_else(|| bad("P label"))?;
                 let labeled_charset = if label_field == "-" {
                     None

@@ -1,7 +1,6 @@
 //! Per-page and per-host metadata records — the schema of the crawl log.
 
 use langcrawl_charset::{Charset, Language};
-use serde::{Deserialize, Serialize};
 
 /// Page identifier: an index into the web space's page table. `u32`
 /// bounds the space at ~4 G pages, far beyond what fits in memory anyway,
@@ -12,7 +11,8 @@ pub type PageId = u32;
 /// HTTP status of a fetch, collapsed to the classes the simulation
 /// distinguishes. The paper's Table 3 counts "pages with OK status (200)"
 /// separately from the rest of the URL population.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum HttpStatus {
     /// 200 OK.
     Ok,
@@ -47,7 +47,8 @@ impl HttpStatus {
 }
 
 /// What kind of resource a URL turned out to be.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum PageKind {
     /// An OK HTML page — the only kind with outlinks and a language.
     Html,
@@ -62,7 +63,8 @@ pub enum PageKind {
 ///
 /// Field order and types are chosen for density: the page table is the
 /// second-largest allocation after the edge array.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PageMeta {
     /// Host this page lives on (index into the host table).
     pub host: u32,
@@ -103,7 +105,8 @@ impl PageMeta {
 }
 
 /// Per-host record.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct HostMeta {
     /// Host name (`www.foo.ac.th`).
     pub name: String,

@@ -225,7 +225,10 @@ mod tests {
         let ws = GeneratorConfig::thai_like().scaled(8_000).build(5);
         let hard = relevant_coverage(&ws, &reachable_relevant_only(&ws));
         let lim0 = relevant_coverage(&ws, &reachable_limited(&ws, 0));
-        assert!((hard - lim0).abs() < 1e-12, "hard {hard} vs limited0 {lim0}");
+        assert!(
+            (hard - lim0).abs() < 1e-12,
+            "hard {hard} vs limited0 {lim0}"
+        );
     }
 
     /// Japanese preset: smaller island mass ⇒ higher hard ceiling.

@@ -17,8 +17,8 @@ use crate::text;
 use langcrawl_charset::dbcs::{encode_chinese, encode_korean};
 use langcrawl_charset::encode::{encode_ascii, encode_japanese, encode_thai};
 use langcrawl_charset::{Charset, Language};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+
+use langcrawl_rng::{mix, Rng};
 
 impl WebSpace {
     /// Render a page as HTML bytes in its true charset. Non-HTML pages
@@ -36,7 +36,7 @@ impl WebSpace {
     fn synthesize_html(&self, p: PageId) -> Vec<u8> {
         let meta = self.meta(p);
         // Per-page deterministic stream: splitmix the ids together.
-        let mut rng = StdRng::seed_from_u64(mix(self.generation_seed(), p as u64));
+        let mut rng = Rng::seed_from_u64(mix(self.generation_seed(), p as u64));
 
         let mut out: Vec<u8> = Vec::with_capacity(meta.size as usize / 4);
         out.extend_from_slice(b"<html><head>");
@@ -88,16 +88,14 @@ impl WebSpace {
         lang: Option<Language>,
         charset: Charset,
         units: usize,
-        rng: &mut StdRng,
+        rng: &mut Rng,
     ) -> Vec<u8> {
         match (lang, charset) {
             (Some(Language::Japanese), cs) => {
                 encode_japanese(&text::japanese_tokens(units * 4, rng), cs)
             }
             (Some(Language::Thai), cs) => encode_thai(&text::thai_tokens(units * 4, rng), cs),
-            (Some(Language::Korean), cs) => {
-                encode_korean(&text::korean_tokens(units * 3, rng), cs)
-            }
+            (Some(Language::Korean), cs) => encode_korean(&text::korean_tokens(units * 3, rng), cs),
             (Some(Language::Chinese), cs) => {
                 encode_chinese(&text::chinese_tokens(units * 4, rng), cs)
             }
@@ -116,14 +114,6 @@ impl WebSpace {
             _ => encode_ascii(&text::english_words(units, rng)),
         }
     }
-}
-
-/// splitmix64-style mixer for per-page seeds.
-fn mix(seed: u64, page: u64) -> u64 {
-    let mut z = seed ^ page.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
 }
 
 #[cfg(test)]
@@ -175,9 +165,7 @@ mod tests {
             let expected: std::collections::HashSet<String> = ws
                 .outlinks(p)
                 .iter()
-                .map(|&t| {
-                    langcrawl_url::normalize(&Url::parse(&ws.url(t)).unwrap())
-                })
+                .map(|&t| langcrawl_url::normalize(&Url::parse(&ws.url(t)).unwrap()))
                 .collect();
             let got: std::collections::HashSet<String> = extracted.into_iter().collect();
             assert_eq!(got, expected, "page {p}");

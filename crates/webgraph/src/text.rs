@@ -16,11 +16,11 @@
 use langcrawl_charset::dbcs::DbToken;
 use langcrawl_charset::encode::{JaToken, ThToken};
 use langcrawl_charset::kuten::{rows, Kuten};
-use rand::rngs::StdRng;
-use rand::Rng;
+
+use langcrawl_rng::Rng;
 
 /// Generate `n` tokens of model Japanese text.
-pub fn japanese_tokens(n: usize, rng: &mut StdRng) -> Vec<JaToken> {
+pub fn japanese_tokens(n: usize, rng: &mut Rng) -> Vec<JaToken> {
     let mut out = Vec::with_capacity(n);
     while out.len() < n {
         match rng.random_range(0..100u32) {
@@ -46,11 +46,15 @@ pub fn japanese_tokens(n: usize, rng: &mut StdRng) -> Vec<JaToken> {
                 // frequent characters sit.
                 let ku = rows::KANJI_FIRST
                     + rng.random_range(0..=(rows::KANJI_LEVEL1_LAST - rows::KANJI_FIRST));
-                out.push(JaToken::K(Kuten::new(ku, rng.random_range(1..=94)).unwrap()));
+                out.push(JaToken::K(
+                    Kuten::new(ku, rng.random_range(1..=94)).unwrap(),
+                ));
             }
             86..=92 => {
                 // Ideographic punctuation: 、 。 ・ etc.
-                out.push(JaToken::K(Kuten::new(rows::PUNCT, rng.random_range(1..=10)).unwrap()));
+                out.push(JaToken::K(
+                    Kuten::new(rows::PUNCT, rng.random_range(1..=10)).unwrap(),
+                ));
             }
             _ => {
                 // An ASCII word (numbers, Latin brand names).
@@ -67,8 +71,8 @@ pub fn japanese_tokens(n: usize, rng: &mut StdRng) -> Vec<JaToken> {
 
 /// Thai consonants that open syllables, as TIS-620 bytes.
 const THAI_CONSONANTS: &[u8] = &[
-    0xA1, 0xA2, 0xA4, 0xA7, 0xA8, 0xAA, 0xAB, 0xAD, 0xB4, 0xB5, 0xB7, 0xB9, 0xBA, 0xBB, 0xBE,
-    0xBF, 0xC1, 0xC2, 0xC3, 0xC5, 0xC7, 0xCA, 0xCB, 0xCD, 0xCE,
+    0xA1, 0xA2, 0xA4, 0xA7, 0xA8, 0xAA, 0xAB, 0xAD, 0xB4, 0xB5, 0xB7, 0xB9, 0xBA, 0xBB, 0xBE, 0xBF,
+    0xC1, 0xC2, 0xC3, 0xC5, 0xC7, 0xCA, 0xCB, 0xCD, 0xCE,
 ];
 /// Above/below vowels (combining).
 const THAI_AB_VOWELS: &[u8] = &[0xD4, 0xD5, 0xD6, 0xD7, 0xD8, 0xD9];
@@ -80,9 +84,9 @@ const THAI_LEAD_VOWELS: &[u8] = &[0xE0, 0xE1, 0xE2, 0xE3, 0xE4];
 const THAI_TONES: &[u8] = &[0xE8, 0xE9, 0xEA, 0xEB];
 
 /// Generate `n` tokens of model Thai text (canonical syllable structure).
-pub fn thai_tokens(n: usize, rng: &mut StdRng) -> Vec<ThToken> {
+pub fn thai_tokens(n: usize, rng: &mut Rng) -> Vec<ThToken> {
     let mut out = Vec::with_capacity(n);
-    let pick = |set: &[u8], rng: &mut StdRng| set[rng.random_range(0..set.len())];
+    let pick = |set: &[u8], rng: &mut Rng| set[rng.random_range(0..set.len())];
     while out.len() < n {
         // Optional leading vowel, consonant, optional vowel, optional tone,
         // optional final consonant — a defensible approximation of Thai
@@ -119,7 +123,7 @@ pub fn thai_tokens(n: usize, rng: &mut StdRng) -> Vec<ThToken> {
 
 /// Generate `n` tokens of model Korean text: precomposed hangul (KS X
 /// 1001 rows 16..=40), spaces between words, rare ASCII digits.
-pub fn korean_tokens(n: usize, rng: &mut StdRng) -> Vec<DbToken> {
+pub fn korean_tokens(n: usize, rng: &mut Rng) -> Vec<DbToken> {
     let mut out = Vec::with_capacity(n);
     while out.len() < n {
         // A word of 1..=4 syllables.
@@ -142,12 +146,18 @@ pub fn korean_tokens(n: usize, rng: &mut StdRng) -> Vec<DbToken> {
 /// Generate `n` tokens of model Simplified-Chinese text: level-1 hanzi
 /// core, a steady level-2 tail, GB symbol punctuation, no inter-word
 /// spaces.
-pub fn chinese_tokens(n: usize, rng: &mut StdRng) -> Vec<DbToken> {
+pub fn chinese_tokens(n: usize, rng: &mut Rng) -> Vec<DbToken> {
     let mut out = Vec::with_capacity(n);
     while out.len() < n {
         let (ku, ten) = match rng.random_range(0..100u32) {
-            0..=64 => (16 + rng.random_range(0..40) as u8, 1 + rng.random_range(0..94) as u8),
-            65..=94 => (56 + rng.random_range(0..32) as u8, 1 + rng.random_range(0..94) as u8),
+            0..=64 => (
+                16 + rng.random_range(0..40) as u8,
+                1 + rng.random_range(0..94) as u8,
+            ),
+            65..=94 => (
+                56 + rng.random_range(0..32) as u8,
+                1 + rng.random_range(0..94) as u8,
+            ),
             _ => (1u8, 1 + rng.random_range(0..10) as u8),
         };
         out.push(DbToken::Cell(Kuten::new(ku, ten).unwrap()));
@@ -160,7 +170,7 @@ pub fn chinese_tokens(n: usize, rng: &mut StdRng) -> Vec<DbToken> {
 }
 
 /// English-like filler words for irrelevant pages.
-pub fn english_words(n_words: usize, rng: &mut StdRng) -> String {
+pub fn english_words(n_words: usize, rng: &mut Rng) -> String {
     const WORDS: &[&str] = &[
         "the", "of", "and", "to", "in", "for", "is", "on", "that", "by", "this", "with", "you",
         "it", "not", "or", "be", "are", "from", "at", "as", "your", "all", "have", "new", "more",
@@ -181,11 +191,11 @@ pub fn english_words(n_words: usize, rng: &mut StdRng) -> String {
 mod tests {
     use super::*;
     use langcrawl_charset::thai;
-    use rand::SeedableRng;
+    use langcrawl_rng::Rng;
 
     #[test]
     fn japanese_token_mix_is_realistic() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let toks = japanese_tokens(5_000, &mut rng);
         assert_eq!(toks.len(), 5_000);
         let hira = toks
@@ -198,7 +208,7 @@ mod tests {
 
     #[test]
     fn thai_tokens_are_assigned_bytes() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::seed_from_u64(2);
         for t in thai_tokens(2_000, &mut rng) {
             if let ThToken::Thai(b) = t {
                 assert!(thai::is_thai_byte(b), "{b:02X}");
@@ -208,7 +218,7 @@ mod tests {
 
     #[test]
     fn thai_orthography_scores_positive() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         let toks = thai_tokens(1_000, &mut rng);
         let bytes: Vec<u8> = toks
             .iter()
@@ -231,7 +241,7 @@ mod tests {
 
     #[test]
     fn korean_tokens_are_hangul_rows() {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Rng::seed_from_u64(5);
         for t in korean_tokens(1_000, &mut rng) {
             if let DbToken::Cell(k) = t {
                 assert!((16..=40).contains(&k.ku), "row {}", k.ku);
@@ -241,7 +251,7 @@ mod tests {
 
     #[test]
     fn chinese_tokens_have_level2_tail() {
-        let mut rng = StdRng::seed_from_u64(6);
+        let mut rng = Rng::seed_from_u64(6);
         let toks = chinese_tokens(2_000, &mut rng);
         let l2 = toks
             .iter()
@@ -253,7 +263,7 @@ mod tests {
 
     #[test]
     fn english_words_are_ascii() {
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Rng::seed_from_u64(4);
         let s = english_words(200, &mut rng);
         assert!(s.is_ascii());
         assert!(s.split(' ').count() == 200);
@@ -261,8 +271,8 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = japanese_tokens(100, &mut StdRng::seed_from_u64(9));
-        let b = japanese_tokens(100, &mut StdRng::seed_from_u64(9));
+        let a = japanese_tokens(100, &mut Rng::seed_from_u64(9));
+        let b = japanese_tokens(100, &mut Rng::seed_from_u64(9));
         assert_eq!(a, b);
     }
 }

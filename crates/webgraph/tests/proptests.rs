@@ -2,91 +2,88 @@
 //! calibration, reachability guarantees and log round-trips over random
 //! configurations and seeds.
 
+use langcrawl_minicheck::{check, Gen};
 use langcrawl_webgraph::logs::{read_log, write_log};
 use langcrawl_webgraph::stats::{reachable_all, reachable_limited, relevant_coverage};
-use langcrawl_webgraph::{GeneratorConfig, PageKind};
-use proptest::prelude::*;
+use langcrawl_webgraph::{GeneratorConfig, PageKind, WebSpace};
 
-/// Random but sane generator configs around the presets.
-fn arb_config() -> impl Strategy<Value = GeneratorConfig> {
-    (
-        2_000u32..8_000,
-        0.15f64..0.5,   // ok_html_ratio
-        0.15f64..0.75,  // relevance_ratio
-        0.5f64..0.95,   // locality
-        0.05f64..0.45,  // island_mass
-        1u8..=5,        // max_island_depth
-        1u32..=16,      // seed_count
-        prop_oneof![Just(true), Just(false)], // thai or japanese base
-    )
-        .prop_map(
-            |(n, ok_html, relevance, locality, island, depth, seeds, thai)| {
-                let mut c = if thai {
-                    GeneratorConfig::thai_like()
-                } else {
-                    GeneratorConfig::japanese_like()
-                };
-                c.total_urls = n;
-                c.ok_html_ratio = ok_html;
-                c.relevance_ratio = relevance;
-                c.locality = locality;
-                c.island_mass = island;
-                c.max_island_depth = depth;
-                c.seed_count = seeds;
-                c
-            },
-        )
+/// Generation is the expensive part, so run fewer cases than the default
+/// (the original suite used 24).
+const CASES: u32 = 24;
+
+/// A random but sane generator config around the presets, plus a build
+/// seed.
+fn arb_space(g: &mut Gen) -> (GeneratorConfig, WebSpace) {
+    let mut c = if g.bool(0.5) {
+        GeneratorConfig::thai_like()
+    } else {
+        GeneratorConfig::japanese_like()
+    };
+    c.total_urls = g.u32(2_000..8_000);
+    c.ok_html_ratio = g.f64(0.15..0.5);
+    c.relevance_ratio = g.f64(0.15..0.75);
+    c.locality = g.f64(0.5..0.95);
+    c.island_mass = g.f64(0.05..0.45);
+    c.max_island_depth = g.u8(1..=5);
+    c.seed_count = g.u32(1..17);
+    let seed = g.u64(0..1_000);
+    let ws = c.build(seed);
+    (c, ws)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Every generated space passes its own structural integrity check.
+#[test]
+fn invariants_hold_for_random_configs() {
+    check(CASES, |g| {
+        let (_, ws) = arb_space(g);
+        assert!(ws.check_invariants().is_ok(), "{:?}", ws.check_invariants());
+    });
+}
 
-    /// Every generated space passes its own structural integrity check.
-    #[test]
-    fn invariants_hold_for_random_configs(cfg in arb_config(), seed in 0u64..1_000) {
-        let ws = cfg.build(seed);
-        prop_assert!(ws.check_invariants().is_ok(), "{:?}", ws.check_invariants());
-    }
-
-    /// Requested macro ratios are hit within tolerance.
-    #[test]
-    fn calibration_holds(cfg in arb_config(), seed in 0u64..1_000) {
-        let ws = cfg.build(seed);
+/// Requested macro ratios are hit within tolerance.
+#[test]
+fn calibration_holds() {
+    check(CASES, |g| {
+        let (cfg, ws) = arb_space(g);
         let n = ws.num_pages() as f64;
-        prop_assert!((n - cfg.total_urls as f64).abs() / n < 0.05);
+        assert!((n - cfg.total_urls as f64).abs() / n < 0.05);
         let ok_ratio = ws.total_ok_html() as f64 / n;
-        prop_assert!(
+        assert!(
             (ok_ratio - cfg.ok_html_ratio).abs() < 0.06,
             "ok_html {ok_ratio} vs requested {}",
             cfg.ok_html_ratio
         );
         let rel = ws.total_relevant() as f64 / ws.total_ok_html().max(1) as f64;
-        prop_assert!(
+        assert!(
             (rel - cfg.relevance_ratio).abs() < 0.09,
             "relevance {rel} vs requested {}",
             cfg.relevance_ratio
         );
-    }
+    });
+}
 
-    /// The generator's reachability guarantee: every URL reachable from
-    /// the seeds, for any config.
-    #[test]
-    fn full_reachability_from_seeds(cfg in arb_config(), seed in 0u64..1_000) {
-        let ws = cfg.build(seed);
+/// The generator's reachability guarantee: every URL reachable from the
+/// seeds, for any config.
+#[test]
+fn full_reachability_from_seeds() {
+    check(CASES, |g| {
+        let (_, ws) = arb_space(g);
         let visited = reachable_all(&ws);
         let unreached = visited.iter().filter(|&&v| !v).count();
-        prop_assert_eq!(unreached, 0);
-    }
+        assert_eq!(unreached, 0);
+    });
+}
 
-    /// Island structure: coverage under the tunnel analysis is monotone
-    /// in N and reaches 1.0 at N = max_island_depth.
-    #[test]
-    fn tunnel_coverage_monotone_and_complete(cfg in arb_config(), seed in 0u64..1_000) {
-        let ws = cfg.build(seed);
+/// Island structure: coverage under the tunnel analysis is monotone in N
+/// and reaches 1.0 at N = max_island_depth.
+#[test]
+fn tunnel_coverage_monotone_and_complete() {
+    check(CASES, |g| {
+        let (cfg, ws) = arb_space(g);
         let mut prev = 0.0;
         for n in 0..=cfg.max_island_depth {
             let cov = relevant_coverage(&ws, &reachable_limited(&ws, n));
-            prop_assert!(cov + 1e-12 >= prev, "N={n}");
+            assert!(cov + 1e-12 >= prev, "N={n}");
             prev = cov;
         }
         // Full coverage is only guaranteed without the tunnel bound:
@@ -95,52 +92,61 @@ proptest! {
         // consecutive-irrelevant run in these graph sizes.
         let full = relevant_coverage(&ws, &reachable_limited(&ws, 200));
         let all = relevant_coverage(&ws, &reachable_all(&ws));
-        prop_assert!((full - all).abs() < 1e-12, "N=200 {full} vs unbounded {all}");
-        prop_assert!(all > 0.999, "unbounded coverage {all}");
-    }
+        assert!(
+            (full - all).abs() < 1e-12,
+            "N=200 {full} vs unbounded {all}"
+        );
+        assert!(all > 0.999, "unbounded coverage {all}");
+    });
+}
 
-    /// Determinism: (config, seed) identifies the space exactly.
-    #[test]
-    fn generation_deterministic(cfg in arb_config(), seed in 0u64..1_000) {
-        let a = cfg.build(seed);
-        let b = cfg.build(seed);
-        prop_assert_eq!(a.num_pages(), b.num_pages());
-        prop_assert_eq!(a.num_edges(), b.num_edges());
-        prop_assert_eq!(a.seeds(), b.seeds());
+/// Determinism: (config, seed) identifies the space exactly.
+#[test]
+fn generation_deterministic() {
+    check(CASES, |g| {
+        let (cfg, a) = arb_space(g);
+        let b = cfg.build(a.generation_seed());
+        assert_eq!(a.num_pages(), b.num_pages());
+        assert_eq!(a.num_edges(), b.num_edges());
+        assert_eq!(a.seeds(), b.seeds());
         for p in (0..a.num_pages() as u32).step_by(37) {
-            prop_assert_eq!(a.meta(p), b.meta(p));
-            prop_assert_eq!(a.outlinks(p), b.outlinks(p));
+            assert_eq!(a.meta(p), b.meta(p));
+            assert_eq!(a.outlinks(p), b.outlinks(p));
         }
-    }
+    });
+}
 
-    /// Crawl-log round trip is exact for arbitrary spaces.
-    #[test]
-    fn log_round_trip(cfg in arb_config(), seed in 0u64..1_000) {
-        let ws = cfg.build(seed);
+/// Crawl-log round trip is exact for arbitrary spaces.
+#[test]
+fn log_round_trip() {
+    check(CASES, |g| {
+        let (_, ws) = arb_space(g);
         let mut buf = Vec::new();
         write_log(&ws, &mut buf).unwrap();
         let re = read_log(std::io::BufReader::new(&buf[..])).unwrap();
-        prop_assert_eq!(re.num_pages(), ws.num_pages());
-        prop_assert_eq!(re.num_edges(), ws.num_edges());
-        prop_assert_eq!(re.seeds(), ws.seeds());
+        assert_eq!(re.num_pages(), ws.num_pages());
+        assert_eq!(re.num_edges(), ws.num_edges());
+        assert_eq!(re.seeds(), ws.seeds());
         for p in (0..ws.num_pages() as u32).step_by(53) {
-            prop_assert_eq!(re.meta(p), ws.meta(p));
-            prop_assert_eq!(re.outlinks(p), ws.outlinks(p));
+            assert_eq!(re.meta(p), ws.meta(p));
+            assert_eq!(re.outlinks(p), ws.outlinks(p));
         }
-    }
+    });
+}
 
-    /// URLs are unique and parse; non-HTML pages have no outlinks.
-    #[test]
-    fn urls_unique_and_wellformed(cfg in arb_config(), seed in 0u64..1_000) {
-        let ws = cfg.build(seed);
+/// URLs are unique and parse; non-HTML pages have no outlinks.
+#[test]
+fn urls_unique_and_wellformed() {
+    check(CASES, |g| {
+        let (_, ws) = arb_space(g);
         let mut seen = std::collections::HashSet::new();
         for p in ws.page_ids() {
             let url = ws.url(p);
-            prop_assert!(langcrawl_url::Url::parse(&url).is_ok(), "{url}");
-            prop_assert!(seen.insert(url), "duplicate URL for page {p}");
+            assert!(langcrawl_url::Url::parse(&url).is_ok(), "{url}");
+            assert!(seen.insert(url), "duplicate URL for page {p}");
             if ws.meta(p).kind != PageKind::Html {
-                prop_assert!(ws.outlinks(p).is_empty());
+                assert!(ws.outlinks(p).is_empty());
             }
         }
-    }
+    });
 }

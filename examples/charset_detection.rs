@@ -24,7 +24,10 @@ fn main() {
     let th = thai_demo_tokens();
     let th: Vec<_> = th.iter().cycle().take(th.len() * 6).copied().collect();
 
-    println!("  Japanese sample: {}", decode(&encode_japanese(&ja[..18], Charset::Utf8), Charset::Utf8));
+    println!(
+        "  Japanese sample: {}",
+        decode(&encode_japanese(&ja[..18], Charset::Utf8), Charset::Utf8)
+    );
     for cs in [
         Charset::EucJp,
         Charset::ShiftJis,
@@ -42,7 +45,10 @@ fn main() {
             d.language()
         );
     }
-    println!("\n  Thai sample: {}", decode(&encode_thai(&th[..20], Charset::Utf8), Charset::Utf8));
+    println!(
+        "\n  Thai sample: {}",
+        decode(&encode_thai(&th[..20], Charset::Utf8), Charset::Utf8)
+    );
     for cs in [Charset::Tis620, Charset::Utf8] {
         let bytes = encode_thai(&th, cs);
         let d = detect(&bytes);

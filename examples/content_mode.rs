@@ -58,7 +58,10 @@ fn main() {
         );
     }
 
-    assert_eq!(replay.samples, bytes_meta.samples, "modes must agree exactly");
+    assert_eq!(
+        replay.samples, bytes_meta.samples,
+        "modes must agree exactly"
+    );
     println!(
         "\nmetadata replay and byte-level META crawl agree sample-for-sample;\n\
          the composite classifier adds {:.1} coverage points by detecting the\n\

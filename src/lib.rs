@@ -60,9 +60,8 @@ pub mod prelude {
         metrics::CrawlReport,
         sim::{SimConfig, Simulator},
         strategy::{
-            BacklinkCount, BreadthFirst, CombinedStrategy, ContextGraphStrategy,
-            HitsStrategy, LimitedDistanceStrategy, OnlinePageRank, SimpleStrategy,
-            Strategy, TldScopeStrategy,
+            BacklinkCount, BreadthFirst, CombinedStrategy, ContextGraphStrategy, HitsStrategy,
+            LimitedDistanceStrategy, OnlinePageRank, SimpleStrategy, Strategy, TldScopeStrategy,
         },
         timing::{run_timed, TimingConfig},
     };

@@ -43,7 +43,10 @@ fn label_free_space() {
     b.relabel(p0, None).relabel(p1, None);
     let ws = b.build();
     let hard = crawl(&ws, &mut SimpleStrategy::hard());
-    assert_eq!(hard.crawled, 1, "no label ⇒ judged irrelevant ⇒ no expansion");
+    assert_eq!(
+        hard.crawled, 1,
+        "no label ⇒ judged irrelevant ⇒ no expansion"
+    );
     // The oracle is unaffected by labels.
     let r = Simulator::new(&ws, SimConfig::default()).run(
         &mut SimpleStrategy::hard(),
@@ -116,7 +119,10 @@ fn generator_extremes() {
         let ws = cfg.build(13);
         ws.check_invariants().unwrap();
         let r = crawl(&ws, &mut SimpleStrategy::soft());
-        assert!((r.final_coverage() - 1.0).abs() < 1e-9, "relevance {relevance}");
+        assert!(
+            (r.final_coverage() - 1.0).abs() < 1e-9,
+            "relevance {relevance}"
+        );
     }
 }
 

@@ -18,9 +18,17 @@ fn run(ws: &WebSpace, s: &mut dyn Strategy) -> CrawlReport {
 #[test]
 fn table3_dataset_ratios() {
     let th = DatasetStats::compute(&thai(30_000, 1));
-    assert!((th.relevance_ratio - 0.35).abs() < 0.05, "thai {:?}", th.relevance_ratio);
+    assert!(
+        (th.relevance_ratio - 0.35).abs() < 0.05,
+        "thai {:?}",
+        th.relevance_ratio
+    );
     let jp = DatasetStats::compute(&GeneratorConfig::japanese_like().scaled(30_000).build(1));
-    assert!((jp.relevance_ratio - 0.71).abs() < 0.06, "jp {:?}", jp.relevance_ratio);
+    assert!(
+        (jp.relevance_ratio - 0.71).abs() < 0.06,
+        "jp {:?}",
+        jp.relevance_ratio
+    );
     assert!(jp.relevance_ratio > th.relevance_ratio);
 }
 
@@ -36,7 +44,11 @@ fn fig3_simple_strategy_thai() {
 
     assert!(hard.harvest_at(early) > bf.harvest_at(early));
     assert!(soft.harvest_at(early) > bf.harvest_at(early));
-    assert!(soft.final_coverage() > 0.999, "soft {}", soft.final_coverage());
+    assert!(
+        soft.final_coverage() > 0.999,
+        "soft {}",
+        soft.final_coverage()
+    );
     assert!(
         (0.5..0.9).contains(&hard.final_coverage()),
         "hard {}",
@@ -129,7 +141,10 @@ fn fig7_prioritized_limited() {
         .collect();
     let spread = harvests.iter().cloned().fold(f64::MIN, f64::max)
         - harvests.iter().cloned().fold(f64::MAX, f64::min);
-    assert!(spread < 0.08, "prioritized harvest spread {spread} ({harvests:?})");
+    assert!(
+        spread < 0.08,
+        "prioritized harvest spread {spread} ({harvests:?})"
+    );
 }
 
 /// The headline comparison across figures: prioritized mode keeps the

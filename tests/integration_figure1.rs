@@ -87,7 +87,10 @@ fn relevant_page_resets_the_run() {
     let ws = b.build();
 
     let r = crawl(&ws, &mut LimitedDistanceStrategy::non_prioritized(2));
-    assert!(r.visited.contains(&end), "reset run must allow the full path");
+    assert!(
+        r.visited.contains(&end),
+        "reset run must allow the full path"
+    );
 
     // Without the reset (no relevant middle page) the same total of four
     // irrelevant pages exceeds N = 2.

@@ -39,10 +39,7 @@ fn replayed_log_drives_identical_crawls() {
 #[test]
 fn log_round_trip_through_disk() {
     let original = GeneratorConfig::japanese_like().scaled(4_000).build(5);
-    let path = std::env::temp_dir().join(format!(
-        "langcrawl_itest_{}.log",
-        std::process::id()
-    ));
+    let path = std::env::temp_dir().join(format!("langcrawl_itest_{}.log", std::process::id()));
     write_log(&original, std::fs::File::create(&path).unwrap()).unwrap();
     let replayed = read_log(BufReader::new(std::fs::File::open(&path).unwrap())).unwrap();
     std::fs::remove_file(&path).ok();
