@@ -16,4 +16,10 @@ cargo fmt --all --check
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+# Smoke-scale bench trajectory: exercises the parallel-generation parity
+# and sink-overhead gates (the bench exits nonzero on a regression) and
+# leaves BENCH_<sha>.json at the repo root for archival.
+echo "==> cargo bench microbench --json (smoke scale)"
+LANGCRAWL_SCALE=20000 cargo bench -p langcrawl-bench --offline --bench microbench -- --json
+
 echo "==> ci: all green"

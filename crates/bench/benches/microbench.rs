@@ -1,14 +1,23 @@
 //! Self-contained microbenches for the hot paths of the stack: URL
 //! queue operations, charset detection, HTML link extraction, web-space
-//! generation, end-to-end simulator throughput — and the cost of the
-//! event-sink seam the layered engine introduced.
+//! generation (sequential and parallel), end-to-end simulator
+//! throughput — and the cost of the event-sink seam the layered engine
+//! introduced.
 //!
 //! These are the numbers that justify the perf-relevant design choices
 //! in DESIGN.md (bucketed queue, CSR graph, byte-level HTML scanning,
-//! monomorphic engine loop). No external harness: each bench warms up,
-//! runs until a fixed time budget, and reports min/median wall time.
-//! `LANGCRAWL_SCALE` sets the space size for the simulator benches
-//! (default 50k here; the DESIGN.md overhead figure uses 200k).
+//! monomorphic engine loop, per-host-stream parallel generation). No
+//! external harness: each bench warms up, runs until a fixed time
+//! budget, and reports min/median wall time. `LANGCRAWL_SCALE` sets the
+//! space size for the simulator benches (default 50k here; the
+//! DESIGN.md overhead figure uses 200k).
+//!
+//! With `--json`, additionally writes a machine-readable trajectory
+//! point `BENCH_<git-short-sha>.json` (generation / queue / detector /
+//! end-to-end throughput plus the gate verdicts) so CI can archive one
+//! bench record per commit. The gates — sink overhead ≤ 5%, parallel
+//! generation bit-parity, and ≥2× generation speedup on 4+ cores —
+//! fail the process with a nonzero exit either way.
 
 use langcrawl_bench::runner::env_scale;
 use langcrawl_charset::encode::{
@@ -22,6 +31,8 @@ use langcrawl_core::strategy::{LimitedDistanceStrategy, SimpleStrategy, Strategy
 use langcrawl_core::{CrawlEngine, EngineConfig};
 use langcrawl_html::{extract_links, extract_meta_charset};
 use langcrawl_url::{normalize, resolve, Url};
+use langcrawl_webgraph::generate::generate_with_threads;
+use langcrawl_webgraph::parallel::effective_threads;
 use langcrawl_webgraph::GeneratorConfig;
 use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -56,10 +67,15 @@ fn fmt(d: Duration) -> String {
 }
 
 /// One bench line: name, timings, optional throughput from `units/iter`.
-fn bench<R>(name: &str, units: Option<(f64, &str)>, f: impl FnMut() -> R) {
+/// Returns units-per-second from the median (0.0 when `units` is None).
+fn bench<R>(name: &str, units: Option<(f64, &str)>, f: impl FnMut() -> R) -> f64 {
     let (min, median) = measure(Duration::from_millis(200), f);
+    let mut per_sec = 0.0;
     let rate = match units {
-        Some((n, unit)) => format!("  ({:.1} M{unit}/s)", n / median.as_secs_f64() / 1.0e6),
+        Some((n, unit)) => {
+            per_sec = n / median.as_secs_f64();
+            format!("  ({:.1} M{unit}/s)", per_sec / 1.0e6)
+        }
         None => String::new(),
     };
     println!(
@@ -67,11 +83,87 @@ fn bench<R>(name: &str, units: Option<(f64, &str)>, f: impl FnMut() -> R) {
         fmt(min),
         fmt(median)
     );
+    per_sec
 }
 
-fn bench_queue() {
+/// The machine-readable trajectory point `--json` emits, plus the gate
+/// verdicts that decide the exit code.
+#[derive(Default)]
+struct BenchRecord {
+    queue_ops_per_s: f64,
+    detector_bytes_per_s: f64,
+    generation_pages_per_s_1t: f64,
+    generation_pages_per_s: f64,
+    generation_speedup: f64,
+    generation_threads: usize,
+    thread_parity_ok: bool,
+    speedup_gated: bool,
+    speedup_ok: bool,
+    simulator_pages_per_s: f64,
+    sink_overhead: f64,
+    sink_overhead_ok: bool,
+}
+
+impl BenchRecord {
+    fn failures(&self) -> Vec<&'static str> {
+        let mut out = Vec::new();
+        if !self.thread_parity_ok {
+            out.push("parallel generation is not bit-identical across thread counts");
+        }
+        if self.speedup_gated && !self.speedup_ok {
+            out.push("parallel generation speedup below 2x on 4+ cores");
+        }
+        if !self.sink_overhead_ok {
+            out.push("event-sink seam overhead above the 5% budget");
+        }
+        out
+    }
+
+    fn to_json(&self, git: &str, scale: u32) -> String {
+        format!(
+            concat!(
+                "{{\n",
+                "  \"git\": \"{git}\",\n",
+                "  \"scale\": {scale},\n",
+                "  \"queue_ops_per_s\": {queue:.0},\n",
+                "  \"detector_bytes_per_s\": {det:.0},\n",
+                "  \"generation\": {{\n",
+                "    \"pages_per_s_1t\": {g1:.0},\n",
+                "    \"pages_per_s\": {gn:.0},\n",
+                "    \"speedup\": {sp:.3},\n",
+                "    \"threads\": {th}\n",
+                "  }},\n",
+                "  \"simulator_pages_per_s\": {sim:.0},\n",
+                "  \"sink_overhead\": {ov:.4},\n",
+                "  \"gates\": {{\n",
+                "    \"thread_parity_ok\": {par},\n",
+                "    \"speedup_gated\": {spg},\n",
+                "    \"speedup_ok\": {spok},\n",
+                "    \"sink_overhead_ok\": {ovok}\n",
+                "  }}\n",
+                "}}\n"
+            ),
+            git = git,
+            scale = scale,
+            queue = self.queue_ops_per_s,
+            det = self.detector_bytes_per_s,
+            g1 = self.generation_pages_per_s_1t,
+            gn = self.generation_pages_per_s,
+            sp = self.generation_speedup,
+            th = self.generation_threads,
+            sim = self.simulator_pages_per_s,
+            ov = self.sink_overhead,
+            par = self.thread_parity_ok,
+            spg = self.speedup_gated,
+            spok = self.speedup_ok,
+            ovok = self.sink_overhead_ok,
+        )
+    }
+}
+
+fn bench_queue(rec: &mut BenchRecord) {
     println!("queue:");
-    bench("push_pop_100k_2levels", Some((100_000.0, "ops")), || {
+    rec.queue_ops_per_s = bench("push_pop_100k_2levels", Some((100_000.0, "ops")), || {
         let mut q = UrlQueue::new(100_000, 2);
         for i in 0..100_000u32 {
             q.push(Entry {
@@ -115,7 +207,7 @@ fn bench_queue() {
     );
 }
 
-fn bench_detect() {
+fn bench_detect(rec: &mut BenchRecord) {
     println!("charset_detect:");
     let ja = japanese_demo_tokens();
     let ja: Vec<_> = ja.iter().cycle().take(2_000).copied().collect();
@@ -134,11 +226,13 @@ fn bench_detect() {
                 .to_vec(),
         ),
     ];
+    let mut total = 0.0;
     for (name, bytes) in &cases {
-        bench(name, Some((bytes.len() as f64, "B")), || {
+        total += bench(name, Some((bytes.len() as f64, "B")), || {
             detect(black_box(bytes)).charset
         });
     }
+    rec.detector_bytes_per_s = total / cases.len() as f64;
 }
 
 fn bench_html() {
@@ -190,12 +284,72 @@ fn bench_generate() {
     }
 }
 
-fn bench_simulate(scale: u32) {
+/// Parallel generation: 1 thread vs all available, on the 200k figure
+/// preset. Checks bit-parity between the two spaces (the
+/// thread-count-independence contract) and, on 4+ cores, gates a ≥2×
+/// speedup.
+fn bench_generate_parallel(rec: &mut BenchRecord) {
+    let threads = effective_threads();
+    let scale = 200_000u32;
+    let cfg = GeneratorConfig::thai_like().scaled(scale);
+    println!("webgraph_generate_parallel (n={scale}, threads={threads}):");
+
+    let time_min = |t: usize| {
+        let mut best = Duration::MAX;
+        let mut hash = 0u64;
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            let ws = generate_with_threads(&cfg, 7, t);
+            best = best.min(t0.elapsed());
+            hash = ws.content_hash();
+        }
+        (best, hash)
+    };
+    let (t1, h1) = time_min(1);
+    let (tn, hn) = time_min(threads);
+
+    rec.generation_threads = threads;
+    rec.generation_pages_per_s_1t = scale as f64 / t1.as_secs_f64();
+    rec.generation_pages_per_s = scale as f64 / tn.as_secs_f64();
+    rec.generation_speedup = t1.as_secs_f64() / tn.as_secs_f64();
+    rec.thread_parity_ok = h1 == hn;
+    rec.speedup_gated = threads >= 4;
+    rec.speedup_ok = rec.generation_speedup >= 2.0;
+
+    println!(
+        "  1 thread  {:>10}   ({:.2} M pages generated/s)",
+        fmt(t1),
+        rec.generation_pages_per_s_1t / 1.0e6
+    );
+    println!(
+        "  {threads} threads {:>10}   ({:.2} M pages generated/s)",
+        fmt(tn),
+        rec.generation_pages_per_s / 1.0e6
+    );
+    println!(
+        "  speedup {:.2}x  [{}]   thread parity [{}]",
+        rec.generation_speedup,
+        if !rec.speedup_gated {
+            "not gated below 4 cores"
+        } else if rec.speedup_ok {
+            "OK"
+        } else {
+            "BELOW 2x"
+        },
+        if rec.thread_parity_ok {
+            "OK"
+        } else {
+            "MISMATCH"
+        },
+    );
+}
+
+fn bench_simulate(rec: &mut BenchRecord, scale: u32) {
     println!("simulate (n={scale}):");
     let ws = GeneratorConfig::thai_like().scaled(scale).build(7);
     let oracle = OracleClassifier::target(ws.target_language());
     let pages = ws.num_pages() as f64;
-    bench("soft_focused_full_crawl", Some((pages, "pages")), || {
+    rec.simulator_pages_per_s = bench("soft_focused_full_crawl", Some((pages, "pages")), || {
         let mut sim = Simulator::new(&ws, SimConfig::default());
         sim.run(&mut SimpleStrategy::soft(), &oracle).crawled
     });
@@ -216,7 +370,7 @@ fn bench_simulate(scale: u32) {
 /// two configurations are timed *interleaved* so clock-frequency drift
 /// and cache warmth hit both equally; the comparison uses per-config
 /// minima.
-fn bench_sink_overhead(scale: u32) {
+fn bench_sink_overhead(rec: &mut BenchRecord, scale: u32) {
     println!("engine sink overhead (n={scale}):");
     let ws = GeneratorConfig::thai_like().scaled(scale).build(7);
     let oracle = OracleClassifier::target(ws.target_language());
@@ -249,12 +403,14 @@ fn bench_sink_overhead(scale: u32) {
         sinked = sinked.min(t.elapsed());
     }
     let overhead = sinked.as_secs_f64() / bare.as_secs_f64() - 1.0;
+    rec.sink_overhead = overhead;
+    rec.sink_overhead_ok = overhead <= 0.05;
     println!(
         "  bare engine {:>10}   simulator+sinks {:>10}   overhead {:+.1}%  [{}]",
         fmt(bare),
         fmt(sinked),
         100.0 * overhead,
-        if overhead <= 0.05 {
+        if rec.sink_overhead_ok {
             "OK"
         } else {
             "OVER BUDGET"
@@ -262,13 +418,50 @@ fn bench_sink_overhead(scale: u32) {
     );
 }
 
+fn git_short_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "nogit".into())
+}
+
 fn main() {
+    let json = std::env::args().any(|a| a == "--json");
     let scale = env_scale(50_000);
-    bench_queue();
-    bench_detect();
+    let mut rec = BenchRecord::default();
+    bench_queue(&mut rec);
+    bench_detect(&mut rec);
     bench_html();
     bench_url();
     bench_generate();
-    bench_simulate(scale);
-    bench_sink_overhead(scale);
+    bench_generate_parallel(&mut rec);
+    bench_simulate(&mut rec, scale);
+    bench_sink_overhead(&mut rec, scale);
+
+    if json {
+        // Land the trajectory point at the workspace root regardless of
+        // the cwd cargo gives bench binaries (the package dir).
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .expect("bench crate lives two levels below the workspace root")
+            .to_path_buf();
+        let path = root.join(format!("BENCH_{}.json", git_short_sha()));
+        let body = rec.to_json(&git_short_sha(), scale);
+        match std::fs::write(&path, &body) {
+            Ok(()) => println!("\nwrote {}", path.display()),
+            Err(e) => eprintln!("\ncannot write {}: {e}", path.display()),
+        }
+    }
+    let failures = rec.failures();
+    for f in &failures {
+        eprintln!("GATE FAILED: {f}");
+    }
+    if !failures.is_empty() {
+        std::process::exit(1);
+    }
 }

@@ -11,51 +11,6 @@
 //! with more seeds (more entry points into the relevant mainland), then
 //! saturate.
 
-use langcrawl_bench::figures::ok;
-use langcrawl_bench::{runner, Experiment};
-use langcrawl_core::sim::SimConfig;
-use langcrawl_core::strategy::SimpleStrategy;
-use langcrawl_webgraph::GeneratorConfig;
-
 fn main() {
-    let scale = runner::env_scale(80_000);
-    let seed = runner::env_seed();
-    println!("== Ablation C: seed-count sweep, Thai dataset (n={scale}, seed={seed}) ==\n");
-    println!(
-        "{:>7} {:>14} {:>14} {:>15} {:>15}",
-        "seeds", "soft coverage", "hard coverage", "soft harvest@⅙", "hard harvest@⅙"
-    );
-
-    let e = Experiment::new(
-        "ablation_seeds",
-        "seed-count sweep",
-        GeneratorConfig::thai_like(),
-    )
-    .sim_config(SimConfig::default().with_url_filter())
-    .strategy("soft", |_| Box::new(SimpleStrategy::soft()))
-    .strategy("hard", |_| Box::new(SimpleStrategy::hard()));
-
-    let mut soft_covs = Vec::new();
-    for seeds in [1u32, 2, 4, 8, 16, 32] {
-        let mut cfg = GeneratorConfig::thai_like().scaled(scale);
-        cfg.seed_count = seeds;
-        let ws = cfg.build(seed);
-        let reports = e.run_on(&ws);
-        let early = ws.num_pages() as u64 / 6;
-        println!(
-            "{:>7} {:>13.1}% {:>13.1}% {:>14.1}% {:>14.1}%",
-            seeds,
-            100.0 * reports[0].final_coverage(),
-            100.0 * reports[1].final_coverage(),
-            100.0 * reports[0].harvest_at(early),
-            100.0 * reports[1].harvest_at(early),
-        );
-        soft_covs.push(reports[0].final_coverage());
-    }
-
-    println!(
-        "\nsoft-focused coverage is seed-insensitive (min {:.1}%)  [{}]",
-        100.0 * soft_covs.iter().cloned().fold(f64::MAX, f64::min),
-        ok(soft_covs.iter().all(|&c| c > 0.99))
-    );
+    langcrawl_bench::harnesses::ablation_seeds::run();
 }

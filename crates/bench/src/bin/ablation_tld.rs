@@ -14,74 +14,6 @@
 //! * language-focused crawling with tunneling (the paper's conclusion)
 //!   beats that ceiling at a modest harvest cost.
 
-use langcrawl_bench::figures::ok;
-use langcrawl_bench::{write_csv_reporting, Experiment};
-use langcrawl_core::sim::SimConfig;
-use langcrawl_core::strategy::{LimitedDistanceStrategy, SimpleStrategy, TldScopeStrategy};
-use langcrawl_webgraph::GeneratorConfig;
-
 fn main() {
-    let run = Experiment::new(
-        "tld",
-        "Ablation F: ccTLD scoping vs language focus, Thai dataset",
-        GeneratorConfig::thai_like(),
-    )
-    .scale(80_000)
-    .sim_config(SimConfig::default().with_url_filter())
-    .strategy("tld-scope", |ws| {
-        Box::new(TldScopeStrategy::new(ws, &["th"]))
-    })
-    .strategy("hard-focused", |_| Box::new(SimpleStrategy::hard()))
-    .strategy("prior-limited-4", |_| {
-        Box::new(LimitedDistanceStrategy::prioritized(4))
-    })
-    .strategy("soft-focused", |_| Box::new(SimpleStrategy::soft()))
-    .run();
-
-    println!(
-        "{:<26} {:>10} {:>10} {:>10} {:>12}",
-        "strategy", "crawled", "harvest", "coverage", "max queue"
-    );
-    for r in &run.reports {
-        println!(
-            "{:<26} {:>10} {:>9.1}% {:>9.1}% {:>12}",
-            r.strategy,
-            r.crawled,
-            100.0 * r.final_harvest(),
-            100.0 * r.final_coverage(),
-            r.max_queue
-        );
-        write_csv_reporting(
-            r,
-            &format!("tld_{}", r.strategy.replace([' ', '=', '.'], "_")),
-        );
-    }
-
-    let tld = &run.reports[0];
-    let hard = &run.reports[1];
-    let limited = &run.reports[2];
-    println!("\nShape checks (national-archive policy comparison):");
-    println!(
-        "  TLD scoping yields the best harvest (no foreign fetches at all): \
-         {:.1}% vs hard {:.1}%  [{}]",
-        100.0 * tld.final_harvest(),
-        100.0 * hard.final_harvest(),
-        ok(tld.final_harvest() >= hard.final_harvest())
-    );
-    println!(
-        "  …but its coverage ceiling is structural: {:.1}% (misses expatriate \
-         pages and island content behind foreign gateways)",
-        100.0 * tld.final_coverage()
-    );
-    println!(
-        "  language focus with tunneling beats the TLD ceiling: {:.1}% vs {:.1}%  [{}]",
-        100.0 * limited.final_coverage(),
-        100.0 * tld.final_coverage(),
-        ok(limited.final_coverage() > tld.final_coverage())
-    );
-    println!(
-        "\n=> the paper's premise quantified: a national *language* archive \
-         cannot be built by domain scoping alone — the borderless part of the \
-         national web is exactly what it misses."
-    );
+    langcrawl_bench::harnesses::ablation_tld::run();
 }

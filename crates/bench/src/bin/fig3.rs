@@ -10,54 +10,6 @@
 //! the dataset mean; soft-focused reaches 100% coverage by the end of
 //! the crawl; hard-focused stops early at ~70% coverage.
 
-use langcrawl_bench::figures::ok;
-use langcrawl_bench::gnuplot::PlotKind;
-use langcrawl_bench::Experiment;
-use langcrawl_core::sim::SimConfig;
-use langcrawl_core::strategy::{BreadthFirst, SimpleStrategy};
-use langcrawl_webgraph::GeneratorConfig;
-
 fn main() {
-    let run = Experiment::new(
-        "fig3",
-        "Figure 3: Simple Strategy, Thai dataset",
-        GeneratorConfig::thai_like(),
-    )
-    .sim_config(SimConfig::default().with_url_filter())
-    .strategy("breadth-first", |_| Box::new(BreadthFirst::new()))
-    .strategy("hard-focused", |_| Box::new(SimpleStrategy::hard()))
-    .strategy("soft-focused", |_| Box::new(SimpleStrategy::soft()))
-    .run();
-
-    run.harvest_panel("Fig 3(a) Harvest Rate [%]");
-    run.coverage_panel("Fig 3(b) Coverage [%]");
-    run.emit(&[
-        (PlotKind::Harvest, "Fig 3(a) Harvest Rate, Thai"),
-        (PlotKind::Coverage, "Fig 3(b) Coverage, Thai"),
-    ]);
-
-    // The paper's headline claims, as checks the harness itself reports:
-    let [bf, hard, soft] = &run.reports[..] else {
-        unreachable!()
-    };
-    let early = run.early(7); // "the first part of the crawl"
-    println!("\nShape checks (paper §5.2.1):");
-    println!(
-        "  focused beat breadth-first early:   hard {:.1}% / soft {:.1}% vs bf {:.1}%  [{}]",
-        100.0 * hard.harvest_at(early),
-        100.0 * soft.harvest_at(early),
-        100.0 * bf.harvest_at(early),
-        ok(hard.harvest_at(early) > bf.harvest_at(early)
-            && soft.harvest_at(early) > bf.harvest_at(early))
-    );
-    println!(
-        "  soft reaches ~100% coverage:        {:.1}%  [{}]",
-        100.0 * soft.final_coverage(),
-        ok(soft.final_coverage() > 0.99)
-    );
-    println!(
-        "  hard truncates at the ceiling:      {:.1}%  [{}]",
-        100.0 * hard.final_coverage(),
-        ok(hard.final_coverage() < 0.9 && hard.final_coverage() > 0.4)
-    );
+    langcrawl_bench::harnesses::fig3::run();
 }

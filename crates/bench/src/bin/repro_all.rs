@@ -2,81 +2,62 @@
 //! at reduced scale and report a single pass/fail dashboard — the
 //! "does this repository still reproduce the paper?" button.
 //!
+//! Runs in-process (no subprocess per figure): all harnesses share one
+//! [`langcrawl_webgraph::SpaceCache`], so each `(preset, scale, seed)`
+//! web space is generated exactly once for the whole dashboard.
+//!
 //! ```sh
 //! cargo run --release -p langcrawl-bench --bin repro_all
 //! LANGCRAWL_SCALE=120000 cargo run --release -p langcrawl-bench --bin repro_all
 //! ```
 
-use std::process::Command;
+use langcrawl_bench::figures;
+use langcrawl_bench::harnesses;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
-
-const HARNESSES: &[&str] = &[
-    "table1",
-    "table3",
-    "fig3",
-    "fig4",
-    "fig5",
-    "fig6",
-    "fig7",
-    "graph_stats",
-    "ablation_locality",
-    "ablation_classifier",
-    "ablation_seeds",
-    "ablation_ordering",
-    "ablation_tld",
-    "dataset_collection",
-    "timing_ext",
-    "extensions",
-    "wider_languages",
-];
 
 fn main() {
     let scale = std::env::var("LANGCRAWL_SCALE").unwrap_or_else(|_| "40000".into());
-    let bin_dir = std::env::current_exe()
-        .expect("current exe path")
-        .parent()
-        .expect("exe has a directory")
-        .to_path_buf();
+    // Harnesses read LANGCRAWL_SCALE themselves; pin the default so a
+    // bare `repro_all` matches the historical 40k dashboard scale.
+    if std::env::var("LANGCRAWL_SCALE").is_err() {
+        std::env::set_var("LANGCRAWL_SCALE", &scale);
+    }
 
     println!("== langcrawl reproduction check (LANGCRAWL_SCALE={scale}) ==\n");
+    let mut rows = Vec::new();
     let mut failures = 0usize;
     let started = Instant::now();
-    for name in HARNESSES {
-        let bin = bin_dir.join(name);
+    for &(name, run) in harnesses::ALL {
+        println!("--- {name} ---");
+        figures::reset_counts();
         let t0 = Instant::now();
-        let out = Command::new(&bin).env("LANGCRAWL_SCALE", &scale).output();
-        let (status, mismatches, oks) = match out {
-            Ok(out) if out.status.success() => {
-                let text = String::from_utf8_lossy(&out.stdout);
-                let mm = text.matches("MISMATCH").count();
-                let okc = text.matches("[OK]").count();
-                (if mm == 0 { "pass" } else { "FAIL" }, mm, okc)
-            }
-            Ok(out) => {
-                eprintln!(
-                    "--- {name} stderr ---\n{}",
-                    String::from_utf8_lossy(&out.stderr)
-                );
-                ("CRASH", 0, 0)
-            }
-            Err(e) => {
-                eprintln!("cannot run {}: {e} (build with `cargo build --release -p langcrawl-bench` first)", bin.display());
-                ("MISSING", 0, 0)
-            }
+        let outcome = catch_unwind(AssertUnwindSafe(run));
+        let secs = t0.elapsed().as_secs_f64();
+        let (checks, mismatches) = figures::take_counts();
+        let status = match outcome {
+            Ok(()) if mismatches == 0 => "pass",
+            Ok(()) => "FAIL",
+            Err(_) => "CRASH",
         };
         if status != "pass" {
             failures += 1;
         }
+        println!();
+        rows.push((name, status, checks - mismatches, mismatches, secs));
+    }
+    println!("== dashboard ==");
+    for (name, status, oks, mismatches, secs) in &rows {
         println!(
-            "  {name:<22} {status:<8} {oks:>2} checks ok, {mismatches} mismatched   ({:.1}s)",
-            t0.elapsed().as_secs_f64()
+            "  {name:<22} {status:<8} {oks:>2} checks ok, {mismatches} mismatched   ({secs:.1}s)"
         );
     }
     println!(
-        "\n{} of {} harnesses clean in {:.0}s",
-        HARNESSES.len() - failures,
-        HARNESSES.len(),
-        started.elapsed().as_secs_f64()
+        "\n{} of {} harnesses clean in {:.0}s (web spaces cached: {})",
+        rows.len() - failures,
+        rows.len(),
+        started.elapsed().as_secs_f64(),
+        langcrawl_webgraph::SpaceCache::global().len(),
     );
     if failures > 0 {
         std::process::exit(1);

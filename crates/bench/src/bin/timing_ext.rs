@@ -10,170 +10,6 @@
 //! * harvest-vs-wall-clock for the paper's strategies (the focused
 //!   advantage survives the timing model).
 
-use langcrawl_bench::figures::ok;
-use langcrawl_bench::runner;
-use langcrawl_core::classifier::MetaClassifier;
-use langcrawl_core::strategy::{BreadthFirst, SimpleStrategy};
-use langcrawl_core::timing::{run_timed, TimingConfig};
-use langcrawl_webgraph::GeneratorConfig;
-
 fn main() {
-    let scale = runner::env_scale(40_000);
-    let seed = runner::env_seed();
-    println!("== Extension: timing model (politeness + transfer delays), Thai (n={scale}, seed={seed}) ==\n");
-    let ws = GeneratorConfig::thai_like().scaled(scale).build(seed);
-    let classifier = MetaClassifier::target(ws.target_language());
-
-    println!("Politeness sweep (32 connections, breadth-first):");
-    println!(
-        "{:>12} {:>14} {:>12} {:>12}",
-        "delay [ms]", "wall clock [s]", "pages/s", "utilization"
-    );
-    let mut clocks = Vec::new();
-    for delay in [0u64, 250, 1_000, 4_000, 15_000] {
-        let cfg = TimingConfig {
-            per_server_delay_ms: delay,
-            ..TimingConfig::default()
-        };
-        let r = run_timed(&ws, &cfg, &mut BreadthFirst::new(), &classifier);
-        println!(
-            "{:>12} {:>14.1} {:>12.1} {:>11.1}%",
-            delay,
-            r.wall_clock_ms as f64 / 1_000.0,
-            r.pages_per_second(),
-            100.0 * r.utilization
-        );
-        clocks.push(r.wall_clock_ms);
-    }
-    println!(
-        "  politeness slows the crawl monotonically  [{}]",
-        ok(clocks.windows(2).all(|w| w[0] <= w[1]))
-    );
-
-    println!("\nConnection scaling, bandwidth-bound regime (no politeness):");
-    println!(
-        "{:>13} {:>14} {:>12}",
-        "connections", "wall clock [s]", "pages/s"
-    );
-    let mut speed = Vec::new();
-    for conns in [1usize, 4, 16, 64] {
-        let cfg = TimingConfig {
-            connections: conns,
-            per_server_delay_ms: 0,
-            ..TimingConfig::default()
-        };
-        let r = run_timed(&ws, &cfg, &mut BreadthFirst::new(), &classifier);
-        println!(
-            "{:>13} {:>14.1} {:>12.1}",
-            conns,
-            r.wall_clock_ms as f64 / 1000.0,
-            r.pages_per_second()
-        );
-        speed.push(r.pages_per_second());
-    }
-    // Host-level serialization (one in-flight fetch per host) caps the
-    // useful parallelism at the number of distinct frontier hosts, which
-    // shrinks with the space; the claim under test is only that many
-    // connections are meaningfully faster than one.
-    println!(
-        "  throughput scales with connections when bandwidth-bound ({:.1}x from 1 to 64)  [{}]",
-        speed.last().unwrap() / speed.first().unwrap(),
-        ok(*speed.last().unwrap() > 1.3 * speed.first().unwrap())
-    );
-
-    println!("\nConnection scaling, politeness-bound regime (1 s/host):");
-    println!(
-        "{:>13} {:>14} {:>12}",
-        "connections", "wall clock [s]", "pages/s"
-    );
-    let mut polite_speed = Vec::new();
-    for conns in [1usize, 16, 256] {
-        let cfg = TimingConfig {
-            connections: conns,
-            ..TimingConfig::default()
-        };
-        let r = run_timed(&ws, &cfg, &mut BreadthFirst::new(), &classifier);
-        println!(
-            "{:>13} {:>14.1} {:>12.1}",
-            conns,
-            r.wall_clock_ms as f64 / 1000.0,
-            r.pages_per_second()
-        );
-        polite_speed.push(r.pages_per_second());
-    }
-    println!(
-        "  extra connections buy nothing once politeness-bound (spread {:.1}%)  [{}]",
-        100.0
-            * (polite_speed.iter().cloned().fold(f64::MIN, f64::max)
-                / polite_speed.iter().cloned().fold(f64::MAX, f64::min)
-                - 1.0),
-        ok(polite_speed.iter().cloned().fold(f64::MIN, f64::max)
-            < polite_speed.iter().cloned().fold(f64::MAX, f64::min) * 1.25)
-    );
-
-    println!("\nHarvest vs wall clock (32 connections, 1 s politeness):");
-    let cfg = TimingConfig::default();
-    let soft = run_timed(&ws, &cfg, &mut SimpleStrategy::soft(), &classifier);
-    let bf = run_timed(&ws, &cfg, &mut BreadthFirst::new(), &classifier);
-    let no_delay = TimingConfig {
-        per_server_delay_ms: 0,
-        ..TimingConfig::default()
-    };
-    let soft_nd = run_timed(&ws, &no_delay, &mut SimpleStrategy::soft(), &classifier);
-    let bf_nd = run_timed(&ws, &no_delay, &mut BreadthFirst::new(), &classifier);
-    println!(
-        "{:>14} {:>16} {:>16}",
-        "time [s]", "soft harvest", "bf harvest"
-    );
-    let horizon = soft.wall_clock_ms.min(bf.wall_clock_ms);
-    for i in 1..=8u64 {
-        let t = horizon * i / 8;
-        let h = |r: &langcrawl_core::timing::TimedReport| {
-            r.time_samples
-                .iter()
-                .take_while(|s| s.time_ms <= t)
-                .last()
-                .map(|s| 100.0 * s.relevant as f64 / s.crawled.max(1) as f64)
-                .unwrap_or(0.0)
-        };
-        println!(
-            "{:>14.1} {:>15.1}% {:>15.1}%",
-            t as f64 / 1000.0,
-            h(&soft),
-            h(&bf)
-        );
-    }
-    let early_frac = |r: &langcrawl_core::timing::TimedReport, t: u64| {
-        r.time_samples
-            .iter()
-            .take_while(|s| s.time_ms <= t)
-            .last()
-            .map(|s| s.relevant as f64 / s.crawled.max(1) as f64)
-            .unwrap_or(0.0)
-    };
-    let horizon_nd = soft_nd.wall_clock_ms.min(bf_nd.wall_clock_ms);
-    let adv_nd = early_frac(&soft_nd, horizon_nd / 8) - early_frac(&bf_nd, horizon_nd / 8);
-    let adv_polite = early_frac(&soft, horizon / 8) - early_frac(&bf, horizon / 8);
-    println!("\nTiming-model findings (the effects the paper's §6 wanted to study):");
-    println!(
-        "  focused advantage at 1/8 of the crawl, no politeness:      {:+.1} pts",
-        100.0 * adv_nd
-    );
-    println!(
-        "  focused advantage at 1/8 of the crawl, 1 s/host politeness: {:+.1} pts  [{}]",
-        100.0 * adv_polite,
-        ok(adv_polite > 0.0)
-    );
-    println!(
-        "  the focused advantage survives per-server politeness because the back \
-         queues let connections wait on hot relevant hosts instead of wandering \
-         off-region; the price is paid in wall clock and idle connections:"
-    );
-    println!(
-        "    soft: {:.0} s wall clock, {:.1}% utilization | bf: {:.0} s, {:.1}%",
-        soft.wall_clock_ms as f64 / 1000.0,
-        100.0 * soft.utilization,
-        bf.wall_clock_ms as f64 / 1000.0,
-        100.0 * bf.utilization
-    );
+    langcrawl_bench::harnesses::timing_ext::run();
 }

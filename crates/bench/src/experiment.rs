@@ -19,6 +19,7 @@ use langcrawl_core::classifier::{Classifier, MetaClassifier, OracleClassifier};
 use langcrawl_core::metrics::CrawlReport;
 use langcrawl_core::sim::SimConfig;
 use langcrawl_webgraph::{GeneratorConfig, WebSpace};
+use std::sync::Arc;
 
 /// Builds the classifier once the web space exists (most classifiers
 /// need the space's target language).
@@ -98,15 +99,18 @@ impl Experiment {
         self
     }
 
-    /// Build the space (honoring `LANGCRAWL_SCALE`/`LANGCRAWL_SEED`),
-    /// run every strategy in parallel, and return space + reports.
+    /// Build the space (honoring `LANGCRAWL_SCALE`/`LANGCRAWL_SEED`)
+    /// through the process-wide [`langcrawl_webgraph::SpaceCache`], run
+    /// every strategy in parallel, and return space + reports. Repeat
+    /// runs over the same `(preset, scale, seed)` — in this experiment
+    /// or any other in the same process — share one immutable space.
     pub fn run(&self) -> ExperimentRun {
         let scale = env_scale(self.default_scale);
         let seed = env_seed();
         if self.banner {
             println!("== {} (n={scale}, seed={seed}) ==", self.title);
         }
-        let ws = self.preset.clone().scaled(scale).build(seed);
+        let ws = self.preset.clone().scaled(scale).build_shared(seed);
         let reports = self.run_on(&ws);
         ExperimentRun {
             ws,
@@ -126,8 +130,9 @@ impl Experiment {
 /// A completed experiment: the space it ran on and one report per
 /// strategy, plus the panel/output helpers the figure binaries share.
 pub struct ExperimentRun {
-    /// The web space all strategies crawled.
-    pub ws: WebSpace,
+    /// The web space all strategies crawled (shared via the space
+    /// cache — cloning the handle is cheap).
+    pub ws: Arc<WebSpace>,
     /// One report per strategy, in declaration order.
     pub reports: Vec<CrawlReport>,
     file_prefix: &'static str,

@@ -5,7 +5,6 @@
 
 use langcrawl_core::metrics::CrawlReport;
 use std::io::Write;
-use std::path::Path;
 
 /// Which column of the report CSVs a plot draws.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,11 +80,11 @@ pub fn sanitize(strategy: &str) -> String {
     strategy.replace([' ', '=', '.'], "_")
 }
 
-/// Write the script under `results/` (no-op if the directory cannot be
-/// created, matching `write_csv`).
+/// Write the script under [`crate::runner::results_dir`] (no-op if the
+/// directory cannot be created, matching `write_csv`).
 pub fn write_script(title: &str, kind: PlotKind, reports: &[CrawlReport], file_prefix: &str) {
-    let dir = Path::new("results");
-    if std::fs::create_dir_all(dir).is_err() {
+    let dir = crate::runner::results_dir();
+    if std::fs::create_dir_all(&dir).is_err() {
         return;
     }
     let name = match kind {

@@ -1,0 +1,45 @@
+//! Reproduction harnesses — the bodies of every `src/bin` entry point
+//! except `repro_all`, exposed as library functions so the full
+//! reproduction can run in-process (one `SpaceCache`, one process,
+//! no per-figure subprocess spawn). Each module has a `run()` that is
+//! exactly what its thin binary stub calls.
+
+pub mod ablation_classifier;
+pub mod ablation_locality;
+pub mod ablation_ordering;
+pub mod ablation_seeds;
+pub mod ablation_tld;
+pub mod dataset_collection;
+pub mod extensions;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod graph_stats;
+pub mod table1;
+pub mod table3;
+pub mod timing_ext;
+pub mod wider_languages;
+
+/// All harnesses in dashboard order: `(name, entry point)` — tables
+/// first, then figures, then ablations and extensions.
+pub const ALL: &[(&str, fn())] = &[
+    ("table1", table1::run),
+    ("table3", table3::run),
+    ("fig3", fig3::run),
+    ("fig4", fig4::run),
+    ("fig5", fig5::run),
+    ("fig6", fig6::run),
+    ("fig7", fig7::run),
+    ("graph_stats", graph_stats::run),
+    ("ablation_locality", ablation_locality::run),
+    ("ablation_classifier", ablation_classifier::run),
+    ("ablation_seeds", ablation_seeds::run),
+    ("ablation_ordering", ablation_ordering::run),
+    ("ablation_tld", ablation_tld::run),
+    ("dataset_collection", dataset_collection::run),
+    ("timing_ext", timing_ext::run),
+    ("extensions", extensions::run),
+    ("wider_languages", wider_languages::run),
+];

@@ -20,6 +20,7 @@ pub mod chart;
 pub mod experiment;
 pub mod figures;
 pub mod gnuplot;
+pub mod harnesses;
 pub mod runner;
 
 pub use chart::AsciiChart;

@@ -4,9 +4,10 @@ use langcrawl_core::classifier::Classifier;
 use langcrawl_core::metrics::CrawlReport;
 use langcrawl_core::sim::{SimConfig, Simulator};
 use langcrawl_core::strategy::Strategy;
+use langcrawl_webgraph::parallel::effective_threads;
 use langcrawl_webgraph::WebSpace;
 use std::io::{self, Write};
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 
 /// A named constructor for a strategy (strategies are stateful, so each
 /// run builds a fresh one).
@@ -37,35 +38,89 @@ pub fn default_scale() -> u32 {
 /// Run several strategies over one web space concurrently (scoped
 /// threads; the space is shared immutably) and return the reports in
 /// input order.
+///
+/// The worker pool is capped at [`effective_threads`] (the
+/// `LANGCRAWL_THREADS` knob, default: available parallelism) — figure
+/// harnesses that sweep dozens of strategy variants no longer spawn one
+/// unbounded thread each. Workers claim strategies off a shared atomic
+/// cursor, so a long-running strategy doesn't idle the rest of the pool.
+///
+/// Panics if any strategy run panics, naming the strategy (its label
+/// from `factories`) and forwarding the panic message.
 pub fn run_parallel(
     ws: &WebSpace,
     factories: &[(&str, StrategyFactory<'_>)],
     classifier: &(dyn Classifier + Sync),
     config: &SimConfig,
 ) -> Vec<CrawlReport> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let workers = effective_threads().min(factories.len()).max(1);
+    let cursor = AtomicUsize::new(0);
+    let mut results: Vec<Vec<(usize, Result<CrawlReport, String>)>> = Vec::new();
+    std::thread::scope(|scope| {
+        let cursor = &cursor;
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut done = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some((name, factory)) = factories.get(i) else {
+                            return done;
+                        };
+                        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            let mut strategy = factory(ws);
+                            let mut sim = Simulator::new(ws, config.clone());
+                            sim.run(strategy.as_mut(), classifier)
+                        }));
+                        done.push((
+                            i,
+                            run.map_err(|payload| {
+                                let msg = payload
+                                    .downcast_ref::<&str>()
+                                    .map(|s| s.to_string())
+                                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                                    .unwrap_or_else(|| "non-string panic payload".into());
+                                format!("strategy `{name}` panicked: {msg}")
+                            }),
+                        ));
+                    }
+                })
+            })
+            .collect();
+        results = handles
+            .into_iter()
+            .map(|h| h.join().expect("experiment worker thread died"))
+            .collect();
+    });
+
     let mut out: Vec<Option<CrawlReport>> = Vec::new();
     out.resize_with(factories.len(), || None);
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (slot, (_, factory)) in out.iter_mut().zip(factories.iter()) {
-            handles.push(scope.spawn(move || {
-                let mut strategy = factory(ws);
-                let mut sim = Simulator::new(ws, config.clone());
-                *slot = Some(sim.run(strategy.as_mut(), classifier));
-            }));
+    for (i, run) in results.into_iter().flatten() {
+        match run {
+            Ok(report) => out[i] = Some(report),
+            Err(msg) => panic!("{msg}"),
         }
-        for h in handles {
-            h.join().expect("experiment thread panicked");
-        }
-    });
+    }
     out.into_iter().map(|r| r.expect("report filled")).collect()
 }
 
-/// Write a report's series CSV under `results/` (created on demand) and
-/// return the path written.
+/// The directory experiment artifacts (CSVs, gnuplot scripts) go to:
+/// `LANGCRAWL_RESULTS_DIR` when set, else `results/` relative to the
+/// cwd. The override is what lets figure binaries run from any working
+/// directory (e.g. invoked by CI or an editor task from the repo root).
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("LANGCRAWL_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Write a report's series CSV under [`results_dir`] (created on
+/// demand) and return the path written.
 pub fn write_csv(report: &CrawlReport, name: &str) -> io::Result<PathBuf> {
-    let dir = Path::new("results");
-    std::fs::create_dir_all(dir)?;
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{name}.csv"));
     let mut f = std::fs::File::create(&path)?;
     report.write_csv(&mut f)?;
@@ -159,6 +214,69 @@ mod tests {
     }
 
     #[test]
+    fn parallel_caps_workers_below_strategy_count() {
+        // More strategies than any plausible core count: the chunked
+        // queue must still produce every report, in input order.
+        let ws = GeneratorConfig::thai_like().scaled(2_000).build(4);
+        let oracle = OracleClassifier::target(ws.target_language());
+        let names: Vec<String> = (0..40).map(|i| format!("bf{i}")).collect();
+        let factories: Vec<(&str, StrategyFactory)> = names
+            .iter()
+            .map(|n| {
+                (
+                    n.as_str(),
+                    Box::new(|_: &WebSpace| Box::new(BreadthFirst::new()) as Box<dyn Strategy>)
+                        as StrategyFactory,
+                )
+            })
+            .collect();
+        let reports = run_parallel(&ws, &factories, &oracle, &SimConfig::default());
+        assert_eq!(reports.len(), 40);
+        assert!(reports.windows(2).all(|w| w[0].crawled == w[1].crawled));
+    }
+
+    #[test]
+    fn panicking_strategy_is_named() {
+        struct Exploding;
+        impl Strategy for Exploding {
+            fn name(&self) -> String {
+                "exploding".into()
+            }
+            fn levels(&self) -> usize {
+                1
+            }
+            fn admit(
+                &mut self,
+                _view: &langcrawl_core::strategy::PageView<'_>,
+                _out: &mut Vec<langcrawl_core::queue::Entry>,
+            ) {
+                panic!("boom in admit");
+            }
+        }
+        let ws = GeneratorConfig::thai_like().scaled(2_000).build(4);
+        let oracle = OracleClassifier::target(ws.target_language());
+        let factories: Vec<(&str, StrategyFactory)> = vec![
+            (
+                "fine",
+                Box::new(|_: &WebSpace| Box::new(BreadthFirst::new()) as Box<dyn Strategy>),
+            ),
+            (
+                "exploding-strategy",
+                Box::new(|_: &WebSpace| Box::new(Exploding) as Box<dyn Strategy>),
+            ),
+        ];
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_parallel(&ws, &factories, &oracle, &SimConfig::default())
+        }))
+        .expect_err("must propagate the panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(
+            msg.contains("exploding-strategy") && msg.contains("boom in admit"),
+            "panic must name the strategy: {msg}"
+        );
+    }
+
+    #[test]
     fn env_helpers_default() {
         // (Env vars unset in the test harness.)
         assert_eq!(env_scale(123), 123);
@@ -197,5 +315,17 @@ mod tests {
         let written = std::fs::read_to_string(&path).unwrap();
         assert!(written.starts_with("crawled,"));
         std::fs::remove_file(&path).ok();
+
+        // LANGCRAWL_RESULTS_DIR redirects the output. Same test (not a
+        // separate one) so no concurrently-running test observes the
+        // temporarily-set process env var.
+        let dir = std::env::temp_dir().join("langcrawl_results_test");
+        std::env::set_var("LANGCRAWL_RESULTS_DIR", &dir);
+        let redirected = write_csv(&report, "unit_test_report");
+        std::env::remove_var("LANGCRAWL_RESULTS_DIR");
+        let redirected = redirected.expect("csv written to override dir");
+        assert!(redirected.starts_with(&dir), "{}", redirected.display());
+        assert!(redirected.exists());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

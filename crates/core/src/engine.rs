@@ -77,10 +77,28 @@ impl<'a> CrawlEngine<'a> {
     /// sink declares in [`EventSink::interests`] are skipped entirely.
     pub fn run<F: Frontier>(
         &self,
+        frontier: F,
+        strategy: &mut dyn Strategy,
+        classifier: &dyn Classifier,
+        sinks: &mut [&mut dyn EventSink],
+    ) -> EngineOutcome {
+        let mut admissions: Vec<Entry> = Vec::with_capacity(64);
+        self.run_with_scratch(frontier, strategy, classifier, sinks, &mut admissions)
+    }
+
+    /// [`CrawlEngine::run`] with a caller-provided admission scratch
+    /// buffer. The admission loop clears and refills `scratch` once per
+    /// fetch; callers that run many crawls back-to-back (experiment
+    /// sweeps, benchmarks) pass the same buffer each time so the hot
+    /// loop stops reallocating once the buffer has grown to the largest
+    /// out-degree seen. The buffer's prior contents are ignored.
+    pub fn run_with_scratch<F: Frontier>(
+        &self,
         mut frontier: F,
         strategy: &mut dyn Strategy,
         classifier: &dyn Classifier,
         sinks: &mut [&mut dyn EventSink],
+        scratch: &mut Vec<Entry>,
     ) -> EngineOutcome {
         let ws = self.ws;
         let sample_interval = self
@@ -102,7 +120,7 @@ impl<'a> CrawlEngine<'a> {
 
         let mut crawled: u64 = 0;
         let mut relevant_crawled: u64 = 0;
-        let mut admissions: Vec<Entry> = Vec::with_capacity(64);
+        let admissions = scratch;
 
         while let Some(entry) = frontier.pop() {
             let p = entry.page;
@@ -156,12 +174,12 @@ impl<'a> CrawlEngine<'a> {
                 crawled,
             };
             admissions.clear();
-            strategy.admit(&view, &mut admissions);
+            strategy.admit(&view, admissions);
 
             let offered = admissions.len() as u32;
             let mut enqueued = 0u32;
             let mut dropped = 0u32;
-            for &a in &admissions {
+            for &a in admissions.iter() {
                 if self.config.url_filter && ws.meta(a.page).kind == PageKind::Other {
                     dropped += 1;
                     continue; // extension-filtered before entering the queue

@@ -81,12 +81,21 @@ impl SimConfig {
 pub struct Simulator<'a> {
     ws: &'a WebSpace,
     config: SimConfig,
+    /// Admission scratch buffer, reused across runs (see
+    /// [`CrawlEngine::run_with_scratch`]): repeated `run` calls — the
+    /// shape of every experiment sweep — stop paying a per-run
+    /// grow-from-empty cycle in the hot admission loop.
+    scratch: Vec<crate::queue::Entry>,
 }
 
 impl<'a> Simulator<'a> {
     /// A simulator over a virtual web space.
     pub fn new(ws: &'a WebSpace, config: SimConfig) -> Self {
-        Simulator { ws, config }
+        Simulator {
+            ws,
+            config,
+            scratch: Vec::with_capacity(64),
+        }
     }
 
     /// Run one crawl to completion (or to the fetch budget) and return
@@ -108,10 +117,22 @@ impl<'a> Simulator<'a> {
         let mut visits = VisitRecorder::new();
         let outcome = if self.config.record_visits {
             let mut sinks: [&mut dyn EventSink; 2] = [&mut metrics, &mut visits];
-            engine.run(frontier, strategy, classifier, &mut sinks)
+            engine.run_with_scratch(
+                frontier,
+                strategy,
+                classifier,
+                &mut sinks,
+                &mut self.scratch,
+            )
         } else {
             let mut sinks: [&mut dyn EventSink; 1] = [&mut metrics];
-            engine.run(frontier, strategy, classifier, &mut sinks)
+            engine.run_with_scratch(
+                frontier,
+                strategy,
+                classifier,
+                &mut sinks,
+                &mut self.scratch,
+            )
         };
 
         CrawlReport {

@@ -8,7 +8,7 @@ use langcrawl_charset::Language;
 /// reports for its datasets; [`GeneratorConfig::scaled`] changes only the
 /// size, preserving every ratio, so experiments can be run at whatever
 /// scale the machine affords.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct GeneratorConfig {
     /// Target language of the archiving crawl (what "relevant" means).
@@ -183,6 +183,48 @@ impl GeneratorConfig {
     /// ```
     pub fn build(&self, seed: u64) -> crate::WebSpace {
         crate::generate::generate(self, seed)
+    }
+
+    /// Build through the process-wide [`crate::SpaceCache`]: the first
+    /// `(config, seed)` build constructs the space, every later one
+    /// (same process) gets the same immutable `Arc` back. Use this from
+    /// harnesses and experiment descriptors that may share spaces.
+    pub fn build_shared(&self, seed: u64) -> std::sync::Arc<crate::WebSpace> {
+        crate::cache::SpaceCache::global().get_or_build(self, seed)
+    }
+
+    /// FNV-1a digest of every knob — the cache key component that stands
+    /// in for the config. Scale (`total_urls`) folds in, so the same
+    /// preset at two scales hashes differently. Equal configs hash
+    /// equal; the cache still double-checks full equality on a hit.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut fold = |x: u64| {
+            for b in x.to_le_bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        fold(self.target as u64);
+        fold(self.total_urls as u64);
+        fold(self.ok_html_ratio.to_bits());
+        fold(self.relevance_ratio.to_bits());
+        fold(self.host_purity.to_bits());
+        fold(self.leak.to_bits());
+        fold(self.mean_host_size.to_bits());
+        fold(self.host_size_alpha.to_bits());
+        fold(self.mean_out_degree.to_bits());
+        fold(self.intra_host_ratio.to_bits());
+        fold(self.leaf_link_share.to_bits());
+        fold(self.front_page_bias.to_bits());
+        fold(self.locality.to_bits());
+        fold(self.island_mass.to_bits());
+        fold(self.max_island_depth as u64);
+        fold(self.meta_present.to_bits());
+        fold(self.mislabel.to_bits());
+        fold(self.utf8_share.to_bits());
+        fold(self.mean_page_bytes as u64);
+        fold(self.seed_count as u64);
+        h
     }
 
     /// Sanity-check ranges; called by the generator.

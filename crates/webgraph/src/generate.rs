@@ -8,28 +8,53 @@
 //!
 //! ## Construction outline
 //!
-//! 1. **Host planning** — sample host HTML sizes from a bounded Pareto
-//!    until each language's page budget is filled; select *island* hosts
-//!    among the relevant hosts until the configured island page-mass is
-//!    reached; allocate one *gateway* chain host (1..=D irrelevant pages)
-//!    per island.
-//! 2. **Page table** — hosts are laid out contiguously; each host gets
-//!    its HTML pages then its share of leaf URLs (failed fetches and
-//!    non-HTML resources). Page language, true charset, META label
-//!    (present / correct / mislabeled), and body size are drawn here.
-//! 3. **Edges** — a reachability backbone (host-internal trees, a
-//!    mainland host tree, leaf inbounds, island chains) guarantees that
-//!    every URL is reachable from the seeds; random links layered on top
-//!    implement locality, intra-host bias and preferential attachment.
-//!    Edges are accumulated as a pair list and counting-sorted into CSR.
+//! 1. **Host planning** (sequential, O(hosts)) — sample host HTML sizes
+//!    from a bounded Pareto until each language's page budget is filled;
+//!    select *island* hosts among the relevant hosts until the configured
+//!    island page-mass is reached; allocate one *gateway* chain host
+//!    (1..=D irrelevant pages) per island.
+//! 2. **Page table** (parallel) — hosts are laid out contiguously; each
+//!    host gets its HTML pages then its share of leaf URLs (failed
+//!    fetches and non-HTML resources). Page language, true charset, META
+//!    label (present / correct / mislabeled), and body size are drawn
+//!    here.
+//! 3. **Edges** (parallel) — a reachability backbone (host-internal
+//!    trees, a mainland host tree, leaf inbounds, island chains)
+//!    guarantees that every URL is reachable from the seeds; random links
+//!    layered on top implement locality, intra-host bias and preferential
+//!    attachment. Edges are accumulated as per-chunk pair lists and
+//!    counting-sorted into CSR by a two-pass count → prefix-sum →
+//!    scatter build whose count and scatter passes run in parallel.
 //! 4. **Seeds** — front pages of the largest relevant mainland hosts.
+//!
+//! ## Parallelism and determinism
+//!
+//! Every random decision belongs to exactly one *stream*: the planning
+//! phase draws from `Rng::stream(seed, PLAN)`, and each host `h` owns
+//! two private streams — `(seed, PAGES | h)` for its page table and
+//! `(seed, EDGES | h)` for its edges (its inbound backbone link, its
+//! internal trees, its random links). Workers process contiguous host
+//! chunks into pre-sized, `split_at_mut`-partitioned buffers, so the
+//! result is **bit-identical at any thread count** — chunk boundaries
+//! choose only who computes a host, never what is computed. The
+//! `thread_count_invariant_golden_hash` test pins this at 1, 2 and 8
+//! threads. Thread count comes from `LANGCRAWL_THREADS` (default: all
+//! cores); see [`crate::parallel::effective_threads`].
 
 use crate::config::GeneratorConfig;
 use crate::graph::WebSpace;
 use crate::page::{HostMeta, HttpStatus, PageId, PageKind, PageMeta};
+use crate::parallel::{chunk_by_weight, effective_threads, split_at_boundaries};
 use langcrawl_charset::{Charset, Language};
 
 use langcrawl_rng::Rng;
+
+/// Stream-domain tags: host indices occupy the low 32 bits, domains the
+/// bits above, so every `(domain, host)` pair maps to a distinct stream
+/// of the generation seed.
+const STREAM_PLAN: u64 = 1 << 40;
+const STREAM_PAGES: u64 = 2 << 40;
+const STREAM_EDGES: u64 = 3 << 40;
 
 /// Role of a host in the generated topology.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -50,92 +75,149 @@ struct HostPlan {
     role: Role,
 }
 
-/// Generate a web space. See the module docs; this is
-/// [`GeneratorConfig::build`]'s implementation.
+/// Generate a web space with the process-default thread count. See the
+/// module docs; this is [`GeneratorConfig::build`]'s implementation.
 pub fn generate(config: &GeneratorConfig, seed: u64) -> WebSpace {
-    config.validate();
-    let mut rng = Rng::seed_from_u64(seed);
+    generate_with_threads(config, seed, effective_threads())
+}
 
+/// Generate a web space using exactly `threads` worker threads for the
+/// parallel phases. The output is bit-identical for every `threads`
+/// value — this entry point exists for benchmarks (1-thread baseline)
+/// and the thread-invariance tests.
+pub fn generate_with_threads(config: &GeneratorConfig, seed: u64, threads: usize) -> WebSpace {
+    config.validate();
+    let threads = threads.max(1);
+
+    // ---- planning (sequential, cheap) -----------------------------------
+    let mut plan_rng = Rng::stream(seed, STREAM_PLAN);
     let n_total = config.total_urls as u64;
     let n_html = ((n_total as f64) * config.ok_html_ratio).round() as u64;
+    let mut plans = plan_hosts(config, n_html, &mut plan_rng);
+    distribute_leaves(&mut plans, n_total - n_html, &mut plan_rng);
 
-    let mut plans = plan_hosts(config, n_html, &mut rng);
-    distribute_leaves(&mut plans, n_total - n_html, &mut rng);
+    // Host layout: pages of host h are `first_pages[h] ..+ html+leaves`.
+    let mut first_pages: Vec<PageId> = Vec::with_capacity(plans.len());
+    let mut acc = 0u64;
+    for p in &plans {
+        first_pages.push(acc as PageId);
+        acc += (p.html + p.leaves) as u64;
+    }
+    let n_pages = acc as usize;
 
-    // ---- page table ------------------------------------------------------
-    let mut hosts: Vec<HostMeta> = Vec::with_capacity(plans.len());
-    let mut pages: Vec<PageMeta> = Vec::new();
+    // Contiguous host chunks, balanced by page mass. One worker each.
+    let weights: Vec<u64> = plans
+        .iter()
+        .map(|p| (p.html + p.leaves) as u64 + 1)
+        .collect();
+    let chunks = chunk_by_weight(&weights, threads);
+    // Interior cut points, in host indices and page indices.
+    let host_bounds: Vec<usize> = chunks[1..].iter().map(|r| r.start).collect();
+    let page_bounds: Vec<usize> = host_bounds
+        .iter()
+        .map(|&h| first_pages[h] as usize)
+        .collect();
+
+    // ---- page table (parallel over host chunks) -------------------------
     let other_langs = other_language_pool(config.target);
-    for (i, plan) in plans.iter().enumerate() {
-        let first_page = pages.len() as PageId;
-        let island = matches!(plan.role, Role::Island { .. });
-        let chain_depth = match plan.role {
-            Role::Island { depth } | Role::Gateway { depth, .. } => depth,
-            Role::Mainland => 0,
+    let mut pages: Vec<PageMeta> = vec![PAGE_PLACEHOLDER; n_pages];
+    let mut hosts: Vec<HostMeta> = vec![
+        HostMeta {
+            name: String::new(),
+            language: config.target,
+            first_page: 0,
+            page_count: 0,
+            island: false,
         };
-        for j in 0..plan.html {
-            // A site's front page is in the site's language; purity noise
-            // applies to deep pages (and seeds must be relevant fronts).
-            let lang = if j == 0 && !matches!(plan.role, Role::Gateway { .. }) {
-                plan.lang
-            } else {
-                page_language(config, plan, &other_langs, &mut rng)
-            };
-            let true_charset = sample_true_charset(config, lang, &mut rng);
-            let labeled_charset = sample_label(config, true_charset, &mut rng);
-            pages.push(PageMeta {
-                host: i as u32,
-                kind: PageKind::Html,
-                status: HttpStatus::Ok,
-                true_charset,
-                labeled_charset,
-                size: sample_size(config.mean_page_bytes, &mut rng),
-                lang: Some(lang),
-                island_depth: chain_depth,
-            });
-            let _ = j;
-        }
-        for _ in 0..plan.leaves {
-            let failed = rng.random_bool(0.6);
-            pages.push(PageMeta {
-                host: i as u32,
-                kind: if failed {
-                    PageKind::Failed
-                } else {
-                    PageKind::Other
-                },
-                status: if failed {
-                    match rng.random_range(0..10) {
-                        0..=6 => HttpStatus::NotFound,
-                        7..=8 => HttpStatus::ServerError,
-                        _ => HttpStatus::Unreachable,
-                    }
-                } else {
-                    HttpStatus::Ok
-                },
-                true_charset: Charset::Unknown,
-                labeled_charset: None,
-                size: sample_size(config.mean_page_bytes / 4, &mut rng),
-                lang: None,
-                island_depth: 0,
-            });
-        }
-        hosts.push(HostMeta {
-            name: host_name(i, plan.lang, config.target, &mut rng),
-            language: plan.lang,
-            first_page,
-            page_count: plan.html + plan.leaves,
-            island,
+        plans.len()
+    ];
+    {
+        let page_slices = split_at_boundaries(&mut pages, &page_bounds);
+        let host_slices = split_at_boundaries(&mut hosts, &host_bounds);
+        let plans = &plans;
+        let first_pages = &first_pages;
+        let other_langs = &other_langs;
+        std::thread::scope(|scope| {
+            for ((range, pslice), hslice) in
+                chunks.iter().cloned().zip(page_slices).zip(host_slices)
+            {
+                scope.spawn(move || {
+                    fill_pages_chunk(
+                        config,
+                        seed,
+                        range,
+                        plans,
+                        first_pages,
+                        other_langs,
+                        pslice,
+                        hslice,
+                    )
+                });
+            }
         });
     }
 
-    // ---- edges -----------------------------------------------------------
-    let mut edges: Vec<(PageId, PageId)> = Vec::with_capacity(pages.len() * 6);
-    add_backbone(&plans, &hosts, &pages, config.target, &mut edges, &mut rng);
-    add_island_chains(&plans, &hosts, &pages, config, &mut edges, &mut rng);
-    add_random_links(&plans, &hosts, &pages, config, &mut edges, &mut rng);
+    // ---- edge prerequisites (sequential scans) --------------------------
+    // Mainland host tree order: root = largest relevant host (the first
+    // seed); every host at position > 0 links down from an earlier one.
+    let mainland_order = mainland_tree_order(&plans, config.target);
+    let mut tree_pos: Vec<u32> = vec![u32::MAX; plans.len()];
+    for (pos, &h) in mainland_order.iter().enumerate() {
+        tree_pos[h] = pos as u32;
+    }
+    // Island chains are anchored on relevant mainland pages.
+    let relevant_mainland: Vec<PageId> = (0..n_pages as PageId)
+        .filter(|&p| {
+            let m = &pages[p as usize];
+            m.kind == PageKind::Html
+                && m.lang == Some(config.target)
+                && matches!(plans[m.host as usize].role, Role::Mainland)
+        })
+        .collect();
+    assert!(
+        !relevant_mainland.is_empty(),
+        "no relevant mainland pages to anchor island chains"
+    );
+    // Preferential-attachment pools over mainland hosts.
+    let target_pool = HostPool::new(&plans, |_, p| {
+        matches!(p.role, Role::Mainland) && p.lang == config.target
+    });
+    let other_pool = HostPool::new(&plans, |_, p| {
+        matches!(p.role, Role::Mainland) && p.lang != config.target
+    });
 
-    let (offsets, flat) = to_csr(pages.len(), &mut edges);
+    // ---- edges (parallel over host chunks) ------------------------------
+    // Each chunk yields `local` pairs (source inside the chunk's page
+    // range: internal trees, leaf inbounds, chain edges, random links)
+    // and `cross` pairs (inbound backbone links whose *source* lies on
+    // another host: the mainland tree edge / gateway entry edge of each
+    // host, drawn from that host's own stream).
+    let ctx = EdgeCtx {
+        config,
+        plans: &plans,
+        first_pages: &first_pages,
+        pages: &pages,
+        mainland_order: &mainland_order,
+        tree_pos: &tree_pos,
+        relevant_mainland: &relevant_mainland,
+        target_pool: &target_pool,
+        other_pool: &other_pool,
+    };
+    let mut chunk_edges: Vec<ChunkEdges> = Vec::new();
+    std::thread::scope(|scope| {
+        let ctx = &ctx;
+        let handles: Vec<_> = chunks
+            .iter()
+            .cloned()
+            .map(|range| scope.spawn(move || edges_chunk(ctx, seed, range)))
+            .collect();
+        chunk_edges = handles
+            .into_iter()
+            .map(|h| h.join().expect("edge generation worker panicked"))
+            .collect();
+    });
+
+    let (offsets, flat) = to_csr_parallel(n_pages, &chunk_edges, &page_bounds);
 
     // ---- seeds -----------------------------------------------------------
     let mut seed_hosts: Vec<usize> = (0..plans.len())
@@ -157,6 +239,102 @@ pub fn generate(config: &GeneratorConfig, seed: u64) -> WebSpace {
         seeds,
         target: config.target,
         gen_seed: seed,
+    }
+}
+
+/// Overwritten before any read: every page index belongs to exactly one
+/// host range and every host range is filled by exactly one worker.
+const PAGE_PLACEHOLDER: PageMeta = PageMeta {
+    host: 0,
+    kind: PageKind::Failed,
+    status: HttpStatus::Unreachable,
+    true_charset: Charset::Unknown,
+    labeled_charset: None,
+    size: 0,
+    lang: None,
+    island_depth: 0,
+};
+
+/// Fill one chunk's hosts and pages. `pslice`/`hslice` are the chunk's
+/// private windows of the global page and host tables; every draw comes
+/// from the per-host `(seed, PAGES | h)` stream.
+#[allow(clippy::too_many_arguments)]
+fn fill_pages_chunk(
+    config: &GeneratorConfig,
+    seed: u64,
+    range: std::ops::Range<usize>,
+    plans: &[HostPlan],
+    first_pages: &[PageId],
+    other_langs: &[Language],
+    pslice: &mut [PageMeta],
+    hslice: &mut [HostMeta],
+) {
+    let page_base = first_pages[range.start] as usize;
+    for h in range.clone() {
+        let plan = &plans[h];
+        let mut rng = Rng::stream(seed, STREAM_PAGES | h as u64);
+        let first_page = first_pages[h];
+        let island = matches!(plan.role, Role::Island { .. });
+        let chain_depth = match plan.role {
+            Role::Island { depth } | Role::Gateway { depth, .. } => depth,
+            Role::Mainland => 0,
+        };
+        let mut cursor = first_page as usize - page_base;
+        for j in 0..plan.html {
+            // A site's front page is in the site's language; purity noise
+            // applies to deep pages (and seeds must be relevant fronts).
+            let lang = if j == 0 && !matches!(plan.role, Role::Gateway { .. }) {
+                plan.lang
+            } else {
+                page_language(config, plan, other_langs, &mut rng)
+            };
+            let true_charset = sample_true_charset(config, lang, &mut rng);
+            let labeled_charset = sample_label(config, true_charset, &mut rng);
+            pslice[cursor] = PageMeta {
+                host: h as u32,
+                kind: PageKind::Html,
+                status: HttpStatus::Ok,
+                true_charset,
+                labeled_charset,
+                size: sample_size(config.mean_page_bytes, &mut rng),
+                lang: Some(lang),
+                island_depth: chain_depth,
+            };
+            cursor += 1;
+        }
+        for _ in 0..plan.leaves {
+            let failed = rng.random_bool(0.6);
+            pslice[cursor] = PageMeta {
+                host: h as u32,
+                kind: if failed {
+                    PageKind::Failed
+                } else {
+                    PageKind::Other
+                },
+                status: if failed {
+                    match rng.random_range(0..10) {
+                        0..=6 => HttpStatus::NotFound,
+                        7..=8 => HttpStatus::ServerError,
+                        _ => HttpStatus::Unreachable,
+                    }
+                } else {
+                    HttpStatus::Ok
+                },
+                true_charset: Charset::Unknown,
+                labeled_charset: None,
+                size: sample_size(config.mean_page_bytes / 4, &mut rng),
+                lang: None,
+                island_depth: 0,
+            };
+            cursor += 1;
+        }
+        hslice[h - range.start] = HostMeta {
+            name: host_name(h, plan.lang, config.target, &mut rng),
+            language: plan.lang,
+            first_page,
+            page_count: plan.html + plan.leaves,
+            island,
+        };
     }
 }
 
@@ -456,26 +634,13 @@ fn shuffle<T>(v: &mut [T], rng: &mut Rng) {
 
 // -------------------------------------------------------------------- edges
 
-/// Reachability backbone: every URL gets at least one inbound link such
-/// that the whole space is reachable from the first (largest, seed)
-/// relevant host:
-/// * within a host: page k ← random earlier HTML page of the host;
-/// * mainland host fronts ← random page of a random earlier mainland host;
-/// * leaves ← a random HTML page of their own host.
-fn add_backbone(
-    plans: &[HostPlan],
-    hosts: &[HostMeta],
-    pages: &[PageMeta],
-    target: Language,
-    edges: &mut Vec<(PageId, PageId)>,
-    rng: &mut Rng,
-) {
-    // Mainland hosts form a host tree whose root is the LARGEST relevant
-    // host — the first seed. Every tree edge goes from a page of an
-    // earlier host to a later host's front page, and host-internal trees
-    // are rooted at front pages, so by induction every mainland page is
-    // reachable from the first seed. That is what lets soft-focused
-    // crawling reach the paper's 100% coverage (Fig. 3b).
+/// The mainland host-tree order: root = the LARGEST relevant host (the
+/// first seed). Every tree edge goes from a page of an earlier host to a
+/// later host's front page, and host-internal trees are rooted at front
+/// pages, so by induction every mainland page is reachable from the
+/// first seed. That is what lets soft-focused crawling reach the paper's
+/// 100% coverage (Fig. 3b).
+fn mainland_tree_order(plans: &[HostPlan], target: Language) -> Vec<usize> {
     let mut mainland: Vec<usize> = (0..plans.len())
         .filter(|&i| matches!(plans[i].role, Role::Mainland))
         .collect();
@@ -489,168 +654,153 @@ fn add_backbone(
         .map(|(pos, _)| pos)
         .unwrap_or(0);
     mainland.swap(0, root);
-    for (pos, &h) in mainland.iter().enumerate() {
-        let host = &hosts[h];
-        let html = plans[h].html;
-        // Host-internal tree over HTML pages.
-        for k in 1..html {
-            let parent = host.first_page + rng.random_range(0..k);
-            edges.push((parent, host.first_page + k));
-        }
-        // Leaf inbounds.
-        for k in html..host.page_count {
-            let parent = host.first_page + rng.random_range(0..html.max(1));
-            edges.push((parent, host.first_page + k));
-        }
-        // Host-tree edge from an earlier mainland host.
-        if pos > 0 {
-            let ph = mainland[rng.random_range(0..pos)];
-            let phost = &hosts[ph];
-            let from = phost.first_page + rng.random_range(0..plans[ph].html.max(1));
-            edges.push((from, host.first_page));
-        }
-    }
-    // Island hosts: internal tree + leaf inbounds (their front page is
-    // fed by the gateway chain, added separately).
-    for (i, plan) in plans.iter().enumerate() {
-        if !matches!(plan.role, Role::Island { .. }) {
-            continue;
-        }
-        let host = &hosts[i];
-        for k in 1..plan.html {
-            let parent = host.first_page + rng.random_range(0..k);
-            edges.push((parent, host.first_page + k));
-        }
-        for k in plan.html..host.page_count {
-            let parent = host.first_page + rng.random_range(0..plan.html.max(1));
-            edges.push((parent, host.first_page + k));
-        }
-    }
-    let _ = pages;
+    mainland
 }
 
-/// For each island: relevant mainland page → chain(1) → … → chain(d) →
-/// island front page. Chain pages are irrelevant by construction, so the
-/// island sits behind exactly `d` consecutive irrelevant pages.
-fn add_island_chains(
-    plans: &[HostPlan],
-    hosts: &[HostMeta],
-    pages: &[PageMeta],
-    config: &GeneratorConfig,
-    edges: &mut Vec<(PageId, PageId)>,
-    rng: &mut Rng,
-) {
-    let relevant_mainland: Vec<PageId> = (0..pages.len() as PageId)
-        .filter(|&p| {
-            let m = &pages[p as usize];
-            m.kind == PageKind::Html
-                && m.lang == Some(config.target)
-                && matches!(plans[m.host as usize].role, Role::Mainland)
-        })
-        .collect();
-    assert!(
-        !relevant_mainland.is_empty(),
-        "no relevant mainland pages to anchor island chains"
-    );
-    for (g, plan) in plans.iter().enumerate() {
-        let Role::Gateway { island_idx, depth } = plan.role else {
-            continue;
-        };
-        let gw = &hosts[g];
-        debug_assert_eq!(plan.html, depth as u32);
-        let entry = relevant_mainland[rng.random_range(0..relevant_mainland.len())];
-        edges.push((entry, gw.first_page));
-        for k in 1..depth as u32 {
-            edges.push((gw.first_page + k - 1, gw.first_page + k));
-        }
-        let island_front = hosts[island_idx as usize].first_page;
-        edges.push((gw.first_page + depth as u32 - 1, island_front));
-    }
+/// Read-only context shared by every edge-generation worker.
+struct EdgeCtx<'a> {
+    config: &'a GeneratorConfig,
+    plans: &'a [HostPlan],
+    first_pages: &'a [PageId],
+    pages: &'a [PageMeta],
+    mainland_order: &'a [usize],
+    tree_pos: &'a [u32],
+    relevant_mainland: &'a [PageId],
+    target_pool: &'a HostPool,
+    other_pool: &'a HostPool,
 }
 
-/// Random links implementing locality / intra-host bias / preferential
-/// attachment. Island and gateway hosts are excluded as *targets* of
-/// inter-host links (that exclusion is what makes islands islands), but
-/// their pages still link out into the mainland like everyone else.
-fn add_random_links(
-    plans: &[HostPlan],
-    hosts: &[HostMeta],
-    pages: &[PageMeta],
-    config: &GeneratorConfig,
-    edges: &mut Vec<(PageId, PageId)>,
-    rng: &mut Rng,
-) {
-    // Preferential-attachment pools: cumulative HTML mass per language
-    // group over mainland hosts.
-    let target_pool = HostPool::new(plans, |_, p| {
-        matches!(p.role, Role::Mainland) && p.lang == config.target
-    });
-    let other_pool = HostPool::new(plans, |_, p| {
-        matches!(p.role, Role::Mainland) && p.lang != config.target
-    });
-    if target_pool.is_empty() || other_pool.is_empty() {
-        // Degenerate configs (relevance 0 or 1): random links stay
-        // intra-host; the backbone still connects everything.
-    }
+/// One chunk's edge output. `local` pairs have their source inside the
+/// chunk's page range; `cross` pairs are the chunk's hosts' inbound
+/// backbone links, whose sources lie on other hosts.
+struct ChunkEdges {
+    local: Vec<(PageId, PageId)>,
+    cross: Vec<(PageId, PageId)>,
+}
 
-    let leaf_share = config.leaf_link_share;
-    for (h, plan) in plans.iter().enumerate() {
-        if matches!(plan.role, Role::Gateway { .. }) {
-            continue; // chains carry only their chain edge
-        }
-        let host = &hosts[h];
-        for k in 0..plan.html {
-            let p = host.first_page + k;
-            let page_lang = pages[p as usize].lang.expect("html page has lang");
-            let deg = sample_degree(config.mean_out_degree, rng);
-            for _ in 0..deg {
-                let r: f64 = rng.random_range(0.0..1.0);
-                if r < config.intra_host_ratio {
-                    // Intra-host link, biased toward the front page.
-                    if plan.html <= 1 {
-                        continue;
-                    }
-                    let to = if rng.random_bool(0.2) {
-                        host.first_page
-                    } else {
-                        host.first_page + rng.random_range(0..plan.html)
-                    };
-                    if to != p {
-                        edges.push((p, to));
-                    }
-                } else if r < config.intra_host_ratio + leaf_share {
-                    if host.page_count > plan.html {
-                        let to = host.first_page
-                            + plan.html
-                            + rng.random_range(0..host.page_count - plan.html);
-                        edges.push((p, to));
-                    }
-                } else {
-                    // Inter-host link with language locality.
-                    let same_lang = rng.random_bool(config.locality);
-                    let want_target_lang = if page_lang == config.target {
-                        same_lang
-                    } else {
-                        !same_lang
-                    };
-                    let pool = if want_target_lang {
-                        &target_pool
-                    } else {
-                        &other_pool
-                    };
-                    let Some(th) = pool.sample(rng) else { continue };
-                    if th == h {
-                        continue;
-                    }
-                    let to_host = &hosts[th];
-                    let to_html = plans[th].html;
-                    let to = if rng.random_bool(config.front_page_bias) || to_html <= 1 {
-                        to_host.first_page
-                    } else {
-                        to_host.first_page + rng.random_range(0..to_html)
-                    };
-                    edges.push((p, to));
+/// Generate all edges owned by the hosts of `range`, each host drawing
+/// from its private `(seed, EDGES | h)` stream. Per-host draw order is
+/// fixed (inbound link, internal tree, leaf inbounds, chain, random
+/// links), so the output is independent of chunking.
+fn edges_chunk(ctx: &EdgeCtx<'_>, seed: u64, range: std::ops::Range<usize>) -> ChunkEdges {
+    let mut local: Vec<(PageId, PageId)> = Vec::new();
+    let mut cross: Vec<(PageId, PageId)> = Vec::new();
+    for h in range {
+        let plan = &ctx.plans[h];
+        let mut rng = Rng::stream(seed, STREAM_EDGES | h as u64);
+        let first_page = ctx.first_pages[h];
+        let html = plan.html;
+        let page_count = plan.html + plan.leaves;
+        match plan.role {
+            Role::Mainland => {
+                // Inbound mainland-tree edge from a random earlier host.
+                let pos = ctx.tree_pos[h];
+                if pos > 0 {
+                    let ph = ctx.mainland_order[rng.random_range(0..pos as usize)];
+                    let from = ctx.first_pages[ph] + rng.random_range(0..ctx.plans[ph].html.max(1));
+                    cross.push((from, first_page));
                 }
+            }
+            Role::Island { .. } => {
+                // Fed only by its gateway chain (generated by the gateway).
+            }
+            Role::Gateway { island_idx, depth } => {
+                debug_assert_eq!(html, depth as u32);
+                // Entry edge: relevant mainland page → chain(1); then the
+                // chain itself, ending on the island's front page, so the
+                // island sits behind exactly `depth` irrelevant pages.
+                let entry = ctx.relevant_mainland[rng.random_range(0..ctx.relevant_mainland.len())];
+                cross.push((entry, first_page));
+                for k in 1..depth as u32 {
+                    local.push((first_page + k - 1, first_page + k));
+                }
+                let island_front = ctx.first_pages[island_idx as usize];
+                local.push((first_page + depth as u32 - 1, island_front));
+                continue; // chains carry only their chain edges
+            }
+        }
+        // Host-internal tree over HTML pages: page k ← random earlier
+        // HTML page of the host.
+        for k in 1..html {
+            let parent = first_page + rng.random_range(0..k);
+            local.push((parent, first_page + k));
+        }
+        // Leaf inbounds: every leaf ← a random HTML page of its host.
+        for k in html..page_count {
+            let parent = first_page + rng.random_range(0..html.max(1));
+            local.push((parent, first_page + k));
+        }
+        // Random links implementing locality / intra-host bias /
+        // preferential attachment. Island and gateway hosts are excluded
+        // as *targets* of inter-host links (that exclusion is what makes
+        // islands islands), but island pages still link out into the
+        // mainland like everyone else.
+        random_links_for_host(ctx, h, &mut rng, &mut local);
+    }
+    ChunkEdges { local, cross }
+}
+
+fn random_links_for_host(
+    ctx: &EdgeCtx<'_>,
+    h: usize,
+    rng: &mut Rng,
+    local: &mut Vec<(PageId, PageId)>,
+) {
+    let config = ctx.config;
+    let plan = &ctx.plans[h];
+    let first_page = ctx.first_pages[h];
+    let html = plan.html;
+    let page_count = plan.html + plan.leaves;
+    let leaf_share = config.leaf_link_share;
+    for k in 0..html {
+        let p = first_page + k;
+        let page_lang = ctx.pages[p as usize].lang.expect("html page has lang");
+        let deg = sample_degree(config.mean_out_degree, rng);
+        for _ in 0..deg {
+            let r: f64 = rng.random_range(0.0..1.0);
+            if r < config.intra_host_ratio {
+                // Intra-host link, biased toward the front page.
+                if html <= 1 {
+                    continue;
+                }
+                let to = if rng.random_bool(0.2) {
+                    first_page
+                } else {
+                    first_page + rng.random_range(0..html)
+                };
+                if to != p {
+                    local.push((p, to));
+                }
+            } else if r < config.intra_host_ratio + leaf_share {
+                if page_count > html {
+                    let to = first_page + html + rng.random_range(0..page_count - html);
+                    local.push((p, to));
+                }
+            } else {
+                // Inter-host link with language locality.
+                let same_lang = rng.random_bool(config.locality);
+                let want_target_lang = if page_lang == config.target {
+                    same_lang
+                } else {
+                    !same_lang
+                };
+                let pool = if want_target_lang {
+                    ctx.target_pool
+                } else {
+                    ctx.other_pool
+                };
+                let Some(th) = pool.sample(rng) else { continue };
+                if th == h {
+                    continue;
+                }
+                let to_html = ctx.plans[th].html;
+                let to_first = ctx.first_pages[th];
+                let to = if rng.random_bool(config.front_page_bias) || to_html <= 1 {
+                    to_first
+                } else {
+                    to_first + rng.random_range(0..to_html)
+                };
+                local.push((p, to));
             }
         }
     }
@@ -677,10 +827,6 @@ impl HostPool {
         HostPool { hosts, cumulative }
     }
 
-    fn is_empty(&self) -> bool {
-        self.hosts.is_empty()
-    }
-
     fn sample(&self, rng: &mut Rng) -> Option<usize> {
         let total = *self.cumulative.last()?;
         let x = rng.random_range(0..total);
@@ -689,27 +835,84 @@ impl HostPool {
     }
 }
 
-/// Counting-sort an edge pair list into CSR (offsets + flat targets).
-/// Consumes the pair list's order; duplicate edges are retained (real
-/// pages do repeat links; the frontier deduplicates).
-fn to_csr(n: usize, pairs: &mut Vec<(PageId, PageId)>) -> (Vec<u32>, Vec<PageId>) {
+/// Counting-sort the per-chunk edge pair lists into CSR (offsets + flat
+/// targets) with a two-pass build: count → prefix-sum → scatter. The
+/// count and scatter passes over `local` edges run one worker per chunk
+/// (a chunk's local sources fall inside its own page range, so both the
+/// per-page counters and the flat output windows partition cleanly at
+/// the chunk boundaries); the small `cross` lists are handled
+/// sequentially. Per-source adjacency order is canonical — cross edges
+/// first (in generating-host order), then local edges in generation
+/// order — so the CSR is identical at any thread count. Duplicate edges
+/// are retained (real pages do repeat links; the frontier deduplicates).
+fn to_csr_parallel(
+    n: usize,
+    chunk_edges: &[ChunkEdges],
+    page_bounds: &[usize],
+) -> (Vec<u32>, Vec<PageId>) {
+    // Pass 1: count. counts[p + 1] accumulates deg(p).
     let mut counts = vec![0u32; n + 1];
-    for &(s, _) in pairs.iter() {
-        counts[s as usize + 1] += 1;
+    {
+        let (_, tail) = counts.split_at_mut(1); // tail[p] = deg(p)
+        let slices = split_at_boundaries(tail, page_bounds);
+        std::thread::scope(|scope| {
+            let mut base = 0usize;
+            for (chunk, slice) in chunk_edges.iter().zip(slices) {
+                let b = base;
+                base += slice.len();
+                scope.spawn(move || {
+                    for &(s, _) in &chunk.local {
+                        slice[s as usize - b] += 1;
+                    }
+                });
+            }
+        });
     }
+    for chunk in chunk_edges {
+        for &(s, _) in &chunk.cross {
+            counts[s as usize + 1] += 1;
+        }
+    }
+    // Prefix sum (sequential: one cheap pass).
     for i in 0..n {
         counts[i + 1] += counts[i];
     }
-    let offsets = counts.clone();
-    let mut flat = vec![0 as PageId; pairs.len()];
-    let mut cursor = offsets.clone();
-    for &(s, t) in pairs.iter() {
-        let c = &mut cursor[s as usize];
-        flat[*c as usize] = t;
-        *c += 1;
+    let offsets = counts;
+    let m = *offsets.last().unwrap() as usize;
+
+    // Pass 2: scatter. Cross edges first (sequential, host order), then
+    // local edges chunk-parallel into disjoint windows of `flat`.
+    let mut flat = vec![0 as PageId; m];
+    let mut cursor: Vec<u32> = offsets[..n].to_vec();
+    for chunk in chunk_edges {
+        for &(s, t) in &chunk.cross {
+            let c = &mut cursor[s as usize];
+            flat[*c as usize] = t;
+            *c += 1;
+        }
     }
-    pairs.clear();
-    pairs.shrink_to_fit();
+    {
+        let flat_bounds: Vec<usize> = page_bounds.iter().map(|&p| offsets[p] as usize).collect();
+        let cursor_slices = split_at_boundaries(&mut cursor, page_bounds);
+        let flat_slices = split_at_boundaries(&mut flat, &flat_bounds);
+        std::thread::scope(|scope| {
+            let mut page_base = 0usize;
+            let mut off_base = 0usize;
+            for ((chunk, cur), flat_sl) in chunk_edges.iter().zip(cursor_slices).zip(flat_slices) {
+                let pb = page_base;
+                let ob = off_base;
+                page_base += cur.len();
+                off_base += flat_sl.len();
+                scope.spawn(move || {
+                    for &(s, t) in &chunk.local {
+                        let c = &mut cur[s as usize - pb];
+                        flat_sl[*c as usize - ob] = t;
+                        *c += 1;
+                    }
+                });
+            }
+        });
+    }
     (offsets, flat)
 }
 
@@ -742,6 +945,24 @@ mod tests {
         for p in (0..a.num_pages() as PageId).step_by(97) {
             assert_eq!(a.meta(p), b.meta(p));
             assert_eq!(a.outlinks(p), b.outlinks(p));
+        }
+    }
+
+    /// The tentpole acceptance gate: `(config, seed)` → bit-identical
+    /// space at 1, 2 and 8 generator threads. The content hash folds in
+    /// every page, host, edge, offset and seed, so any divergence —
+    /// ordering included — changes it.
+    #[test]
+    fn thread_count_invariant_golden_hash() {
+        for (config, seed) in [
+            (GeneratorConfig::thai_like().scaled(20_000), 7u64),
+            (GeneratorConfig::japanese_like().scaled(20_000), 11u64),
+        ] {
+            let h1 = generate_with_threads(&config, seed, 1).content_hash();
+            let h2 = generate_with_threads(&config, seed, 2).content_hash();
+            let h8 = generate_with_threads(&config, seed, 8).content_hash();
+            assert_eq!(h1, h2, "1-thread vs 2-thread space diverged");
+            assert_eq!(h1, h8, "1-thread vs 8-thread space diverged");
         }
     }
 

@@ -137,6 +137,76 @@ impl WebSpace {
         self.pages[p as usize].status
     }
 
+    /// FNV-1a digest of the complete space — every page field, host,
+    /// edge, offset and seed folds in, so two spaces hash equal iff they
+    /// are bit-identical (up to hash collision). The parity tests use it
+    /// to prove the parallel generator is thread-count-independent.
+    ///
+    /// Not a stable on-disk format: the digest may change between
+    /// versions as fields are added. Compare hashes only within one
+    /// build.
+    pub fn content_hash(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut fold = |x: u64| {
+            for b in x.to_le_bytes() {
+                h = (h ^ b as u64).wrapping_mul(PRIME);
+            }
+        };
+        fold(self.pages.len() as u64);
+        for m in &self.pages {
+            fold(m.host as u64);
+            fold(m.kind as u64);
+            fold(m.status as u64);
+            fold(m.true_charset as u64);
+            fold(m.labeled_charset.map_or(u64::MAX, |c| c as u64));
+            fold(m.size as u64);
+            fold(m.lang.map_or(u64::MAX, |l| l as u64));
+            fold(m.island_depth as u64);
+        }
+        fold(self.offsets.len() as u64);
+        for &o in &self.offsets {
+            fold(o as u64);
+        }
+        fold(self.edges.len() as u64);
+        for &e in &self.edges {
+            fold(e as u64);
+        }
+        fold(self.hosts.len() as u64);
+        let fold_bytes = |bytes: &[u8]| {
+            let mut acc = OFFSET;
+            for &b in bytes {
+                acc = (acc ^ b as u64).wrapping_mul(PRIME);
+            }
+            acc
+        };
+        let mut host_acc = Vec::with_capacity(self.hosts.len());
+        for host in &self.hosts {
+            host_acc.push((
+                fold_bytes(host.name.as_bytes()),
+                host.language as u64,
+                host.first_page as u64,
+                host.page_count as u64,
+                host.island as u64,
+            ));
+        }
+        for (name_h, lang, first, count, island) in host_acc {
+            fold(name_h);
+            fold(lang);
+            fold(first);
+            fold(count);
+            fold(island);
+        }
+        fold(self.seeds.len() as u64);
+        for &s in &self.seeds {
+            fold(s as u64);
+        }
+        fold(self.target as u64);
+        fold(self.gen_seed);
+        h
+    }
+
     /// Structural integrity check, used by tests and after log replay:
     /// CSR well-formedness, edge targets in range, hosts contiguous,
     /// seeds valid, non-HTML pages link-free.

@@ -35,16 +35,19 @@
 
 pub mod analysis;
 pub mod builder;
+pub mod cache;
 pub mod config;
 pub mod generate;
 pub mod graph;
 pub mod index;
 pub mod logs;
 pub mod page;
+pub mod parallel;
 pub mod stats;
 pub mod synth;
 pub mod text;
 
+pub use cache::SpaceCache;
 pub use config::GeneratorConfig;
 pub use graph::WebSpace;
 pub use page::{HostMeta, HttpStatus, PageId, PageKind, PageMeta};

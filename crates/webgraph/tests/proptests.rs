@@ -134,6 +134,110 @@ fn log_round_trip() {
     });
 }
 
+/// Structural invariants the parallel generator must uphold at every
+/// scale, checked explicitly (not just via `check_invariants`) so a
+/// regression names the violated property:
+///
+/// * host page ranges tile the page table — disjoint and exhaustive;
+/// * CSR adjacency is consistent — per-page outlink slices sum to the
+///   edge count and every target is in range;
+/// * every page is reachable from the seeds;
+/// * island page mass is near the configured fraction.
+#[test]
+fn structural_invariants_at_multiple_scales() {
+    // 5k is the smallest scale where the Thai preset has target hosts
+    // left over after seed protection, i.e. where islands can exist.
+    for scale in [5_000u32, 10_000, 40_000] {
+        let cfg = GeneratorConfig::thai_like().scaled(scale);
+        let ws = cfg.build(11);
+        let n = ws.num_pages();
+
+        // Host ranges: sorted by first page, they tile 0..n exactly.
+        let mut hosts: Vec<_> = ws.hosts().to_vec();
+        hosts.sort_by_key(|h| h.first_page);
+        let mut expected_start = 0u64;
+        for h in &hosts {
+            assert_eq!(
+                h.first_page as u64, expected_start,
+                "scale {scale}: host ranges must be disjoint and gapless"
+            );
+            assert!(h.page_count > 0, "scale {scale}: empty host");
+            expected_start += h.page_count as u64;
+        }
+        assert_eq!(
+            expected_start, n as u64,
+            "scale {scale}: hosts must cover all pages"
+        );
+
+        // CSR consistency via the public accessors.
+        let mut edge_sum = 0usize;
+        for p in ws.page_ids() {
+            let links = ws.outlinks(p);
+            edge_sum += links.len();
+            assert!(
+                links.iter().all(|&t| (t as usize) < n),
+                "scale {scale}: edge target out of range"
+            );
+        }
+        assert_eq!(
+            edge_sum,
+            ws.num_edges(),
+            "scale {scale}: offsets inconsistent"
+        );
+        ws.check_invariants().unwrap();
+
+        // Reachability from the seeds.
+        let visited = reachable_all(&ws);
+        assert_eq!(
+            visited.iter().filter(|&&v| !v).count(),
+            0,
+            "scale {scale}: unreachable pages"
+        );
+
+        // Island mass: relevant pages on island hosts come out near the
+        // configured fraction of all relevant pages. Selection is
+        // whole-host greedy, so allow a generous band.
+        let mut on_island = 0usize;
+        let mut relevant = 0usize;
+        for p in ws.page_ids() {
+            if ws.is_relevant(p) {
+                relevant += 1;
+                if ws.host_of(p).island {
+                    on_island += 1;
+                }
+            }
+        }
+        let mass = on_island as f64 / relevant.max(1) as f64;
+        assert!(
+            mass > cfg.island_mass * 0.5 && mass < cfg.island_mass + 0.15,
+            "scale {scale}: island mass {mass} vs configured {}",
+            cfg.island_mass
+        );
+    }
+}
+
+/// Thread-count independence as a property over *random* configs, not
+/// just the presets the golden-hash unit test pins: any `(config, seed)`
+/// builds a bit-identical space at 1 and 3 generator threads.
+#[test]
+fn parallel_generation_thread_parity() {
+    use langcrawl_webgraph::generate::generate_with_threads;
+    check(8, |g| {
+        let mut c = if g.bool(0.5) {
+            GeneratorConfig::thai_like()
+        } else {
+            GeneratorConfig::japanese_like()
+        };
+        c.total_urls = g.u32(2_000..6_000);
+        c.island_mass = g.f64(0.05..0.45);
+        c.seed_count = g.u32(1..9);
+        let seed = g.u64(0..1_000);
+        let h1 = generate_with_threads(&c, seed, 1).content_hash();
+        let h3 = generate_with_threads(&c, seed, 3).content_hash();
+        assert_eq!(h1, h3, "space diverged across thread counts");
+    });
+}
+
 /// URLs are unique and parse; non-HTML pages have no outlinks.
 #[test]
 fn urls_unique_and_wellformed() {
