@@ -10,15 +10,24 @@ cargo build --workspace --release --offline
 echo "==> cargo test -q --offline"
 cargo test --workspace -q --offline
 
+# The fault/retry layer's pinned suites, named explicitly so a CI log
+# shows them running: the zero-fault conformance goldens (bit-identical
+# CrawlReports with the fault model disabled), the retry/backoff
+# property tests, and the webgraph fault-draw determinism proptests.
+echo "==> fault conformance + retry property suites"
+cargo test -q --offline -p langcrawl-core --test fault_conformance --test retry_proptests
+cargo test -q --offline -p langcrawl-webgraph --test proptests
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-# Smoke-scale bench trajectory: exercises the parallel-generation parity
-# and sink-overhead gates (the bench exits nonzero on a regression) and
-# leaves BENCH_<sha>.json at the repo root for archival.
+# Smoke-scale bench trajectory: exercises the parallel-generation
+# parity, sink-overhead and fault-path-overhead gates (the bench exits
+# nonzero on a regression) and leaves BENCH_<sha>.json at the repo root
+# for archival.
 echo "==> cargo bench microbench --json (smoke scale)"
 LANGCRAWL_SCALE=20000 cargo bench -p langcrawl-bench --offline --bench microbench -- --json
 

@@ -1,0 +1,9 @@
+//! Fault-sensitivity sweep — the seeded fault model (flaky/slow/dead
+//! hosts, transient 503s and timeouts) layered over one shared space at
+//! increasing failure rates, crawled by the paper's strategy families
+//! under the default capped-exponential retry policy. Reports harvest
+//! net of failures: relevant pages delivered per fetch *attempt*.
+
+fn main() {
+    langcrawl_bench::harnesses::fault_sensitivity::run();
+}

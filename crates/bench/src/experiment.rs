@@ -68,6 +68,14 @@ impl Experiment {
         self
     }
 
+    /// Layer a fault model over every strategy run (see
+    /// [`SimConfig::fault_override`]) — for sensitivity sweeps reusing
+    /// one generated space across fault rates.
+    pub fn faults(mut self, fault: langcrawl_webgraph::FaultConfig) -> Self {
+        self.config.fault_override = Some(fault);
+        self
+    }
+
     /// Replace the classifier (default: META charset label).
     pub fn classifier_with(
         mut self,

@@ -121,6 +121,9 @@ mod tests {
             max_queue: 3,
             total_pushes: 12,
             visited: Vec::new(),
+            attempts: 10,
+            retries: 0,
+            gave_up: 0,
         }
     }
 

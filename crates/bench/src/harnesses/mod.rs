@@ -11,6 +11,7 @@ pub mod ablation_seeds;
 pub mod ablation_tld;
 pub mod dataset_collection;
 pub mod extensions;
+pub mod fault_sensitivity;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
@@ -39,6 +40,7 @@ pub const ALL: &[(&str, fn())] = &[
     ("ablation_ordering", ablation_ordering::run),
     ("ablation_tld", ablation_tld::run),
     ("dataset_collection", dataset_collection::run),
+    ("fault_sensitivity", fault_sensitivity::run),
     ("timing_ext", timing_ext::run),
     ("extensions", extensions::run),
     ("wider_languages", wider_languages::run),

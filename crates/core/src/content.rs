@@ -206,6 +206,11 @@ impl<'a> ContentSimulator<'a> {
             max_queue: queue.max_pending(),
             total_pushes: queue.total_pushes(),
             visited: Vec::new(),
+            // The content pipeline has no fault layer: one attempt per
+            // page, nothing retried or abandoned.
+            attempts: crawled,
+            retries: 0,
+            gave_up: 0,
         }
     }
 }

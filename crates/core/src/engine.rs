@@ -18,8 +18,11 @@ use crate::classifier::Classifier;
 use crate::event::{interest, CrawlEvent, EventSink};
 use crate::frontier::Frontier;
 use crate::queue::Entry;
+use crate::retry::RetryPolicy;
 use crate::strategy::{PageView, Strategy};
-use langcrawl_webgraph::{PageKind, WebSpace};
+use langcrawl_webgraph::{FaultConfig, FaultModel, FetchOutcome, PageKind, WebSpace};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Engine parameters — the subset of [`crate::sim::SimConfig`] the loop
 /// itself needs (visit recording is a sink concern, not an engine one).
@@ -33,31 +36,60 @@ pub struct EngineConfig {
     /// Drop obviously non-HTML URLs (the extension filter) before they
     /// reach the frontier.
     pub url_filter: bool,
+    /// Fault model layered over the space. All-zero (the default)
+    /// bypasses the fault/retry machinery entirely: the loop then
+    /// behaves bit-identically to the pre-fault engine (pinned by the
+    /// `fault_conformance` suite).
+    pub fault: FaultConfig,
+    /// When and how often transiently failed fetches are retried.
+    /// Irrelevant while `fault` is all-zero (nothing ever fails
+    /// transiently then).
+    pub retry: RetryPolicy,
 }
 
 /// What the engine can report without any sink attached.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineOutcome {
-    /// Total pages crawled.
+    /// Total pages crawled to a final resolution: delivered, permanently
+    /// failed, or abandoned after exhausting retries. Equals the number
+    /// of distinct pages popped at least once.
     pub crawled: u64,
-    /// Total ground-truth relevant pages crawled.
+    /// Ground-truth relevant pages actually *delivered* (fetch succeeded)
+    /// — harvest net of failures.
     pub relevant_crawled: u64,
     /// High-water mark of the frontier's distinct pending count.
     pub max_pending: usize,
     /// Total frontier pushes accepted.
     pub total_pushes: u64,
+    /// Total fetch attempts performed (equals `crawled` when no fault
+    /// fired).
+    pub attempts: u64,
+    /// Attempts beyond a page's first — the retry traffic.
+    pub retries: u64,
+    /// Pages abandoned after exhausting their retry budget.
+    pub gave_up: u64,
 }
 
 /// The layered crawl engine.
 pub struct CrawlEngine<'a> {
     ws: &'a WebSpace,
     config: EngineConfig,
+    /// Realized once per engine (O(hosts)). `None` when the config is
+    /// all-zero *or* the realized model is inert (no dead hosts, every
+    /// per-host rate zero) — in either case no outcome can differ from
+    /// the baked status, every attempt is #1 and no retry can ever be
+    /// scheduled, so eliding the model is behavior-identical and runs
+    /// never touch the fault machinery.
+    fault: Option<FaultModel>,
 }
 
 impl<'a> CrawlEngine<'a> {
     /// An engine over a virtual web space.
     pub fn new(ws: &'a WebSpace, config: EngineConfig) -> Self {
-        CrawlEngine { ws, config }
+        let fault = (!config.fault.is_zero())
+            .then(|| FaultModel::with_config(ws, config.fault.clone()))
+            .filter(|m| !m.is_inert());
+        CrawlEngine { ws, config, fault }
     }
 
     /// The web space this engine crawls.
@@ -69,7 +101,9 @@ impl<'a> CrawlEngine<'a> {
     /// classify → admit, narrate every step to `sinks`, and return the
     /// outcome. The engine is reusable — each run takes a fresh frontier.
     ///
-    /// The per-page event order is fixed: [`CrawlEvent::Fetched`],
+    /// The per-page event order is fixed: [`CrawlEvent::FetchAttempt`]
+    /// (one per attempt; a transiently failed attempt emits only this
+    /// before the page re-enters the frontier), [`CrawlEvent::Fetched`],
     /// [`CrawlEvent::Classified`], then [`CrawlEvent::Filtered`] (only
     /// when the URL filter dropped links) and [`CrawlEvent::Admitted`],
     /// then [`CrawlEvent::Sampled`] on sampling fetches. One
@@ -110,6 +144,31 @@ impl<'a> CrawlEngine<'a> {
         // listens to are never constructed or dispatched.
         let wants = sinks.iter().fold(0u8, |m, s| m | s.interests());
 
+        // The fault/retry machinery engages only when the fault model
+        // can fire: zero-fault runs never touch the attempt table or
+        // the retry heap (the microbench pins their overhead at ≤10%
+        // even when engaged at a vanishing rate).
+        let retry = self.config.retry;
+        let max_attempts = retry.effective_max_attempts();
+        let fault = self.fault.as_ref();
+        // Per-page attempt counts, allocated lazily at the first retry:
+        // while no fetch has ever been retried, every pop is attempt #1
+        // and the table stays empty — a faulted-but-lucky run pays one
+        // emptiness check per fetch instead of a table read-modify-write
+        // (this is what keeps the microbench fault-path gate under 10%).
+        // Resolved pages never return, so their counts are only written
+        // when a retry is actually scheduled.
+        let mut attempt_counts: Vec<u32> = Vec::new();
+        // Min-heap of (ready tick, schedule seq, entry): pops in ready
+        // order with FIFO tie-breaking, so the retry schedule is a pure
+        // function of the failure sequence.
+        let mut retry_heap: BinaryHeap<Reverse<(u64, u64, Entry)>> = BinaryHeap::new();
+        let mut retry_seq: u64 = 0;
+        let mut tick: u64 = 0;
+        let mut attempts: u64 = 0;
+        let mut retries: u64 = 0;
+        let mut gave_up: u64 = 0;
+
         for &s in ws.seeds() {
             frontier.push(Entry {
                 page: s,
@@ -122,22 +181,121 @@ impl<'a> CrawlEngine<'a> {
         let mut relevant_crawled: u64 = 0;
         let admissions = scratch;
 
-        while let Some(entry) = frontier.pop() {
+        loop {
+            // Due retries re-enter the frontier before the next pop, so
+            // the frontier's own policy orders them against fresh
+            // discoveries. The heap can only be non-empty once a retry
+            // has been scheduled — which is also when the attempt table
+            // materializes — so a run that never fails never touches it.
+            if !attempt_counts.is_empty() {
+                while let Some(&Reverse((ready, _, _))) = retry_heap.peek() {
+                    if ready > tick {
+                        break;
+                    }
+                    let Reverse((_, _, e)) = retry_heap.pop().expect("peeked entry");
+                    frontier.requeue(e);
+                }
+            }
+            let entry = match frontier.pop() {
+                Some(e) => e,
+                None => {
+                    // Frontier dry but retries pending: fast-forward the
+                    // clock to the next ready tick and drain again.
+                    if let Some(&Reverse((ready, _, _))) = retry_heap.peek() {
+                        tick = ready;
+                        continue;
+                    }
+                    break;
+                }
+            };
             let p = entry.page;
+            tick += 1;
+            attempts += 1;
+
+            // "Download": the virtual web space answers with the page's
+            // properties; the fault model may overlay a transient
+            // failure on this attempt.
+            let meta = ws.meta(p);
+            let (attempt, outcome) = match &fault {
+                Some(model) => {
+                    let a = if attempt_counts.is_empty() {
+                        1
+                    } else {
+                        attempt_counts[p as usize] + 1
+                    };
+                    if a > 1 {
+                        retries += 1;
+                    }
+                    (a, model.outcome_at(meta.status, meta.host, p, a))
+                }
+                None => (
+                    1,
+                    FetchOutcome {
+                        status: meta.status,
+                        transient: false,
+                    },
+                ),
+            };
+
+            if outcome.transient && attempt < max_attempts {
+                // Transient failure with budget left: back off and
+                // re-enter the frontier later. The page is not resolved —
+                // `crawled` does not advance and nothing is classified.
+                if attempt_counts.is_empty() {
+                    attempt_counts = vec![0; ws.num_pages()];
+                }
+                attempt_counts[p as usize] = attempt;
+                if wants & interest::ATTEMPT != 0 {
+                    emit(
+                        sinks,
+                        CrawlEvent::FetchAttempt {
+                            page: p,
+                            attempt,
+                            status: outcome.status,
+                            transient: true,
+                            retry: true,
+                            tick,
+                        },
+                    );
+                }
+                let ready = tick.saturating_add(retry.delay(attempt));
+                retry_heap.push(Reverse((ready, retry_seq, entry)));
+                retry_seq += 1;
+                continue;
+            }
+
+            // Resolution: delivered, permanently failed, or abandoned.
+            if outcome.transient {
+                gave_up += 1;
+            }
+            if wants & interest::ATTEMPT != 0 {
+                emit(
+                    sinks,
+                    CrawlEvent::FetchAttempt {
+                        page: p,
+                        attempt,
+                        status: outcome.status,
+                        transient: outcome.transient,
+                        retry: false,
+                        tick,
+                    },
+                );
+            }
             crawled += 1;
             if wants & interest::FETCHED != 0 {
                 emit(sinks, CrawlEvent::Fetched { page: p, crawled });
             }
 
-            // "Download": the virtual web space answers with the page's
-            // properties. Only OK HTML pages have content to classify.
-            let meta = ws.meta(p);
-            let relevance = if meta.is_ok_html() {
+            // Only OK HTML pages *that were actually delivered* have
+            // content to classify (a page behind a dead host or an
+            // exhausted retry budget never arrived).
+            let delivered = meta.is_ok_html() && outcome.is_ok();
+            let relevance = if delivered {
                 classifier.relevance(ws, p)
             } else {
                 0.0
             };
-            let relevant = ws.is_relevant(p);
+            let relevant = ws.is_relevant(p) && outcome.is_ok();
             if relevant {
                 relevant_crawled += 1; // metrics use ground truth
             }
@@ -161,11 +319,7 @@ impl<'a> CrawlEngine<'a> {
                 entry.distance.saturating_add(1)
             };
 
-            let outlinks = if meta.is_ok_html() {
-                ws.outlinks(p)
-            } else {
-                &[]
-            };
+            let outlinks = if delivered { ws.outlinks(p) } else { &[] };
             let view = PageView {
                 page: p,
                 relevance,
@@ -235,6 +389,9 @@ impl<'a> CrawlEngine<'a> {
             relevant_crawled,
             max_pending: frontier.max_pending(),
             total_pushes: frontier.total_pushes(),
+            attempts,
+            retries,
+            gave_up,
         }
     }
 }
@@ -254,7 +411,7 @@ mod tests {
     use crate::frontier::BestFirstFrontier;
     use crate::queue::UrlQueue;
     use crate::strategy::{BreadthFirst, SimpleStrategy};
-    use langcrawl_webgraph::GeneratorConfig;
+    use langcrawl_webgraph::{FaultConfig, GeneratorConfig};
 
     fn space() -> WebSpace {
         GeneratorConfig::thai_like().scaled(4_000).build(9)
@@ -346,6 +503,131 @@ mod tests {
             &mut [&mut sink],
         );
         assert!(sink.finished);
+    }
+
+    #[test]
+    fn zero_fault_outcome_counters_are_trivial() {
+        let ws = space();
+        let engine = CrawlEngine::new(&ws, EngineConfig::default());
+        let outcome = engine.run(
+            UrlQueue::new(ws.num_pages(), 1),
+            &mut BreadthFirst::new(),
+            &OracleClassifier::target(ws.target_language()),
+            &mut [],
+        );
+        assert_eq!(outcome.attempts, outcome.crawled);
+        assert_eq!(outcome.retries, 0);
+        assert_eq!(outcome.gave_up, 0);
+    }
+
+    #[test]
+    fn faulted_run_retries_and_still_resolves_every_page() {
+        let ws = space();
+        let engine = CrawlEngine::new(
+            &ws,
+            EngineConfig {
+                fault: FaultConfig::with_rate(0.2),
+                ..EngineConfig::default()
+            },
+        );
+        let mut stats = crate::event::FaultStatsSink::new();
+        let outcome = engine.run(
+            UrlQueue::new(ws.num_pages(), 1),
+            &mut BreadthFirst::new(),
+            &OracleClassifier::target(ws.target_language()),
+            &mut [&mut stats],
+        );
+        // Undelivered pages (dead hosts, exhausted retries) expand no
+        // outlinks, so faults shrink what BFS can even discover — but
+        // every page that *was* popped resolves exactly once.
+        assert!(outcome.crawled > 0);
+        assert!(outcome.crawled < ws.num_pages() as u64);
+        assert!(outcome.gave_up > 0, "some page must exhaust its budget");
+        assert!(outcome.retries > 0, "20% fault rate must cause retries");
+        assert!(outcome.attempts > outcome.crawled);
+        assert_eq!(outcome.attempts, outcome.crawled + outcome.retries);
+        // The sink's tally and the engine's counters agree.
+        assert_eq!(stats.attempts, outcome.attempts);
+        assert_eq!(stats.retries, outcome.retries);
+        assert_eq!(stats.gave_up, outcome.gave_up);
+        // Harvest is net of failures: a faulted run cannot deliver more
+        // relevant pages than exist, and failures can only lose some.
+        assert!(outcome.relevant_crawled <= ws.total_relevant() as u64);
+    }
+
+    #[test]
+    fn attempts_never_exceed_the_retry_cap() {
+        let ws = space();
+        // Every fetch from a healthy host fails transiently: each page
+        // burns its entire attempt budget, then is given up.
+        let engine = CrawlEngine::new(
+            &ws,
+            EngineConfig {
+                fault: langcrawl_webgraph::FaultConfig {
+                    transient_rate: 1.0,
+                    ..Default::default()
+                },
+                retry: crate::retry::RetryPolicy {
+                    max_attempts: 3,
+                    backoff_base: 2,
+                    backoff_cap: 8,
+                },
+                ..EngineConfig::default()
+            },
+        );
+        /// Asserts per-page attempt numbers stay within the cap.
+        struct CapCheck {
+            max_seen: u32,
+        }
+        impl EventSink for CapCheck {
+            fn on_event(&mut self, event: &CrawlEvent) {
+                if let CrawlEvent::FetchAttempt { attempt, .. } = *event {
+                    self.max_seen = self.max_seen.max(attempt);
+                }
+            }
+            fn interests(&self) -> u8 {
+                interest::ATTEMPT
+            }
+        }
+        let mut cap = CapCheck { max_seen: 0 };
+        let outcome = engine.run(
+            UrlQueue::new(ws.num_pages(), 1),
+            &mut BreadthFirst::new(),
+            &OracleClassifier::target(ws.target_language()),
+            &mut [&mut cap],
+        );
+        assert_eq!(cap.max_seen, 3);
+        // Nothing is ever delivered, so no page is relevant and no
+        // outlinks are discovered — only the seeds resolve, each after
+        // exactly max_attempts attempts.
+        assert_eq!(outcome.relevant_crawled, 0);
+        assert_eq!(outcome.crawled, ws.seeds().len() as u64);
+        assert_eq!(outcome.gave_up, outcome.crawled);
+        assert_eq!(outcome.attempts, 3 * outcome.crawled);
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        let ws = space();
+        let config = EngineConfig {
+            fault: FaultConfig::with_rate(0.15),
+            ..EngineConfig::default()
+        };
+        let engine = CrawlEngine::new(&ws, config);
+        let run = || {
+            let mut visits = VisitRecorder::new();
+            let outcome = engine.run(
+                UrlQueue::new(ws.num_pages(), 2),
+                &mut SimpleStrategy::soft(),
+                &OracleClassifier::target(ws.target_language()),
+                &mut [&mut visits],
+            );
+            (outcome, visits.into_visited())
+        };
+        let (o1, v1) = run();
+        let (o2, v2) = run();
+        assert_eq!(o1, o2);
+        assert_eq!(v1, v2);
     }
 
     #[test]

@@ -16,15 +16,39 @@
 //! (the microbench in `langcrawl-bench` pins this).
 
 use crate::metrics::Sample;
-use langcrawl_webgraph::PageId;
+use langcrawl_webgraph::{HttpStatus, PageId};
 use std::time::{Duration, Instant};
 
 /// One step of the crawl narrative, emitted by the engine in a fixed
-/// per-page order: `Fetched` → `Classified` → `Admitted` (with
-/// `Filtered` before it when the URL filter dropped links) → periodic
-/// `Sampled`; one final `Finished` closes the run.
+/// per-page order: `FetchAttempt` (one per fetch attempt, when any sink
+/// wants it) → `Fetched` → `Classified` → `Admitted` (with `Filtered`
+/// before it when the URL filter dropped links) → periodic `Sampled`;
+/// one final `Finished` closes the run. A transiently failed attempt
+/// emits `FetchAttempt` only — the page resolves (and `Fetched` fires)
+/// on a later attempt or when retries are exhausted.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum CrawlEvent {
+    /// One fetch attempt of a page completed — the per-attempt view of
+    /// the crawl that the fault/retry machinery narrates. Zero-fault
+    /// runs emit exactly one per page (attempt 1, `retry: false`).
+    FetchAttempt {
+        /// The attempted page.
+        page: PageId,
+        /// Attempt number, 1-based.
+        attempt: u32,
+        /// What the virtual web answered on this attempt.
+        status: HttpStatus,
+        /// True when the failure was transient (timeout, 503, reset).
+        transient: bool,
+        /// True when the engine re-queued the page for another attempt;
+        /// `transient && !retry` means retries were exhausted (the page
+        /// was given up).
+        retry: bool,
+        /// Simulated fetch tick at which the attempt ran (one tick per
+        /// attempt the engine performs; backoff delays are measured in
+        /// these ticks).
+        tick: u64,
+    },
     /// A page was popped from the frontier and "downloaded".
     Fetched {
         /// The fetched page.
@@ -101,8 +125,10 @@ pub mod interest {
     pub const SAMPLED: u8 = 1 << 4;
     /// [`super::CrawlEvent::Finished`]
     pub const FINISHED: u8 = 1 << 5;
+    /// [`super::CrawlEvent::FetchAttempt`]
+    pub const ATTEMPT: u8 = 1 << 6;
     /// Every variant.
-    pub const ALL: u8 = 0x3F;
+    pub const ALL: u8 = 0x7F;
 }
 
 /// A crawl observer. Sinks receive every emitted event; most match on
@@ -336,10 +362,14 @@ impl EventSink for PhaseTimingSink {
                 let d = self.lap();
                 self.admit.add(d);
             }
+            // FetchAttempt precedes Fetched: its interval is download
+            // time, which the following Fetched would otherwise absorb —
+            // advancing the clock here keeps the attribution the same.
             // Filtered arrives between Classified and Admitted; fold its
             // interval into admission time. Sampled/Finished intervals
             // are bookkeeping; just advance the clock.
-            CrawlEvent::Filtered { .. }
+            CrawlEvent::FetchAttempt { .. }
+            | CrawlEvent::Filtered { .. }
             | CrawlEvent::Sampled { .. }
             | CrawlEvent::Finished { .. } => {
                 let d = self.lap();
@@ -348,6 +378,58 @@ impl EventSink for PhaseTimingSink {
                 }
             }
         }
+    }
+}
+
+/// Tallies per-attempt fetch outcomes — retries, wasted fetches, pages
+/// given up — from the [`CrawlEvent::FetchAttempt`] stream. The
+/// fault-sensitivity harness attaches one per run to report harvest net
+/// of failures.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultStatsSink {
+    /// Fetch attempts performed (equals pages crawled when no fault
+    /// fired).
+    pub attempts: u64,
+    /// Attempts beyond the first for some page (attempt number > 1).
+    pub retries: u64,
+    /// Attempts that failed transiently — bandwidth spent without a
+    /// page.
+    pub wasted: u64,
+    /// Pages abandoned after exhausting their retry budget.
+    pub gave_up: u64,
+}
+
+impl FaultStatsSink {
+    /// An empty tally.
+    pub fn new() -> Self {
+        FaultStatsSink::default()
+    }
+}
+
+impl EventSink for FaultStatsSink {
+    fn on_event(&mut self, event: &CrawlEvent) {
+        if let CrawlEvent::FetchAttempt {
+            attempt,
+            transient,
+            retry,
+            ..
+        } = *event
+        {
+            self.attempts += 1;
+            if attempt > 1 {
+                self.retries += 1;
+            }
+            if transient {
+                self.wasted += 1;
+                if !retry {
+                    self.gave_up += 1;
+                }
+            }
+        }
+    }
+
+    fn interests(&self) -> u8 {
+        interest::ATTEMPT
     }
 }
 
@@ -416,6 +498,38 @@ mod tests {
         );
         assert_eq!(VisitRecorder::new().interests(), interest::FETCHED);
         assert_eq!(PhaseTimingSink::new().interests(), interest::ALL);
+        assert_eq!(FaultStatsSink::new().interests(), interest::ATTEMPT);
+    }
+
+    #[test]
+    fn fault_stats_tally_attempts_retries_and_give_ups() {
+        use langcrawl_webgraph::HttpStatus;
+        let mut f = FaultStatsSink::new();
+        let attempt = |page, attempt, status, transient, retry| CrawlEvent::FetchAttempt {
+            page,
+            attempt,
+            status,
+            transient,
+            retry,
+            tick: 0,
+        };
+        // Page 1: clean first-attempt success.
+        f.on_event(&attempt(1, 1, HttpStatus::Ok, false, false));
+        // Page 2: one transient failure, then success on retry.
+        f.on_event(&attempt(2, 1, HttpStatus::ServerError, true, true));
+        f.on_event(&attempt(2, 2, HttpStatus::Ok, false, false));
+        // Page 3: transient failures until the budget runs out.
+        f.on_event(&attempt(3, 1, HttpStatus::Unreachable, true, true));
+        f.on_event(&attempt(3, 2, HttpStatus::Unreachable, true, false));
+        // Other variants are ignored.
+        f.on_event(&CrawlEvent::Fetched {
+            page: 1,
+            crawled: 1,
+        });
+        assert_eq!(f.attempts, 5);
+        assert_eq!(f.retries, 2);
+        assert_eq!(f.wasted, 3);
+        assert_eq!(f.gave_up, 1);
     }
 
     #[test]

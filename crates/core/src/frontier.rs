@@ -36,6 +36,14 @@ pub trait Frontier {
     /// Pop the next URL to crawl, or `None` when the frontier is dry.
     fn pop(&mut self) -> Option<Entry>;
 
+    /// Re-admit a page that was already popped — the engine's retry
+    /// path for transient fetch failures. Unlike [`Frontier::push`]
+    /// (which never re-admits a fetched page), this clears the page's
+    /// fetched mark and enqueues the entry as if newly discovered at
+    /// its key; for never-popped pages it behaves like `push`. Returns
+    /// whether the entry was enqueued.
+    fn requeue(&mut self, e: Entry) -> bool;
+
     /// Distinct URLs admitted and not yet fetched — the paper's "URL
     /// queue size".
     fn pending(&self) -> usize;
@@ -61,6 +69,10 @@ impl Frontier for UrlQueue {
 
     fn pop(&mut self) -> Option<Entry> {
         UrlQueue::pop(self)
+    }
+
+    fn requeue(&mut self, e: Entry) -> bool {
+        UrlQueue::requeue(self, e)
     }
 
     fn pending(&self) -> usize {
@@ -174,6 +186,22 @@ impl Frontier for BestFirstFrontier {
         None
     }
 
+    fn requeue(&mut self, e: Entry) -> bool {
+        let idx = e.page as usize;
+        if !self.done[idx] {
+            return self.push(e);
+        }
+        self.done[idx] = false;
+        let key = Self::key(&e);
+        self.best[idx] = key;
+        self.pending += 1;
+        self.max_pending = self.max_pending.max(self.pending);
+        self.heap.push(Reverse((key, self.seq, e.page)));
+        self.seq += 1;
+        self.pushes += 1;
+        true
+    }
+
     fn pending(&self) -> usize {
         self.pending
     }
@@ -238,6 +266,23 @@ mod tests {
         assert!(!f.push(e(2, 0, 0)));
         assert!(f.is_done(2));
         assert!(f.was_admitted(2));
+    }
+
+    #[test]
+    fn requeue_matches_urlqueue_semantics() {
+        let mut q: Box<dyn Frontier> = Box::new(UrlQueue::new(10, 2));
+        let mut f: Box<dyn Frontier> = Box::new(BestFirstFrontier::new(10));
+        for front in [&mut q, &mut f] {
+            front.push(e(2, 0, 0));
+            front.pop().unwrap();
+            assert!(!front.push(e(2, 0, 0)), "push refuses done pages");
+            assert!(front.requeue(e(2, 1, 0)));
+            assert!(!front.is_done(2));
+            assert_eq!(front.pending(), 1);
+            let again = front.pop().unwrap();
+            assert_eq!((again.page, again.priority), (2, 1));
+            assert!(front.pop().is_none());
+        }
     }
 
     #[test]

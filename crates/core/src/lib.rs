@@ -66,6 +66,7 @@ pub mod event;
 pub mod frontier;
 pub mod metrics;
 pub mod queue;
+pub mod retry;
 pub mod sim;
 pub mod strategy;
 pub mod timing;
@@ -76,5 +77,6 @@ pub use engine::{CrawlEngine, EngineConfig, EngineOutcome};
 pub use event::{interest, CrawlEvent, EventSink, MetricsSampler, PhaseTimingSink, VisitRecorder};
 pub use frontier::{BestFirstFrontier, Frontier};
 pub use metrics::CrawlReport;
+pub use retry::RetryPolicy;
 pub use sim::{SimConfig, Simulator};
 pub use strategy::{BreadthFirst, LimitedDistanceStrategy, SimpleStrategy, Strategy};

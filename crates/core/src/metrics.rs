@@ -61,6 +61,17 @@ pub struct CrawlReport {
     /// configured with [`crate::sim::SimConfig::with_visit_recording`].
     #[cfg_attr(feature = "serde", serde(default))]
     pub visited: Vec<u32>,
+    /// Total fetch attempts performed; equals `crawled` when no fault
+    /// fired (every page resolved on its first attempt).
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub attempts: u64,
+    /// Attempts beyond a page's first — the retry traffic caused by
+    /// transient failures.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub retries: u64,
+    /// Pages abandoned after exhausting their retry budget.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub gave_up: u64,
 }
 
 impl CrawlReport {
@@ -70,6 +81,18 @@ impl CrawlReport {
             0.0
         } else {
             self.relevant_crawled as f64 / self.crawled as f64
+        }
+    }
+
+    /// Harvest net of failures, per fetch *attempt*: relevant pages
+    /// delivered over total attempts performed. Equals
+    /// [`CrawlReport::final_harvest`] on fault-free runs; under faults
+    /// it additionally charges the bandwidth wasted on retries.
+    pub fn harvest_net(&self) -> f64 {
+        if self.attempts == 0 {
+            0.0
+        } else {
+            self.relevant_crawled as f64 / self.attempts as f64
         }
     }
 
@@ -152,12 +175,16 @@ impl CrawlReport {
         }
         out.push_str(&format!(
             "],\"crawled\":{},\"relevant_crawled\":{},\"total_relevant\":{},\
-             \"max_queue\":{},\"total_pushes\":{},\"visited\":[",
+             \"max_queue\":{},\"total_pushes\":{},\"attempts\":{},\
+             \"retries\":{},\"gave_up\":{},\"visited\":[",
             self.crawled,
             self.relevant_crawled,
             self.total_relevant,
             self.max_queue,
-            self.total_pushes
+            self.total_pushes,
+            self.attempts,
+            self.retries,
+            self.gave_up
         ));
         for (i, v) in self.visited.iter().enumerate() {
             if i > 0 {
@@ -236,6 +263,9 @@ mod tests {
             max_queue: 500,
             total_pushes: 5_000,
             visited: Vec::new(),
+            attempts: 1000,
+            retries: 0,
+            gave_up: 0,
         }
     }
 
@@ -276,9 +306,29 @@ mod tests {
             max_queue: 0,
             total_pushes: 0,
             visited: Vec::new(),
+            attempts: 0,
+            retries: 0,
+            gave_up: 0,
         };
         assert_eq!(r.final_harvest(), 0.0);
         assert_eq!(r.final_coverage(), 0.0);
+        assert_eq!(r.harvest_net(), 0.0);
+    }
+
+    #[test]
+    fn harvest_net_charges_retry_traffic() {
+        let mut r = report();
+        assert!(
+            (r.harvest_net() - r.final_harvest()).abs() < 1e-12,
+            "no retries: net harvest equals harvest"
+        );
+        r.attempts = 2000; // half the bandwidth went to failed attempts
+        r.retries = 1000;
+        assert!((r.harvest_net() - 0.1).abs() < 1e-12);
+        assert!(
+            (r.final_harvest() - 0.2).abs() < 1e-12,
+            "per-page unchanged"
+        );
     }
 
     #[test]
@@ -290,6 +340,7 @@ mod tests {
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains(r#""strategy":"soft \"quoted\"\nstrategy""#));
         assert!(json.contains(r#""samples":[{"crawled":10,"relevant":6,"queue_size":50}"#));
+        assert!(json.contains(r#""attempts":1000,"retries":0,"gave_up":0"#));
         assert!(json.contains(r#""visited":[3,1,4]"#));
         let mut buf = Vec::new();
         r.write_json(&mut buf).unwrap();

@@ -120,6 +120,27 @@ impl UrlQueue {
         }
     }
 
+    /// Re-admit a page that was already popped — the retry path. The
+    /// `done` mark (which [`UrlQueue::push`] honors to keep fetched
+    /// pages out forever) is cleared and the entry re-enters its
+    /// priority ring at the back, with its key as the page's new best.
+    /// Falls back to [`UrlQueue::push`] for pages that were never
+    /// popped. Returns whether the entry was enqueued.
+    pub fn requeue(&mut self, e: Entry) -> bool {
+        let idx = e.page as usize;
+        if !self.done[idx] {
+            return self.push(e);
+        }
+        self.done[idx] = false;
+        self.best[idx] = e.key();
+        self.pending += 1;
+        self.max_pending = self.max_pending.max(self.pending);
+        let level = (e.priority as usize).min(self.levels.len() - 1);
+        self.levels[level].push_back(e);
+        self.pushes += 1;
+        true
+    }
+
     /// Distinct URLs admitted and not yet fetched — the paper's "URL
     /// queue size".
     pub fn pending(&self) -> usize {
@@ -218,6 +239,29 @@ mod tests {
         q.pop().unwrap();
         assert!(!q.push(e(2, 0, 0)));
         assert!(q.is_done(2));
+    }
+
+    #[test]
+    fn requeue_readmits_a_popped_page() {
+        let mut q = UrlQueue::new(10, 2);
+        q.push(e(2, 0, 0));
+        q.pop().unwrap();
+        assert!(!q.push(e(2, 0, 0)), "plain push still refuses done pages");
+        assert!(q.requeue(e(2, 1, 0)));
+        assert!(!q.is_done(2));
+        assert_eq!(q.pending(), 1);
+        let again = q.pop().unwrap();
+        assert_eq!((again.page, again.priority), (2, 1));
+        assert!(q.is_done(2));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn requeue_of_unpopped_page_acts_like_push() {
+        let mut q = UrlQueue::new(10, 2);
+        assert!(q.requeue(e(3, 0, 0)), "first discovery");
+        assert!(!q.requeue(e(3, 0, 0)), "duplicate rejected like push");
+        assert_eq!(q.pending(), 1);
     }
 
     #[test]

@@ -16,8 +16,9 @@ use crate::engine::{CrawlEngine, EngineConfig};
 use crate::event::{EventSink, MetricsSampler, VisitRecorder};
 use crate::metrics::CrawlReport;
 use crate::queue::UrlQueue;
+use crate::retry::RetryPolicy;
 use crate::strategy::Strategy;
-use langcrawl_webgraph::WebSpace;
+use langcrawl_webgraph::{FaultConfig, WebSpace};
 
 /// Simulation parameters.
 #[derive(Debug, Clone, Default)]
@@ -39,6 +40,14 @@ pub struct SimConfig {
     /// dataset-collection experiments; off by default to keep reports
     /// small).
     pub record_visits: bool,
+    /// Fault model to layer over the space instead of the one it was
+    /// generated with ([`WebSpace::fault`]). `None` — the default — uses
+    /// the space's own config, so zero-fault spaces behave bit-identically
+    /// to the pre-fault simulator. Sensitivity sweeps set this to reuse
+    /// one generated space across fault rates.
+    pub fault_override: Option<FaultConfig>,
+    /// Retry/backoff policy for transient fetch failures.
+    pub retry: RetryPolicy,
 }
 
 impl SimConfig {
@@ -57,6 +66,19 @@ impl SimConfig {
     /// Record crawled page ids in the report.
     pub fn with_visit_recording(mut self) -> Self {
         self.record_visits = true;
+        self
+    }
+
+    /// Layer `fault` over the space for this simulation (see
+    /// [`SimConfig::fault_override`]).
+    pub fn with_faults(mut self, fault: FaultConfig) -> Self {
+        self.fault_override = Some(fault);
+        self
+    }
+
+    /// Use `retry` as the transient-failure retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
         self
     }
 }
@@ -109,6 +131,12 @@ impl<'a> Simulator<'a> {
                 max_pages: self.config.max_pages,
                 sample_interval: self.config.sample_interval,
                 url_filter: self.config.url_filter,
+                fault: self
+                    .config
+                    .fault_override
+                    .clone()
+                    .unwrap_or_else(|| ws.fault().clone()),
+                retry: self.config.retry,
             },
         );
         let frontier = UrlQueue::new(ws.num_pages(), strategy.levels());
@@ -145,6 +173,9 @@ impl<'a> Simulator<'a> {
             max_queue: outcome.max_pending,
             total_pushes: outcome.total_pushes,
             visited: visits.into_visited(),
+            attempts: outcome.attempts,
+            retries: outcome.retries,
+            gave_up: outcome.gave_up,
         }
     }
 }
@@ -331,6 +362,33 @@ mod tests {
             assert!(w[1].crawled > w[0].crawled);
             assert!(w[1].relevant >= w[0].relevant);
         }
+    }
+
+    #[test]
+    fn fault_override_degrades_harvest_but_not_determinism() {
+        use langcrawl_webgraph::FaultConfig;
+        let ws = space();
+        let oracle = OracleClassifier::target(Language::Thai);
+        let mut clean_sim = Simulator::new(&ws, SimConfig::default());
+        let clean = clean_sim.run(&mut SimpleStrategy::soft(), &oracle);
+        let mut faulted_sim = Simulator::new(
+            &ws,
+            SimConfig::default().with_faults(FaultConfig::with_rate(0.2)),
+        );
+        let faulted = faulted_sim.run(&mut SimpleStrategy::soft(), &oracle);
+        // Dead hosts and exhausted retries cost pages: harvest is net of
+        // failures, so a faulted crawl delivers at most the clean count.
+        assert!(faulted.relevant_crawled < clean.relevant_crawled);
+        assert!(faulted.retries > 0);
+        assert_eq!(faulted.attempts, faulted.crawled + faulted.retries);
+        // Clean runs report trivial fault counters.
+        assert_eq!(clean.attempts, clean.crawled);
+        assert_eq!(clean.retries, 0);
+        assert_eq!(clean.gave_up, 0);
+        // And the faulted schedule is reproducible.
+        let again = faulted_sim.run(&mut SimpleStrategy::soft(), &oracle);
+        assert_eq!(faulted.samples, again.samples);
+        assert_eq!(faulted.retries, again.retries);
     }
 
     #[test]

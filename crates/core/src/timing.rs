@@ -304,6 +304,11 @@ pub fn run_timed(
         max_queue: queue.max_pending(),
         total_pushes: queue.total_pushes(),
         visited: Vec::new(),
+        // The timing model predates the fault layer: one attempt per
+        // page, nothing retried or abandoned.
+        attempts: crawled,
+        retries: 0,
+        gave_up: 0,
     };
     let utilization = if now == 0 {
         0.0

@@ -121,6 +121,11 @@ fn reference_run(
         max_queue: queue.max_pending(),
         total_pushes: queue.total_pushes(),
         visited,
+        // The reference loop predates the fault layer: one attempt per
+        // page — exactly what a zero-fault layered run must report.
+        attempts: crawled,
+        retries: 0,
+        gave_up: 0,
     }
 }
 

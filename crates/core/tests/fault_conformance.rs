@@ -1,0 +1,133 @@
+//! Zero-fault conformance: `FaultConfig::default()` must leave the
+//! engine's observable behavior bit-identical to the pre-fault-model
+//! engine.
+//!
+//! The golden hashes below were captured from the engine *before* the
+//! fault/retry subsystem existed (PR 3), on the same pinned space the
+//! `engine_parity` suite uses. Unlike `engine_parity` — which re-runs a
+//! preserved copy of the old loop — these constants pin the behavior
+//! across time: any change to the default (zero-fault) crawl path, no
+//! matter how plausible, shows up as a hash mismatch here.
+//!
+//! The hash folds every pre-existing `CrawlReport` field (strategy and
+//! classifier names, the full sample series, all counters, and the
+//! recorded visit order). Fields added *by* the fault subsystem
+//! (attempt/retry counters) are deliberately excluded: at zero faults
+//! they must be derivable (`attempts == crawled`, `retries == 0`), which
+//! is asserted separately.
+
+use langcrawl_core::classifier::{MetaClassifier, OracleClassifier};
+use langcrawl_core::metrics::CrawlReport;
+use langcrawl_core::sim::{SimConfig, Simulator};
+use langcrawl_core::strategy::{BreadthFirst, LimitedDistanceStrategy, SimpleStrategy};
+use langcrawl_webgraph::GeneratorConfig;
+
+/// FNV-1a over the pre-fault-model report fields.
+fn report_hash(r: &CrawlReport) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut fold_bytes = |bytes: &[u8]| {
+        for &b in bytes {
+            h = (h ^ b as u64).wrapping_mul(PRIME);
+        }
+    };
+    fold_bytes(r.strategy.as_bytes());
+    fold_bytes(r.classifier.as_bytes());
+    let mut fold = |x: u64| {
+        for b in x.to_le_bytes() {
+            h = (h ^ b as u64).wrapping_mul(PRIME);
+        }
+    };
+    fold(r.samples.len() as u64);
+    for s in &r.samples {
+        fold(s.crawled);
+        fold(s.relevant);
+        fold(s.queue_size as u64);
+    }
+    fold(r.crawled);
+    fold(r.relevant_crawled);
+    fold(r.total_relevant);
+    fold(r.max_queue as u64);
+    fold(r.total_pushes);
+    fold(r.visited.len() as u64);
+    for &v in &r.visited {
+        fold(v as u64);
+    }
+    h
+}
+
+/// The pinned space: same preset/scale/seed as `engine_parity`.
+fn space() -> langcrawl_webgraph::WebSpace {
+    GeneratorConfig::thai_like().scaled(12_000).build(41)
+}
+
+/// (name, golden hash, runner) for each pinned run. Visits are recorded
+/// so the hash pins the exact fetch order, not just the totals.
+fn runs() -> Vec<(&'static str, u64, CrawlReport)> {
+    let ws = space();
+    let config = SimConfig::default().with_visit_recording();
+    let mut sim = Simulator::new(&ws, config);
+    vec![
+        (
+            "breadth_first/oracle",
+            GOLDEN_BF,
+            sim.run(
+                &mut BreadthFirst::new(),
+                &OracleClassifier::target(ws.target_language()),
+            ),
+        ),
+        (
+            "soft_focused/meta",
+            GOLDEN_SOFT,
+            sim.run(
+                &mut SimpleStrategy::soft(),
+                &MetaClassifier::target(ws.target_language()),
+            ),
+        ),
+        (
+            "limited_distance_3/oracle",
+            GOLDEN_LIMITED,
+            sim.run(
+                &mut LimitedDistanceStrategy::prioritized(3),
+                &OracleClassifier::target(ws.target_language()),
+            ),
+        ),
+    ]
+}
+
+// Golden hashes captured from the pre-fault-model engine (see module
+// docs). Regenerate only for a deliberate, documented behavior change:
+// `cargo test -p langcrawl-core --test fault_conformance -- --nocapture`
+// prints the observed values on mismatch.
+const GOLDEN_BF: u64 = 0x5af6_b0d1_35f4_3b35;
+const GOLDEN_SOFT: u64 = 0x8cbf_d1f5_bf63_739f;
+const GOLDEN_LIMITED: u64 = 0x6080_ba7a_e671_6b67;
+
+#[test]
+fn zero_fault_reports_match_pre_change_golden_hashes() {
+    let mut bad = Vec::new();
+    for (name, golden, report) in runs() {
+        let got = report_hash(&report);
+        if got != golden {
+            bad.push(format!(
+                "{name}: report hash {got:#018x} != golden {golden:#018x}"
+            ));
+        }
+    }
+    assert!(bad.is_empty(), "{}", bad.join("\n"));
+}
+
+/// The counters the fault subsystem *added* must be trivial at zero
+/// faults: one attempt per crawled page, nothing retried or abandoned.
+#[test]
+fn zero_fault_counters_are_trivial() {
+    for (name, _, report) in runs() {
+        assert_eq!(report.attempts, report.crawled, "{name}");
+        assert_eq!(report.retries, 0, "{name}");
+        assert_eq!(report.gave_up, 0, "{name}");
+        assert!(
+            (report.harvest_net() - report.final_harvest()).abs() < 1e-15,
+            "{name}: net harvest must equal harvest without faults"
+        );
+    }
+}

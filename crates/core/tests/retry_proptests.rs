@@ -1,0 +1,216 @@
+//! Property tests for the retry/backoff policy and the engine's fault
+//! path, over random fault configs, retry policies and seeds.
+
+use langcrawl_core::classifier::OracleClassifier;
+use langcrawl_core::engine::{CrawlEngine, EngineConfig};
+use langcrawl_core::event::{interest, CrawlEvent, EventSink};
+use langcrawl_core::queue::UrlQueue;
+use langcrawl_core::retry::RetryPolicy;
+use langcrawl_core::strategy::{BreadthFirst, SimpleStrategy, Strategy};
+use langcrawl_minicheck::{check, Gen};
+use langcrawl_webgraph::generate::generate_with_threads;
+use langcrawl_webgraph::{FaultConfig, GeneratorConfig, WebSpace};
+
+/// Records the full per-attempt schedule: per-page attempt highs plus an
+/// FNV-1a digest of every `FetchAttempt` field in emission order.
+#[derive(Default)]
+struct ScheduleRecorder {
+    max_attempt_seen: u32,
+    per_page_attempts: std::collections::HashMap<u32, u32>,
+    hash: u64,
+}
+
+impl ScheduleRecorder {
+    fn new() -> Self {
+        ScheduleRecorder {
+            hash: 0xcbf2_9ce4_8422_2325,
+            ..Default::default()
+        }
+    }
+
+    fn fold(&mut self, x: u64) {
+        for b in x.to_le_bytes() {
+            self.hash = (self.hash ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+impl EventSink for ScheduleRecorder {
+    fn on_event(&mut self, event: &CrawlEvent) {
+        if let CrawlEvent::FetchAttempt {
+            page,
+            attempt,
+            status,
+            transient,
+            retry,
+            tick,
+        } = *event
+        {
+            self.max_attempt_seen = self.max_attempt_seen.max(attempt);
+            let seen = self.per_page_attempts.entry(page).or_insert(0);
+            assert_eq!(
+                attempt,
+                *seen + 1,
+                "page {page}: attempts must arrive in order without gaps"
+            );
+            *seen = attempt;
+            self.fold(page as u64);
+            self.fold(attempt as u64);
+            self.fold(status.code() as u64);
+            self.fold(transient as u64);
+            self.fold(retry as u64);
+            self.fold(tick);
+        }
+    }
+
+    fn interests(&self) -> u8 {
+        interest::ATTEMPT
+    }
+}
+
+fn arb_fault(g: &mut Gen) -> FaultConfig {
+    FaultConfig {
+        transient_rate: g.f64(0.0..0.5),
+        flaky_host_rate: g.f64(0.0..0.2),
+        flaky_transient_rate: g.f64(0.0..0.9),
+        slow_host_rate: g.f64(0.0..0.2),
+        slow_timeout_rate: g.f64(0.0..0.9),
+        dead_host_rate: g.f64(0.0..0.05),
+    }
+}
+
+fn arb_retry(g: &mut Gen) -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: g.u32(1..7),
+        backoff_base: g.u64(0..10),
+        backoff_cap: g.u64(1..100),
+    }
+}
+
+fn run_recorded(
+    ws: &WebSpace,
+    fault: FaultConfig,
+    retry: RetryPolicy,
+    strategy: &mut dyn Strategy,
+) -> ScheduleRecorder {
+    let engine = CrawlEngine::new(
+        ws,
+        EngineConfig {
+            fault,
+            retry,
+            ..EngineConfig::default()
+        },
+    );
+    let mut rec = ScheduleRecorder::new();
+    engine.run(
+        UrlQueue::new(ws.num_pages(), strategy.levels()),
+        strategy,
+        &OracleClassifier::target(ws.target_language()),
+        &mut [&mut rec],
+    );
+    rec
+}
+
+/// No page is ever attempted more than `max_attempts` times, for any
+/// fault config and retry policy.
+#[test]
+fn attempts_never_exceed_the_cap() {
+    check(10, |g| {
+        let mut c = GeneratorConfig::thai_like();
+        c.total_urls = g.u32(2_000..5_000);
+        let ws = c.build(g.u64(0..1_000));
+        let retry = arb_retry(g);
+        let cap = retry.effective_max_attempts();
+        let rec = run_recorded(&ws, arb_fault(g), retry, &mut BreadthFirst::new());
+        assert!(
+            rec.max_attempt_seen <= cap,
+            "saw attempt {} with cap {cap}",
+            rec.max_attempt_seen
+        );
+    });
+}
+
+/// Backoff delays are monotonically non-decreasing in the attempt
+/// number, for any policy — including degenerate bases and caps.
+#[test]
+fn backoff_is_monotone_for_any_policy() {
+    check(200, |g| {
+        let p = RetryPolicy {
+            max_attempts: g.u32(1..100),
+            backoff_base: g.u64(0..u64::MAX / 2),
+            backoff_cap: g.u64(0..u64::MAX / 2),
+        };
+        let mut prev = 0u64;
+        for attempt in 1..=100 {
+            let d = p.delay(attempt);
+            assert!(
+                d >= prev,
+                "{p:?}: delay({attempt}) = {d} < delay({}) = {prev}",
+                attempt - 1
+            );
+            assert!(d <= p.backoff_cap, "{p:?}: delay({attempt}) over cap");
+            prev = d;
+        }
+    });
+}
+
+/// A page whose every fetch fails transiently is attempted exactly
+/// `max_attempts` times, then abandoned — never fetched again.
+#[test]
+fn always_failing_pages_burn_exactly_the_budget() {
+    check(10, |g| {
+        let mut c = GeneratorConfig::thai_like();
+        c.total_urls = g.u32(2_000..4_000);
+        let ws = c.build(g.u64(0..1_000));
+        let retry = RetryPolicy {
+            max_attempts: g.u32(1..6),
+            backoff_base: g.u64(0..5),
+            backoff_cap: 16,
+        };
+        // Every attempt everywhere fails transiently: only the seeds are
+        // ever discovered, and each burns its full budget.
+        let fault = FaultConfig {
+            transient_rate: 1.0,
+            ..FaultConfig::default()
+        };
+        let rec = run_recorded(&ws, fault, retry, &mut BreadthFirst::new());
+        assert_eq!(rec.per_page_attempts.len(), ws.seeds().len());
+        for (&page, &attempts) in &rec.per_page_attempts {
+            assert_eq!(
+                attempts,
+                retry.effective_max_attempts(),
+                "page {page} must exhaust its budget exactly"
+            );
+        }
+    });
+}
+
+/// The complete retry schedule — every `(page, attempt, status,
+/// transient, retry, tick)` tuple in emission order — is identical for
+/// spaces generated at 1, 2 and 8 threads: fault draws depend only on
+/// `(seed, page, attempt)`, never on generation chunking.
+#[test]
+fn retry_schedule_identical_across_generation_thread_counts() {
+    check(6, |g| {
+        let mut c = GeneratorConfig::thai_like();
+        c.total_urls = g.u32(2_000..5_000);
+        let seed = g.u64(0..1_000);
+        let fault = FaultConfig::with_rate(g.f64(0.05..0.4));
+        let retry = arb_retry(g);
+        let soft = g.bool(0.5);
+        let schedule = |threads: usize| {
+            let ws = generate_with_threads(&c, seed, threads);
+            let mut strategy: Box<dyn Strategy> = if soft {
+                Box::new(SimpleStrategy::soft())
+            } else {
+                Box::new(BreadthFirst::new())
+            };
+            run_recorded(&ws, fault.clone(), retry, strategy.as_mut()).hash
+        };
+        let h1 = schedule(1);
+        let h2 = schedule(2);
+        let h8 = schedule(8);
+        assert_eq!(h1, h2, "schedule diverged between 1 and 2 threads");
+        assert_eq!(h1, h8, "schedule diverged between 1 and 8 threads");
+    });
+}

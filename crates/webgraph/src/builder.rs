@@ -127,6 +127,7 @@ impl WebSpaceBuilder {
             seeds: self.seeds,
             target: self.target,
             gen_seed: 0,
+            fault: crate::fault::FaultConfig::default(),
         };
         ws.check_invariants()
             .expect("builder fixture is consistent");

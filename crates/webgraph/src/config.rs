@@ -1,5 +1,6 @@
 //! Generator configuration and the Table 3 dataset presets.
 
+use crate::fault::FaultConfig;
 use langcrawl_charset::Language;
 
 /// All knobs of the synthetic web-space generator.
@@ -67,6 +68,10 @@ pub struct GeneratorConfig {
     /// Number of seed pages: front pages of the largest relevant hosts
     /// (archiving crawls seed from major national portals).
     pub seed_count: u32,
+    /// Fault-model knobs (per-host failure classes, transient-failure
+    /// rates). All-zero by default, which leaves every crawl
+    /// bit-identical to a fault-free run.
+    pub fault: FaultConfig,
 }
 
 impl GeneratorConfig {
@@ -95,6 +100,7 @@ impl GeneratorConfig {
             utf8_share: 0.04,
             mean_page_bytes: 12_000,
             seed_count: 8,
+            fault: FaultConfig::default(),
         }
     }
 
@@ -125,6 +131,7 @@ impl GeneratorConfig {
             utf8_share: 0.05,
             mean_page_bytes: 14_000,
             seed_count: 8,
+            fault: FaultConfig::default(),
         }
     }
 
@@ -169,6 +176,15 @@ impl GeneratorConfig {
     /// Override the island mass (coverage-ceiling ablations).
     pub fn with_island_mass(mut self, mass: f64) -> Self {
         self.island_mass = mass;
+        self
+    }
+
+    /// Attach a fault model (see [`FaultConfig`]). The generated
+    /// structure is unchanged — fault draws use their own RNG streams —
+    /// but crawls over the space answer transient and dead-host
+    /// failures at the configured rates.
+    pub fn with_faults(mut self, fault: FaultConfig) -> Self {
+        self.fault = fault;
         self
     }
 
@@ -224,6 +240,7 @@ impl GeneratorConfig {
         fold(self.utf8_share.to_bits());
         fold(self.mean_page_bytes as u64);
         fold(self.seed_count as u64);
+        fold(self.fault.fingerprint());
         h
     }
 
@@ -253,6 +270,7 @@ impl GeneratorConfig {
             self.host_purity > self.leak,
             "purity must exceed leak or 'host language' is meaningless"
         );
+        self.fault.validate();
     }
 
     /// The fraction of hosts that must carry the target language so the

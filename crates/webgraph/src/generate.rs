@@ -239,6 +239,7 @@ pub fn generate_with_threads(config: &GeneratorConfig, seed: u64, threads: usize
         seeds,
         target: config.target,
         gen_seed: seed,
+        fault: config.fault.clone(),
     }
 }
 

@@ -8,6 +8,7 @@
 //! [`PageId`]s and only materialises URLs for logs, examples and
 //! content-mode synthesis.
 
+use crate::fault::FaultConfig;
 use crate::page::{HostMeta, HttpStatus, PageId, PageKind, PageMeta};
 use langcrawl_charset::Language;
 
@@ -24,6 +25,9 @@ pub struct WebSpace {
     /// Seed the generator used — recorded so content synthesis is
     /// reproducible per page.
     pub(crate) gen_seed: u64,
+    /// Fault-model knobs the space was generated with (all-zero by
+    /// default: every fetch answers the page's baked status).
+    pub(crate) fault: FaultConfig,
 }
 
 impl WebSpace {
@@ -81,6 +85,13 @@ impl WebSpace {
     /// from it).
     pub fn generation_seed(&self) -> u64 {
         self.gen_seed
+    }
+
+    /// The fault-model knobs this space was generated with. All-zero by
+    /// default; [`crate::FaultModel::new`] realizes them into per-host
+    /// classes and per-(page, attempt) draws.
+    pub fn fault(&self) -> &FaultConfig {
+        &self.fault
     }
 
     /// Ground truth: is this page relevant (an OK HTML page in the
@@ -204,6 +215,7 @@ impl WebSpace {
         }
         fold(self.target as u64);
         fold(self.gen_seed);
+        fold(self.fault.fingerprint());
         h
     }
 

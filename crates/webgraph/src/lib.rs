@@ -37,6 +37,7 @@ pub mod analysis;
 pub mod builder;
 pub mod cache;
 pub mod config;
+pub mod fault;
 pub mod generate;
 pub mod graph;
 pub mod index;
@@ -49,6 +50,7 @@ pub mod text;
 
 pub use cache::SpaceCache;
 pub use config::GeneratorConfig;
+pub use fault::{FaultConfig, FaultModel, FetchOutcome, HostClass};
 pub use graph::WebSpace;
 pub use page::{HostMeta, HttpStatus, PageId, PageKind, PageMeta};
 pub use stats::DatasetStats;

@@ -14,11 +14,13 @@
 //! ```text
 //! #langcrawl-log v1
 //! #target <language> #seed <u64>
+//! #fault <transient> <flaky_hosts> <flaky_rate> <slow_hosts> <slow_rate> <dead_hosts>   (optional; absent = zero faults)
 //! H <name> <language> <first_page> <page_count> <island:0|1>
 //! P <host> <kind> <status> <true_charset> <label|-> <size> <lang|-> <depth> <out1,out2,...>
 //! S <seed page ids,...>
 //! ```
 
+use crate::fault::FaultConfig;
 use crate::graph::WebSpace;
 use crate::page::{HostMeta, HttpStatus, PageId, PageKind, PageMeta};
 use langcrawl_charset::{charset_from_label, Language};
@@ -33,6 +35,21 @@ pub fn write_log<W: Write>(ws: &WebSpace, mut w: W) -> io::Result<()> {
         lang_code(ws.target_language()),
         ws.generation_seed()
     )?;
+    let fault = ws.fault();
+    if !fault.is_zero() {
+        // Optional header (absent = zero-fault), so pre-fault logs and
+        // fixtures keep parsing unchanged.
+        writeln!(
+            w,
+            "#fault {} {} {} {} {} {}",
+            fault.transient_rate,
+            fault.flaky_host_rate,
+            fault.flaky_transient_rate,
+            fault.slow_host_rate,
+            fault.slow_timeout_rate,
+            fault.dead_host_rate
+        )?;
+    }
     for h in ws.hosts() {
         writeln!(
             w,
@@ -71,6 +88,7 @@ pub fn read_log<R: BufRead>(r: R) -> io::Result<WebSpace> {
     let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
     let mut target = None;
     let mut gen_seed = 0u64;
+    let mut fault = FaultConfig::default();
     let mut hosts: Vec<HostMeta> = Vec::new();
     let mut pages: Vec<PageMeta> = Vec::new();
     let mut adjacency: Vec<Vec<PageId>> = Vec::new();
@@ -90,6 +108,25 @@ pub fn read_log<R: BufRead>(r: R) -> io::Result<WebSpace> {
                     .and_then(|s| s.parse().ok())
                     .ok_or_else(|| bad("bad seed"))?;
             }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("#fault ") {
+            let rates: Vec<f64> = rest
+                .split_whitespace()
+                .map(|s| s.parse::<f64>())
+                .collect::<Result<_, _>>()
+                .map_err(|_| bad("fault rates"))?;
+            if rates.len() != 6 {
+                return Err(bad("fault header needs 6 rates"));
+            }
+            fault = FaultConfig {
+                transient_rate: rates[0],
+                flaky_host_rate: rates[1],
+                flaky_transient_rate: rates[2],
+                slow_host_rate: rates[3],
+                slow_timeout_rate: rates[4],
+                dead_host_rate: rates[5],
+            };
             continue;
         }
         if line.starts_with('#') {
@@ -183,6 +220,7 @@ pub fn read_log<R: BufRead>(r: R) -> io::Result<WebSpace> {
         seeds,
         target: target.ok_or_else(|| bad("no #target header"))?,
         gen_seed,
+        fault,
     };
     ws.check_invariants()
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;

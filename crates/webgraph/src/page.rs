@@ -35,7 +35,12 @@ impl HttpStatus {
         }
     }
 
-    /// Parse a numeric code back into a status class.
+    /// Parse a numeric code back into a status class. Total over `u16`:
+    /// every 5xx — including codes [`HttpStatus::code`] never emits —
+    /// maps to [`HttpStatus::ServerError`]; anything unrecognized
+    /// (out-of-range codes included) collapses to
+    /// [`HttpStatus::Unreachable`], never a panic. The exhaustive
+    /// round-trip test below pins this classification.
     pub fn from_code(code: u16) -> HttpStatus {
         match code {
             200 => HttpStatus::Ok,
@@ -127,6 +132,60 @@ mod tests {
 
     #[test]
     fn status_codes_round_trip() {
+        for s in [
+            HttpStatus::Ok,
+            HttpStatus::NotFound,
+            HttpStatus::ServerError,
+            HttpStatus::Unreachable,
+        ] {
+            assert_eq!(HttpStatus::from_code(s.code()), s);
+        }
+    }
+
+    /// Exhaustive classification over the entire `u16` input space —
+    /// all four classes plus every out-of-range code. This pins the
+    /// behavior [`HttpStatus::from_code`] documents: unknown 5xx codes
+    /// (502, 503, 504, 599, …) are `ServerError`, and no input panics
+    /// or silently changes class.
+    #[test]
+    fn from_code_is_total_and_pins_every_class() {
+        for code in 0..=u16::MAX {
+            let expected = match code {
+                200 => HttpStatus::Ok,
+                404 | 410 => HttpStatus::NotFound,
+                500..=599 => HttpStatus::ServerError,
+                _ => HttpStatus::Unreachable,
+            };
+            assert_eq!(HttpStatus::from_code(code), expected, "code {code}");
+        }
+        // The cases retry logic depends on, spelled out: transient-ish
+        // 5xx codes the canonical `code()` never emits still classify
+        // as server errors...
+        for fivexx in [502u16, 503, 504, 521, 599] {
+            assert_eq!(HttpStatus::from_code(fivexx), HttpStatus::ServerError);
+        }
+        // ...while other unknown codes (including other 2xx/3xx/4xx and
+        // codes outside HTTP's range) collapse to Unreachable.
+        for other in [
+            0u16,
+            1,
+            100,
+            201,
+            204,
+            301,
+            302,
+            400,
+            403,
+            418,
+            499,
+            600,
+            999,
+            u16::MAX,
+        ] {
+            assert_eq!(HttpStatus::from_code(other), HttpStatus::Unreachable);
+        }
+        // Round-trip: from_code(code()) is the identity on all four
+        // classes (code() → from_code composition is pinned above).
         for s in [
             HttpStatus::Ok,
             HttpStatus::NotFound,

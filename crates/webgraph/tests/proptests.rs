@@ -238,6 +238,52 @@ fn parallel_generation_thread_parity() {
     });
 }
 
+/// Fault-draw determinism: the fault outcome for `(page, attempt)` is a
+/// pure function of `(generation seed, page, attempt)` — independent of
+/// the order outcomes are queried in (a crawl's visit order) and of the
+/// host-chunk assignment the parallel generator used (thread count).
+#[test]
+fn fault_outcomes_independent_of_visit_order_and_chunking() {
+    use langcrawl_webgraph::generate::generate_with_threads;
+    use langcrawl_webgraph::{FaultConfig, FaultModel};
+    check(8, |g| {
+        let mut c = GeneratorConfig::thai_like();
+        c.total_urls = g.u32(2_000..5_000);
+        c.fault = FaultConfig::with_rate(g.f64(0.01..0.5));
+        let seed = g.u64(0..1_000);
+        // Different thread counts exercise different host-chunk
+        // assignments in generation.
+        let w1 = generate_with_threads(&c, seed, 1);
+        let w4 = generate_with_threads(&c, seed, 4);
+        let m1 = FaultModel::new(&w1);
+        let m4 = FaultModel::new(&w4);
+        for h in 0..w1.num_hosts() as u32 {
+            assert_eq!(
+                m1.host_class(h),
+                m4.host_class(h),
+                "host {h} class diverged across chunk assignments"
+            );
+        }
+        // Query one model sequentially and the other in a scrambled
+        // "visit order"; every (page, attempt) outcome must agree.
+        let mut pairs: Vec<(u32, u32)> = (0..w1.num_pages() as u32)
+            .step_by(7)
+            .flat_map(|p| (1..=3).map(move |a| (p, a)))
+            .collect();
+        for i in (1..pairs.len()).rev() {
+            let j = g.usize(0..i + 1);
+            pairs.swap(i, j);
+        }
+        for &(p, a) in &pairs {
+            assert_eq!(
+                m1.outcome(&w1, p, a),
+                m4.outcome(&w4, p, a),
+                "outcome diverged for page {p} attempt {a}"
+            );
+        }
+    });
+}
+
 /// URLs are unique and parse; non-HTML pages have no outlinks.
 #[test]
 fn urls_unique_and_wellformed() {
