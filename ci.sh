@@ -18,6 +18,15 @@ echo "==> fault conformance + retry property suites"
 cargo test -q --offline -p langcrawl-core --test fault_conformance --test retry_proptests
 cargo test -q --offline -p langcrawl-webgraph --test proptests
 
+# Determinism & safety lint: the in-tree static analyzer must find
+# nothing unsuppressed in the workspace's own sources. The JSON report
+# is kept as a CI artifact either way.
+echo "==> langcrawl-lint (self-scan)"
+cargo run -q --release --offline -p langcrawl-lint -- --json . > lint-report.json || {
+    cargo run -q --release --offline -p langcrawl-lint -- .
+    exit 1
+}
+
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 

@@ -8,6 +8,7 @@
 type Series = (char, String, Vec<(f64, f64)>);
 
 /// A multi-series ASCII line chart.
+#[derive(Debug)]
 pub struct AsciiChart {
     width: usize,
     height: usize,

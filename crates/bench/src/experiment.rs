@@ -38,6 +38,20 @@ pub struct Experiment {
     banner: bool,
 }
 
+impl std::fmt::Debug for Experiment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Experiment")
+            .field("title", &self.title)
+            .field("file_prefix", &self.file_prefix)
+            .field("default_scale", &self.default_scale)
+            .field(
+                "strategies",
+                &self.strategies.iter().map(|(n, _)| *n).collect::<Vec<_>>(),
+            )
+            .finish_non_exhaustive()
+    }
+}
+
 impl Experiment {
     /// An experiment over `preset`, writing outputs as
     /// `results/<file_prefix>_*`. Scale defaults to the preset's figure
@@ -137,6 +151,7 @@ impl Experiment {
 
 /// A completed experiment: the space it ran on and one report per
 /// strategy, plus the panel/output helpers the figure binaries share.
+#[derive(Debug)]
 pub struct ExperimentRun {
     /// The web space all strategies crawled (shared via the space
     /// cache — cloning the handle is cheap).

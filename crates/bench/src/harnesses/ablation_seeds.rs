@@ -56,7 +56,7 @@ pub fn run() {
 
     println!(
         "\nsoft-focused coverage is seed-insensitive (min {:.1}%)  [{}]",
-        100.0 * soft_covs.iter().cloned().fold(f64::MAX, f64::min),
+        100.0 * soft_covs.iter().copied().fold(f64::MAX, f64::min),
         ok(soft_covs.iter().all(|&c| c > 0.99))
     );
 }

@@ -39,7 +39,7 @@ pub fn run() {
             "  {:<16} -> {:<14} language={:<10} [{}]",
             alias,
             got.label(),
-            got.language().map(|l| l.name()).unwrap_or("-"),
+            got.language().map_or("-", |l| l.name()),
             ok(got == expect)
         );
     }
@@ -58,7 +58,7 @@ pub fn run() {
             "  Japanese text as {:<12} -> detected {:<12} language={:<10} [{}]",
             cs.label(),
             d.charset.label(),
-            d.language().map(|l| l.name()).unwrap_or("-"),
+            d.language().map_or("-", |l| l.name()),
             ok(d.language() == Some(Language::Japanese))
         );
     }
@@ -70,7 +70,7 @@ pub fn run() {
             "  Thai text as {:<16} -> detected {:<12} language={:<10} [{}]",
             cs.label(),
             d.charset.label(),
-            d.language().map(|l| l.name()).unwrap_or("-"),
+            d.language().map_or("-", |l| l.name()),
             ok(d.language() == Some(Language::Thai))
         );
     }

@@ -107,11 +107,11 @@ pub fn run() {
     println!(
         "  extra connections buy nothing once politeness-bound (spread {:.1}%)  [{}]",
         100.0
-            * (polite_speed.iter().cloned().fold(f64::MIN, f64::max)
-                / polite_speed.iter().cloned().fold(f64::MAX, f64::min)
+            * (polite_speed.iter().copied().fold(f64::MIN, f64::max)
+                / polite_speed.iter().copied().fold(f64::MAX, f64::min)
                 - 1.0),
-        ok(polite_speed.iter().cloned().fold(f64::MIN, f64::max)
-            < polite_speed.iter().cloned().fold(f64::MAX, f64::min) * 1.25)
+        ok(polite_speed.iter().copied().fold(f64::MIN, f64::max)
+            < polite_speed.iter().copied().fold(f64::MAX, f64::min) * 1.25)
     );
 
     println!("\nHarvest vs wall clock (32 connections, 1 s politeness):");
@@ -136,8 +136,7 @@ pub fn run() {
                 .iter()
                 .take_while(|s| s.time_ms <= t)
                 .last()
-                .map(|s| 100.0 * s.relevant as f64 / s.crawled.max(1) as f64)
-                .unwrap_or(0.0)
+                .map_or(0.0, |s| 100.0 * s.relevant as f64 / s.crawled.max(1) as f64)
         };
         println!(
             "{:>14.1} {:>15.1}% {:>15.1}%",
@@ -151,8 +150,7 @@ pub fn run() {
             .iter()
             .take_while(|s| s.time_ms <= t)
             .last()
-            .map(|s| s.relevant as f64 / s.crawled.max(1) as f64)
-            .unwrap_or(0.0)
+            .map_or(0.0, |s| s.relevant as f64 / s.crawled.max(1) as f64)
     };
     let horizon_nd = soft_nd.wall_clock_ms.min(bf_nd.wall_clock_ms);
     let adv_nd = early_frac(&soft_nd, horizon_nd / 8) - early_frac(&bf_nd, horizon_nd / 8);

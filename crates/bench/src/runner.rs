@@ -112,8 +112,7 @@ pub fn run_parallel(
 /// directory (e.g. invoked by CI or an editor task from the repo root).
 pub fn results_dir() -> PathBuf {
     std::env::var_os("LANGCRAWL_RESULTS_DIR")
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("results"))
+        .map_or_else(|| PathBuf::from("results"), PathBuf::from)
 }
 
 /// Write a report's series CSV under [`results_dir`] (created on

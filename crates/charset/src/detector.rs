@@ -101,14 +101,14 @@ pub fn detect_with(bytes: &[u8], config: &DetectorConfig) -> Detection {
     ];
 
     let mut best: Option<(f64, Charset, Option<Language>)> = None;
-    for p in probers.iter_mut() {
+    for p in &mut probers {
         p.feed(slice);
         let conf = p.confidence();
         if conf <= 0.0 {
             continue;
         }
         // Strictly-greater keeps the earlier (more specific) prober on tie.
-        if best.map(|(c, _, _)| conf > c).unwrap_or(true) {
+        if best.is_none_or(|(c, _, _)| conf > c) {
             best = Some((conf, p.charset(), p.language_hint()));
         }
     }
@@ -153,7 +153,7 @@ mod tests {
         ] {
             let bytes = encode_japanese(&toks, cs);
             let d = detect(&bytes);
-            assert_eq!(d.charset, cs, "expected {cs}, got {:?}", d);
+            assert_eq!(d.charset, cs, "expected {cs}, got {d:?}");
             assert_eq!(d.language(), Some(Language::Japanese), "{cs}");
         }
     }

@@ -124,7 +124,7 @@ pub fn encode_thai(tokens: &[ThToken], charset: Charset) -> Vec<u8> {
             for t in tokens {
                 match *t {
                     ThToken::Thai(b) => {
-                        s.push(thai::to_unicode(b).expect("generator uses assigned bytes"))
+                        s.push(thai::to_unicode(b).expect("generator uses assigned bytes"));
                     }
                     ThToken::Ascii(b) => s.push((b & 0x7F) as char),
                 }

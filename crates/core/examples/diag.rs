@@ -49,9 +49,9 @@ fn main() {
                 PageKind::Other => other += 1,
                 PageKind::Html => {
                     if ws.host_of(e.page).language == ws.target_language() {
-                        irr_html_target_host += 1
+                        irr_html_target_host += 1;
                     } else {
-                        irr_html_other_host += 1
+                        irr_html_other_host += 1;
                     }
                 }
             }

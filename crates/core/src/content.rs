@@ -63,6 +63,7 @@ impl Default for ContentConfig {
 }
 
 /// The byte-level simulator.
+#[derive(Debug)]
 pub struct ContentSimulator<'a> {
     ws: &'a WebSpace,
     index: UrlIndex,

@@ -71,6 +71,7 @@ pub struct EngineOutcome {
 }
 
 /// The layered crawl engine.
+#[derive(Debug)]
 pub struct CrawlEngine<'a> {
     ws: &'a WebSpace,
     config: EngineConfig,
@@ -192,8 +193,9 @@ impl<'a> CrawlEngine<'a> {
                     if ready > tick {
                         break;
                     }
-                    let Reverse((_, _, e)) = retry_heap.pop().expect("peeked entry");
-                    frontier.requeue(e);
+                    if let Some(Reverse((_, _, e))) = retry_heap.pop() {
+                        frontier.requeue(e);
+                    }
                 }
             }
             let entry = match frontier.pop() {
@@ -567,7 +569,7 @@ mod tests {
                     transient_rate: 1.0,
                     ..Default::default()
                 },
-                retry: crate::retry::RetryPolicy {
+                retry: RetryPolicy {
                     max_attempts: 3,
                     backoff_base: 2,
                     backoff_cap: 8,

@@ -302,6 +302,7 @@ pub struct PhaseTimingSink {
 impl PhaseTimingSink {
     /// A sink whose clock starts now.
     pub fn new() -> Self {
+        // lint:allow(wall-clock): observational profiling sink; measures host time and never feeds simulation state
         let now = Instant::now();
         PhaseTimingSink {
             start: now,
@@ -333,6 +334,7 @@ impl PhaseTimingSink {
     }
 
     fn lap(&mut self) -> Duration {
+        // lint:allow(wall-clock): observational profiling sink; measures host time and never feeds simulation state
         let now = Instant::now();
         let d = now - self.last;
         self.last = now;

@@ -121,8 +121,7 @@ impl CrawlReport {
             .iter()
             .take_while(|s| s.crawled <= crawled_limit)
             .last()
-            .map(|s| s.harvest_rate())
-            .unwrap_or(0.0)
+            .map_or(0.0, |s| s.harvest_rate())
     }
 
     /// The x-position (pages crawled) at which coverage first reaches

@@ -107,17 +107,18 @@ impl UrlQueue {
     /// Pop the next URL to crawl: lowest priority level first, FIFO
     /// within a level; stale duplicates are skipped transparently.
     pub fn pop(&mut self) -> Option<Entry> {
-        loop {
-            let level = self.levels.iter().position(|l| !l.is_empty())?;
-            let e = self.levels[level].pop_front().expect("nonempty level");
-            let idx = e.page as usize;
-            if self.done[idx] || e.key() > self.best[idx] {
-                continue; // fetched already, or superseded by a better entry
+        while let Some(level) = self.levels.iter().position(|l| !l.is_empty()) {
+            while let Some(e) = self.levels[level].pop_front() {
+                let idx = e.page as usize;
+                if self.done[idx] || e.key() > self.best[idx] {
+                    continue; // fetched already, or superseded by a better entry
+                }
+                self.done[idx] = true;
+                self.pending -= 1;
+                return Some(e);
             }
-            self.done[idx] = true;
-            self.pending -= 1;
-            return Some(e);
         }
+        None
     }
 
     /// Re-admit a page that was already popped — the retry path. The

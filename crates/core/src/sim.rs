@@ -100,6 +100,7 @@ impl SimConfig {
 /// assert!(report.final_coverage() > 0.95);
 /// assert!(report.crawled > 0);
 /// ```
+#[derive(Debug)]
 pub struct Simulator<'a> {
     ws: &'a WebSpace,
     config: SimConfig,

@@ -77,7 +77,7 @@ fn compute_layers(ws: &WebSpace, max_layer: u8) -> Vec<u8> {
         in_deg[i + 1] += in_deg[i];
     }
     let offsets = in_deg;
-    let mut rev = vec![0 as PageId; *offsets.last().unwrap() as usize];
+    let mut rev: Vec<PageId> = vec![0; *offsets.last().unwrap() as usize];
     let mut cursor = offsets.clone();
     for p in ws.page_ids() {
         for &t in ws.outlinks(p) {

@@ -106,16 +106,17 @@ impl OnlinePageRank {
         if n == 0 {
             return;
         }
+        // Hash-map iteration order varies per process and the power
+        // iteration accumulates f64 (non-associative), so walk pages in
+        // sorted id order to keep ranks bit-identical across runs.
+        let mut ids: Vec<PageId> = self.adjacency.keys().copied().collect();
+        ids.sort_unstable();
         let base = (1.0 - self.damping) / n as f64;
-        let mut rank: HashMap<PageId, f64> = self
-            .adjacency
-            .keys()
-            .map(|&p| (p, 1.0 / n as f64))
-            .collect();
+        let mut rank: HashMap<PageId, f64> = ids.iter().map(|&p| (p, 1.0 / n as f64)).collect();
         for _ in 0..self.iterations {
-            let mut next: HashMap<PageId, f64> =
-                self.adjacency.keys().map(|&p| (p, base)).collect();
-            for (&p, outs) in &self.adjacency {
+            let mut next: HashMap<PageId, f64> = ids.iter().map(|&p| (p, base)).collect();
+            for &p in &ids {
+                let outs = &self.adjacency[&p];
                 if outs.is_empty() {
                     continue;
                 }
@@ -240,6 +241,37 @@ mod tests {
         s.recompute();
         let total: f64 = s.rank.values().sum();
         assert!((total - 1.0).abs() < 0.05, "total rank {total}");
+    }
+
+    #[test]
+    fn recompute_bitwise_stable_across_insertion_orders() {
+        // Two strategies fed the same subgraph in opposite admit orders
+        // must produce bit-identical ranks: the power iteration walks
+        // pages in sorted id order, so the hash maps' own (per-instance
+        // randomized) iteration order must never reach the floats.
+        let n = 40u32;
+        let links: Vec<(u32, Vec<u32>)> = (0..n)
+            .map(|p| (p, vec![(p * 7 + 1) % n, (p * 13 + 5) % n]))
+            .collect();
+        let mut fwd = OnlinePageRank::with_params(1_000_000, 10, 0.85);
+        let mut rev = OnlinePageRank::with_params(1_000_000, 10, 0.85);
+        let mut out = Vec::new();
+        for (p, outs) in &links {
+            fwd.admit(&view(*p, outs, 1), &mut out);
+        }
+        for (p, outs) in links.iter().rev() {
+            rev.admit(&view(*p, outs, 1), &mut out);
+        }
+        fwd.recompute();
+        rev.recompute();
+        assert_eq!(fwd.rank.len(), rev.rank.len());
+        for (p, r) in &fwd.rank {
+            assert_eq!(
+                r.to_bits(),
+                rev.rank[p].to_bits(),
+                "rank diverges at page {p}"
+            );
+        }
     }
 
     #[test]

@@ -60,8 +60,7 @@ pub fn extract_meta_charset(page: &[u8]) -> Option<Charset> {
         // Classic http-equiv form.
         let is_content_type = tag
             .attr("http-equiv")
-            .map(|a| a.value_str().trim().eq_ignore_ascii_case("content-type"))
-            .unwrap_or(false);
+            .is_some_and(|a| a.value_str().trim().eq_ignore_ascii_case("content-type"));
         if is_content_type {
             if let Some(content) = tag.attr("content") {
                 if let Some(cs) = charset_from_content_type(&content.value_str()) {

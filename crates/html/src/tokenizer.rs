@@ -50,6 +50,7 @@ impl Tag {
 }
 
 /// Streaming tag iterator over a byte buffer.
+#[derive(Debug)]
 pub struct Tokenizer<'a> {
     input: &'a [u8],
     pos: usize,

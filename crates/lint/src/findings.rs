@@ -1,0 +1,168 @@
+//! Structured lint findings and their text / JSON renderings.
+
+use std::fmt::Write as _;
+
+/// One lint violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable lint identifier (`wall-clock`, `unordered-iter`, …) — the
+    /// name a `// lint:allow(<id>): <reason>` suppression must use.
+    pub lint: &'static str,
+    /// Path of the offending file, relative to the scanned root.
+    pub path: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+/// The result of one workspace scan.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All unsuppressed findings, sorted by (path, line, col, lint).
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Number of suppressions that matched a finding.
+    pub allows_used: usize,
+}
+
+impl Report {
+    /// True when the scan found nothing — the CI-green state.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Canonical ordering so output is stable across filesystems.
+    pub fn sort(&mut self) {
+        self.findings.sort_by(|a, b| {
+            (&a.path, a.line, a.col, a.lint).cmp(&(&b.path, b.line, b.col, b.lint))
+        });
+    }
+
+    /// `path:line:col: [id] message` lines plus a one-line summary.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let _ = writeln!(
+                out,
+                "{}:{}:{}: [{}] {}",
+                f.path, f.line, f.col, f.lint, f.message
+            );
+        }
+        let _ = writeln!(
+            out,
+            "langcrawl-lint: {} finding(s) across {} file(s) ({} suppression(s) honored)",
+            self.findings.len(),
+            self.files_scanned,
+            self.allows_used
+        );
+        out
+    }
+
+    /// Machine-readable rendering for CI artifacts.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"lint\": {}, \"path\": {}, \"line\": {}, \"col\": {}, \"message\": {}}}",
+                json_str(f.lint),
+                json_str(&f.path),
+                f.line,
+                f.col,
+                json_str(&f.message)
+            );
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        let _ = write!(
+            out,
+            "],\n  \"files_scanned\": {},\n  \"allows_used\": {},\n  \"clean\": {}\n}}\n",
+            self.files_scanned,
+            self.allows_used,
+            self.is_clean()
+        );
+        out
+    }
+}
+
+/// JSON string literal with the escapes the format requires.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(path: &str, line: u32) -> Finding {
+        Finding {
+            lint: "wall-clock",
+            path: path.to_string(),
+            line,
+            col: 1,
+            message: "msg with \"quotes\" and \\ backslash".to_string(),
+        }
+    }
+
+    #[test]
+    fn sort_is_stable_by_position() {
+        let mut r = Report {
+            findings: vec![finding("b.rs", 1), finding("a.rs", 9), finding("a.rs", 2)],
+            ..Report::default()
+        };
+        r.sort();
+        let order: Vec<(String, u32)> = r
+            .findings
+            .iter()
+            .map(|f| (f.path.clone(), f.line))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                ("a.rs".to_string(), 2),
+                ("a.rs".to_string(), 9),
+                ("b.rs".to_string(), 1)
+            ]
+        );
+    }
+
+    #[test]
+    fn json_escapes_and_shape() {
+        let r = Report {
+            findings: vec![finding("a.rs", 1)],
+            files_scanned: 3,
+            allows_used: 1,
+        };
+        let j = r.to_json();
+        assert!(j.contains("\\\"quotes\\\""));
+        assert!(j.contains("\"files_scanned\": 3"));
+        assert!(j.contains("\"clean\": false"));
+        let clean = Report::default().to_json();
+        assert!(clean.contains("\"clean\": true"));
+        assert!(clean.contains("\"findings\": []"));
+    }
+}

@@ -1,0 +1,66 @@
+//! `langcrawl-lint` CLI — scan the workspace, print findings, exit
+//! nonzero when any survive.
+//!
+//! ```text
+//! langcrawl-lint [--json] [--list] [ROOT]
+//! ```
+//!
+//! * `--json` — machine-readable report (the CI artifact format);
+//! * `--list` — print the lint table and exit;
+//! * `ROOT`   — directory to scan (default: the current directory).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut list = false;
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--list" => list = true,
+            "--help" | "-h" => {
+                println!("usage: langcrawl-lint [--json] [--list] [ROOT]");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("langcrawl-lint: unknown flag `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+            path => root = Some(PathBuf::from(path)),
+        }
+    }
+
+    if list {
+        println!("langcrawl-lint passes:");
+        println!("  D1 wall-clock      Instant/SystemTime::now outside crates/bench");
+        println!("  D2 unordered-iter  HashMap/HashSet iteration whose order can leak");
+        println!("  D3 rng-stream      duplicated or non-literal Rng::stream domains");
+        println!("  D4 event-bits      colliding/shadowed core::event interest bits");
+        println!("  S1 safety-comment  `unsafe` without a `// SAFETY:` comment");
+        println!("  P1 no-panic        unwrap/expect/panic!/todo! in hot paths");
+        println!("suppression: // lint:allow(<id>): <reason>");
+        return ExitCode::SUCCESS;
+    }
+
+    let root = root.unwrap_or_else(|| PathBuf::from("."));
+    let report = match langcrawl_lint::scan_path(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("langcrawl-lint: cannot scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        print!("{}", report.to_text());
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,8 @@
+// D4 fixture: a broken interest-bit registry.
+pub mod interest {
+    pub const FETCH: u8 = 1 << 0;
+    pub const ADMIT: u8 = 1 << 1;
+    pub const SHADOW: u8 = 1 << 1; // line 5: finding — shadows ADMIT
+    pub const WIDE: u8 = 0x3; // line 6: finding — not a single bit
+    pub const ALL: u8 = 0x1; // line 7: finding — not the union of the bits
+}

@@ -1,0 +1,23 @@
+// D1 fixture: wall-clock reads in simulation code.
+use std::time::Instant;
+
+pub fn tick() -> Instant {
+    Instant::now() // line 5: finding
+}
+
+pub fn stamp() -> std::time::SystemTime {
+    std::time::SystemTime::now() // line 9: finding
+}
+
+pub fn profiled() -> Instant {
+    // lint:allow(wall-clock): fixture demonstrating a justified suppression
+    Instant::now()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timed() {
+        let _ = std::time::Instant::now(); // test region: exempt
+    }
+}

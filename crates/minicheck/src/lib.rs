@@ -65,6 +65,7 @@ pub fn check_default<F: FnMut(&mut Gen)>(property: F) {
 }
 
 /// A seeded generator of test inputs.
+#[derive(Debug)]
 pub struct Gen {
     rng: Rng,
 }

@@ -145,6 +145,8 @@ macro_rules! impl_int_range {
     ($($t:ty),*) => {$(
         impl SampleRange<$t> for Range<$t> {
             #[inline]
+            // The `$t as u64` casts are trivial for the u64 instantiation.
+            #[allow(trivial_numeric_casts)]
             fn sample(self, rng: &mut Rng) -> $t {
                 assert!(self.start < self.end, "cannot sample empty range");
                 let span = (self.end as u64).wrapping_sub(self.start as u64);
@@ -153,6 +155,7 @@ macro_rules! impl_int_range {
         }
         impl SampleRange<$t> for RangeInclusive<$t> {
             #[inline]
+            #[allow(trivial_numeric_casts)]
             fn sample(self, rng: &mut Rng) -> $t {
                 let (lo, hi) = (*self.start(), *self.end());
                 assert!(lo <= hi, "cannot sample empty range");

@@ -36,7 +36,7 @@ fn is_ipv4(host: &str) -> bool {
         if seg.is_empty() || seg.len() > 3 || !seg.bytes().all(|b| b.is_ascii_digit()) {
             return false;
         }
-        if seg.parse::<u16>().map(|v| v > 255).unwrap_or(true) {
+        if seg.parse::<u16>().map_or(true, |v| v > 255) {
             return false;
         }
         parts += 1;
@@ -104,7 +104,7 @@ pub fn registrable_domain(host: &str) -> Option<&str> {
         return None; // host *is* the suffix
     }
     let before = &host[..host.len() - suffix.len() - 1]; // strip ".suffix"
-    let label_start = before.rfind('.').map(|i| i + 1).unwrap_or(0);
+    let label_start = before.rfind('.').map_or(0, |i| i + 1);
     let label = &before[label_start..];
     if label.is_empty() {
         return None;

@@ -26,7 +26,7 @@ type CacheEntry = (GeneratorConfig, Arc<WebSpace>);
 /// Most callers want [`SpaceCache::global`] (via
 /// [`GeneratorConfig::build_shared`]); separate instances exist so tests
 /// can exercise the cache without cross-test interference.
-#[derive(Default)]
+#[derive(Debug, Default)]
 pub struct SpaceCache {
     entries: Mutex<HashMap<(u64, u64), CacheEntry>>,
 }

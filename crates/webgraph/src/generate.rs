@@ -151,7 +151,7 @@ pub fn generate_with_threads(config: &GeneratorConfig, seed: u64, threads: usize
                         other_langs,
                         pslice,
                         hslice,
-                    )
+                    );
                 });
             }
         });
@@ -213,6 +213,7 @@ pub fn generate_with_threads(config: &GeneratorConfig, seed: u64, threads: usize
             .collect();
         chunk_edges = handles
             .into_iter()
+            // lint:allow(no-panic): re-raising a worker panic is the only sound response to join() failing
             .map(|h| h.join().expect("edge generation worker panicked"))
             .collect();
     });
@@ -652,8 +653,7 @@ fn mainland_tree_order(plans: &[HostPlan], target: Language) -> Vec<usize> {
         // Tie-break toward the smaller index, matching the stable sort
         // that picks the seed hosts, so the tree root IS the first seed.
         .max_by_key(|&(_, &i)| (plans[i].html, std::cmp::Reverse(i)))
-        .map(|(pos, _)| pos)
-        .unwrap_or(0);
+        .map_or(0, |(pos, _)| pos);
     mainland.swap(0, root);
     mainland
 }
@@ -755,6 +755,7 @@ fn random_links_for_host(
     let leaf_share = config.leaf_link_share;
     for k in 0..html {
         let p = first_page + k;
+        // lint:allow(no-panic): k < plan.html, and plan construction assigns every html page a language
         let page_lang = ctx.pages[p as usize].lang.expect("html page has lang");
         let deg = sample_degree(config.mean_out_degree, rng);
         for _ in 0..deg {
@@ -879,11 +880,11 @@ fn to_csr_parallel(
         counts[i + 1] += counts[i];
     }
     let offsets = counts;
-    let m = *offsets.last().unwrap() as usize;
+    let m = offsets[n] as usize;
 
     // Pass 2: scatter. Cross edges first (sequential, host order), then
     // local edges chunk-parallel into disjoint windows of `flat`.
-    let mut flat = vec![0 as PageId; m];
+    let mut flat: Vec<PageId> = vec![0; m];
     let mut cursor: Vec<u32> = offsets[..n].to_vec();
     for chunk in chunk_edges {
         for &(s, t) in &chunk.cross {
@@ -1099,16 +1100,16 @@ mod tests {
             }
             match m.lang.unwrap() {
                 Language::Thai => {
-                    assert!(m.true_charset.is_thai_family() || m.true_charset == Charset::Utf8)
+                    assert!(m.true_charset.is_thai_family() || m.true_charset == Charset::Utf8);
                 }
                 Language::Japanese => {
-                    assert!(m.true_charset.is_japanese_family() || m.true_charset == Charset::Utf8)
+                    assert!(m.true_charset.is_japanese_family() || m.true_charset == Charset::Utf8);
                 }
                 Language::Korean => {
-                    assert!(matches!(m.true_charset, Charset::EucKr | Charset::Utf8))
+                    assert!(matches!(m.true_charset, Charset::EucKr | Charset::Utf8));
                 }
                 Language::Chinese => {
-                    assert!(matches!(m.true_charset, Charset::Gb2312 | Charset::Utf8))
+                    assert!(matches!(m.true_charset, Charset::Gb2312 | Charset::Utf8));
                 }
                 Language::Other => assert!(matches!(
                     m.true_charset,

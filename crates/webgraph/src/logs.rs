@@ -71,9 +71,9 @@ pub fn write_log<W: Write>(ws: &WebSpace, mut w: W) -> io::Result<()> {
             kind_code(m.kind),
             m.status.code(),
             m.true_charset.label(),
-            m.labeled_charset.map(|c| c.label()).unwrap_or("-"),
+            m.labeled_charset.map_or("-", |c| c.label()),
             m.size,
-            m.lang.map(lang_code).unwrap_or("-"),
+            m.lang.map_or("-", lang_code),
             m.island_depth,
             outs.join(",")
         )?;

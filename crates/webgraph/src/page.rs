@@ -239,6 +239,6 @@ mod tests {
     #[test]
     fn page_meta_is_compact() {
         // Guard against accidental bloat of the page table.
-        assert!(std::mem::size_of::<PageMeta>() <= 24);
+        assert!(size_of::<PageMeta>() <= 24);
     }
 }

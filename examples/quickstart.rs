@@ -35,7 +35,7 @@ fn main() {
         "{:<30} {:>9} {:>9} {:>9} {:>10}",
         "strategy", "crawled", "harvest", "coverage", "max queue"
     );
-    for s in strategies.iter_mut() {
+    for s in &mut strategies {
         let mut sim = Simulator::new(&space, SimConfig::default());
         let report = sim.run(s.as_mut(), &classifier);
         println!(

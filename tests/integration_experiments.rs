@@ -139,8 +139,8 @@ fn fig7_prioritized_limited() {
     let harvests: Vec<f64> = (1..=4u8)
         .map(|n| run(&ws, &mut LimitedDistanceStrategy::prioritized(n)).harvest_at(early))
         .collect();
-    let spread = harvests.iter().cloned().fold(f64::MIN, f64::max)
-        - harvests.iter().cloned().fold(f64::MAX, f64::min);
+    let spread = harvests.iter().copied().fold(f64::MIN, f64::max)
+        - harvests.iter().copied().fold(f64::MAX, f64::min);
     assert!(
         spread < 0.08,
         "prioritized harvest spread {spread} ({harvests:?})"
