@@ -18,6 +18,19 @@ echo "==> fault conformance + retry property suites"
 cargo test -q --offline -p langcrawl-core --test fault_conformance --test retry_proptests
 cargo test -q --offline -p langcrawl-webgraph --test proptests
 
+# Scheduler conformance and shard parity, re-run under explicit
+# generation thread counts: the golden hashes in these suites are
+# absolute constants, so a pass under every setting proves the K-slot
+# schedule (and the sharded frontier behind it) is thread-invariant
+# end to end, not merely self-consistent.
+echo "==> scheduler conformance + shard parity (LANGCRAWL_THREADS=1,4)"
+for threads in 1 4; do
+    LANGCRAWL_THREADS=$threads cargo test -q --offline -p langcrawl-core \
+        --test sched_conformance --test frontier_accounting
+    LANGCRAWL_THREADS=$threads cargo test -q --offline -p langcrawl-core \
+        --test proptests sharded_frontier
+done
+
 # Determinism & safety lint: the in-tree static analyzer must find
 # nothing unsuppressed in the workspace's own sources. The JSON report
 # is kept as a CI artifact either way.
@@ -34,9 +47,9 @@ echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
 # Smoke-scale bench trajectory: exercises the parallel-generation
-# parity, sink-overhead and fault-path-overhead gates (the bench exits
-# nonzero on a regression) and leaves BENCH_<sha>.json at the repo root
-# for archival.
+# parity, sink-overhead, fault-path-overhead and single-slot
+# scheduler-overhead gates (the bench exits nonzero on a regression)
+# and leaves BENCH_<sha>.json at the repo root for archival.
 echo "==> cargo bench microbench --json (smoke scale)"
 LANGCRAWL_SCALE=20000 cargo bench -p langcrawl-bench --offline --bench microbench -- --json
 

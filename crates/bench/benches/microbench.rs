@@ -16,9 +16,10 @@
 //! point `BENCH_<git-short-sha>.json` (generation / queue / detector /
 //! end-to-end throughput plus the gate verdicts) so CI can archive one
 //! bench record per commit. The gates — sink overhead ≤ 5%, parallel
-//! generation bit-parity, ≥2× generation speedup on 4+ cores, and
-//! retry-machinery overhead ≤ 10% at zero fault rate — fail the
-//! process with a nonzero exit either way.
+//! generation bit-parity, ≥2× generation speedup on 4+ cores,
+//! retry-machinery overhead ≤ 10% at zero fault rate, and single-slot
+//! scheduler overhead ≤ 5% over the legacy loop — fail the process
+//! with a nonzero exit either way.
 
 use langcrawl_bench::runner::env_scale;
 use langcrawl_charset::encode::{
@@ -27,6 +28,7 @@ use langcrawl_charset::encode::{
 use langcrawl_charset::{detect, Charset};
 use langcrawl_core::classifier::OracleClassifier;
 use langcrawl_core::queue::{Entry, UrlQueue};
+use langcrawl_core::sched::SchedConfig;
 use langcrawl_core::sim::{SimConfig, Simulator};
 use langcrawl_core::strategy::{LimitedDistanceStrategy, SimpleStrategy, Strategy};
 use langcrawl_core::{CrawlEngine, EngineConfig};
@@ -105,6 +107,8 @@ struct BenchRecord {
     sink_overhead_ok: bool,
     fault_overhead: f64,
     fault_overhead_ok: bool,
+    sched_overhead: f64,
+    sched_overhead_ok: bool,
 }
 
 impl BenchRecord {
@@ -121,6 +125,9 @@ impl BenchRecord {
         }
         if !self.fault_overhead_ok {
             out.push("retry machinery overhead above the 10% budget at zero fault rate");
+        }
+        if !self.sched_overhead_ok {
+            out.push("single-slot scheduler overhead above the 5% budget over the legacy loop");
         }
         out
     }
@@ -142,12 +149,14 @@ impl BenchRecord {
                 "  \"simulator_pages_per_s\": {sim:.0},\n",
                 "  \"sink_overhead\": {ov:.4},\n",
                 "  \"fault_overhead\": {fov:.4},\n",
+                "  \"sched_overhead\": {sov:.4},\n",
                 "  \"gates\": {{\n",
                 "    \"thread_parity_ok\": {par},\n",
                 "    \"speedup_gated\": {spg},\n",
                 "    \"speedup_ok\": {spok},\n",
                 "    \"sink_overhead_ok\": {ovok},\n",
-                "    \"fault_overhead_ok\": {fovok}\n",
+                "    \"fault_overhead_ok\": {fovok},\n",
+                "    \"sched_overhead_ok\": {sovok}\n",
                 "  }}\n",
                 "}}\n"
             ),
@@ -162,11 +171,13 @@ impl BenchRecord {
             sim = self.simulator_pages_per_s,
             ov = self.sink_overhead,
             fov = self.fault_overhead,
+            sov = self.sched_overhead,
             par = self.thread_parity_ok,
             spg = self.speedup_gated,
             spok = self.speedup_ok,
             ovok = self.sink_overhead_ok,
             fovok = self.fault_overhead_ok,
+            sovok = self.sched_overhead_ok,
         )
     }
 }
@@ -503,6 +514,77 @@ fn bench_fault_overhead(rec: &mut BenchRecord, scale: u32) {
     );
 }
 
+/// The acceptance gate for the virtual-time scheduler: a default
+/// (single-slot, politeness-free) scheduled run — bit-identical to the
+/// legacy loop by the conformance suite — must cost no more than 5%
+/// over that loop. The scheduler earns this with the tiered
+/// degenerate-point elision (the host machinery provably cannot bite
+/// at `K = 1` with zero politeness, and with no `SlotIdle`-interested
+/// sink the schedule *is* the legacy loop, so `run_scheduled` runs it
+/// verbatim — the same move as the fault layer's inert-model fast
+/// path); the gate exists to catch that elision regressing. Timed
+/// interleaved and compared on per-config minima, like the other
+/// overhead gates.
+fn bench_sched_overhead(rec: &mut BenchRecord, scale: u32) {
+    println!("scheduler overhead at K=1 (n={scale}):");
+    let ws = GeneratorConfig::thai_like().scaled(scale).build(7);
+    let oracle = OracleClassifier::target(ws.target_language());
+    let engine = CrawlEngine::new(&ws, EngineConfig::default());
+    let sched = SchedConfig::default();
+
+    let run_legacy = || {
+        let mut strategy = SimpleStrategy::soft();
+        black_box(
+            engine
+                .run(
+                    UrlQueue::new(ws.num_pages(), strategy.levels()),
+                    &mut strategy,
+                    &oracle,
+                    &mut [],
+                )
+                .crawled,
+        )
+    };
+    let run_sched = || {
+        black_box(
+            engine
+                .run_scheduled(&sched, &mut SimpleStrategy::soft(), &oracle, &mut [])
+                .crawled,
+        )
+    };
+
+    let legacy_crawled = run_legacy();
+    let sched_crawled = run_sched();
+    assert_eq!(
+        legacy_crawled, sched_crawled,
+        "a K=1 politeness-free schedule must crawl exactly the legacy set"
+    );
+    let mut t_legacy = Duration::MAX;
+    let mut t_sched = Duration::MAX;
+    for _ in 0..40 {
+        let t = Instant::now();
+        run_legacy();
+        t_legacy = t_legacy.min(t.elapsed());
+        let t = Instant::now();
+        run_sched();
+        t_sched = t_sched.min(t.elapsed());
+    }
+    let overhead = t_sched.as_secs_f64() / t_legacy.as_secs_f64() - 1.0;
+    rec.sched_overhead = overhead;
+    rec.sched_overhead_ok = overhead <= 0.05;
+    println!(
+        "  legacy loop {:>10}   K=1 scheduler {:>10}   overhead {:+.1}%  [{}]",
+        fmt(t_legacy),
+        fmt(t_sched),
+        100.0 * overhead,
+        if rec.sched_overhead_ok {
+            "OK"
+        } else {
+            "OVER BUDGET"
+        }
+    );
+}
+
 fn git_short_sha() -> String {
     std::process::Command::new("git")
         .args(["rev-parse", "--short", "HEAD"])
@@ -527,6 +609,7 @@ fn main() {
     bench_simulate(&mut rec, scale);
     bench_sink_overhead(&mut rec, scale);
     bench_fault_overhead(&mut rec, scale);
+    bench_sched_overhead(&mut rec, scale);
 
     if json {
         // Land the trajectory point at the workspace root regardless of

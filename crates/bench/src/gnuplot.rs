@@ -124,6 +124,7 @@ mod tests {
             attempts: 10,
             retries: 0,
             gave_up: 0,
+            ticks: 10,
         }
     }
 

@@ -18,6 +18,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod graph_stats;
+pub mod parallelism_sweep;
 pub mod table1;
 pub mod table3;
 pub mod timing_ext;
@@ -41,6 +42,7 @@ pub const ALL: &[(&str, fn())] = &[
     ("ablation_tld", ablation_tld::run),
     ("dataset_collection", dataset_collection::run),
     ("fault_sensitivity", fault_sensitivity::run),
+    ("parallelism_sweep", parallelism_sweep::run),
     ("timing_ext", timing_ext::run),
     ("extensions", extensions::run),
     ("wider_languages", wider_languages::run),

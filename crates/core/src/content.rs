@@ -212,6 +212,7 @@ impl<'a> ContentSimulator<'a> {
             attempts: crawled,
             retries: 0,
             gave_up: 0,
+            ticks: crawled,
         }
     }
 }

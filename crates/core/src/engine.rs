@@ -68,20 +68,27 @@ pub struct EngineOutcome {
     pub retries: u64,
     /// Pages abandoned after exhausting their retry budget.
     pub gave_up: u64,
+    /// Virtual ticks the crawl spanned — the makespan of the schedule.
+    /// In the legacy single-slot loop this is the tick of the last
+    /// attempt (one tick per attempt plus backoff fast-forwards); in a
+    /// scheduled run ([`crate::sched::SchedConfig`]) it is the time of
+    /// the last processed completion, so `K` slots shrink it toward
+    /// `attempts / K` plus politeness stalls.
+    pub ticks: u64,
 }
 
 /// The layered crawl engine.
 #[derive(Debug)]
 pub struct CrawlEngine<'a> {
     ws: &'a WebSpace,
-    config: EngineConfig,
+    pub(crate) config: EngineConfig,
     /// Realized once per engine (O(hosts)). `None` when the config is
     /// all-zero *or* the realized model is inert (no dead hosts, every
     /// per-host rate zero) — in either case no outcome can differ from
     /// the baked status, every attempt is #1 and no retry can ever be
     /// scheduled, so eliding the model is behavior-identical and runs
     /// never touch the fault machinery.
-    fault: Option<FaultModel>,
+    pub(crate) fault: Option<FaultModel>,
 }
 
 impl<'a> CrawlEngine<'a> {
@@ -143,7 +150,7 @@ impl<'a> CrawlEngine<'a> {
         let budget = self.config.max_pages.unwrap_or(u64::MAX);
         // Union of the sinks' interest masks: event variants nobody
         // listens to are never constructed or dispatched.
-        let wants = sinks.iter().fold(0u8, |m, s| m | s.interests());
+        let wants = sinks.iter().fold(0u16, |m, s| m | s.interests());
 
         // The fault/retry machinery engages only when the fault model
         // can fire: zero-fault runs never touch the attempt table or
@@ -168,7 +175,6 @@ impl<'a> CrawlEngine<'a> {
         let mut tick: u64 = 0;
         let mut attempts: u64 = 0;
         let mut retries: u64 = 0;
-        let mut gave_up: u64 = 0;
 
         for &s in ws.seeds() {
             frontier.push(Entry {
@@ -178,9 +184,14 @@ impl<'a> CrawlEngine<'a> {
             });
         }
 
-        let mut crawled: u64 = 0;
-        let mut relevant_crawled: u64 = 0;
-        let admissions = scratch;
+        let mut st = RunState {
+            sinks,
+            wants,
+            sample_interval,
+            crawled: 0,
+            relevant_crawled: 0,
+            gave_up: 0,
+        };
 
         loop {
             // Due retries re-enter the frontier before the next pop, so
@@ -249,7 +260,7 @@ impl<'a> CrawlEngine<'a> {
                 attempt_counts[p as usize] = attempt;
                 if wants & interest::ATTEMPT != 0 {
                     emit(
-                        sinks,
+                        st.sinks,
                         CrawlEvent::FetchAttempt {
                             page: p,
                             attempt,
@@ -267,118 +278,30 @@ impl<'a> CrawlEngine<'a> {
             }
 
             // Resolution: delivered, permanently failed, or abandoned.
-            if outcome.transient {
-                gave_up += 1;
-            }
-            if wants & interest::ATTEMPT != 0 {
-                emit(
-                    sinks,
-                    CrawlEvent::FetchAttempt {
-                        page: p,
-                        attempt,
-                        status: outcome.status,
-                        transient: outcome.transient,
-                        retry: false,
-                        tick,
-                    },
-                );
-            }
-            crawled += 1;
-            if wants & interest::FETCHED != 0 {
-                emit(sinks, CrawlEvent::Fetched { page: p, crawled });
-            }
-
-            // Only OK HTML pages *that were actually delivered* have
-            // content to classify (a page behind a dead host or an
-            // exhausted retry budget never arrived).
-            let delivered = meta.is_ok_html() && outcome.is_ok();
-            let relevance = if delivered {
-                classifier.relevance(ws, p)
-            } else {
-                0.0
-            };
-            let relevant = ws.is_relevant(p) && outcome.is_ok();
-            if relevant {
-                relevant_crawled += 1; // metrics use ground truth
-            }
-            if wants & interest::CLASSIFIED != 0 {
-                emit(
-                    sinks,
-                    CrawlEvent::Classified {
-                        page: p,
-                        relevance,
-                        relevant,
-                    },
-                );
-            }
-
-            // The run of consecutive irrelevant pages ending here: a
-            // relevant page resets it, an irrelevant one extends the
-            // referrer path's run carried on the queue entry.
-            let consec = if relevance > 0.5 {
-                0
-            } else {
-                entry.distance.saturating_add(1)
-            };
-
-            let outlinks = if delivered { ws.outlinks(p) } else { &[] };
-            let view = PageView {
-                page: p,
-                relevance,
-                consec_irrelevant: consec,
-                outlinks,
-                crawled,
-            };
-            admissions.clear();
-            strategy.admit(&view, admissions);
-
-            let offered = admissions.len() as u32;
-            let mut enqueued = 0u32;
-            let mut dropped = 0u32;
-            for &a in admissions.iter() {
-                if self.config.url_filter && ws.meta(a.page).kind == PageKind::Other {
-                    dropped += 1;
-                    continue; // extension-filtered before entering the queue
-                }
-                if frontier.push(a) {
-                    enqueued += 1;
-                }
-            }
-            if dropped > 0 && wants & interest::FILTERED != 0 {
-                emit(sinks, CrawlEvent::Filtered { page: p, dropped });
-            }
-            if wants & interest::ADMITTED != 0 {
-                emit(
-                    sinks,
-                    CrawlEvent::Admitted {
-                        page: p,
-                        offered,
-                        enqueued,
-                    },
-                );
-            }
-
-            if wants & interest::SAMPLED != 0 && crawled.is_multiple_of(sample_interval) {
-                emit(
-                    sinks,
-                    CrawlEvent::Sampled {
-                        crawled,
-                        relevant: relevant_crawled,
-                        pending: frontier.pending(),
-                    },
-                );
-            }
-            if crawled >= budget {
+            self.resolve(
+                &mut st,
+                &mut frontier,
+                strategy,
+                classifier,
+                scratch,
+                Resolution {
+                    entry,
+                    attempt,
+                    outcome,
+                    tick,
+                },
+            );
+            if st.crawled >= budget {
                 break;
             }
         }
 
         if wants & interest::FINISHED != 0 {
             emit(
-                sinks,
+                st.sinks,
                 CrawlEvent::Finished {
-                    crawled,
-                    relevant: relevant_crawled,
+                    crawled: st.crawled,
+                    relevant: st.relevant_crawled,
                     pending: frontier.pending(),
                     max_pending: frontier.max_pending(),
                     total_pushes: frontier.total_pushes(),
@@ -387,15 +310,177 @@ impl<'a> CrawlEngine<'a> {
         }
 
         EngineOutcome {
-            crawled,
-            relevant_crawled,
+            crawled: st.crawled,
+            relevant_crawled: st.relevant_crawled,
             max_pending: frontier.max_pending(),
             total_pushes: frontier.total_pushes(),
             attempts,
             retries,
-            gave_up,
+            gave_up: st.gave_up,
+            ticks: tick,
         }
     }
+
+    /// The shared resolution step: an attempt has concluded a page's
+    /// story (delivered, permanently failed, or retries exhausted).
+    /// Emits the page's fixed event sequence, classifies, admits
+    /// outlinks through the strategy into the frontier, and samples.
+    /// Both run paths end every page here — the legacy loop above and
+    /// the virtual-time scheduler ([`crate::sched`]) — which is what
+    /// keeps a `K = 1`, politeness-0 scheduled run bit-identical to the
+    /// legacy engine (pinned by the conformance goldens).
+    pub(crate) fn resolve<F: Frontier>(
+        &self,
+        st: &mut RunState<'_, '_>,
+        frontier: &mut F,
+        strategy: &mut dyn Strategy,
+        classifier: &dyn Classifier,
+        scratch: &mut Vec<Entry>,
+        r: Resolution,
+    ) {
+        let ws = self.ws;
+        let p = r.entry.page;
+        let meta = ws.meta(p);
+        if r.outcome.transient {
+            st.gave_up += 1;
+        }
+        if st.wants & interest::ATTEMPT != 0 {
+            emit(
+                st.sinks,
+                CrawlEvent::FetchAttempt {
+                    page: p,
+                    attempt: r.attempt,
+                    status: r.outcome.status,
+                    transient: r.outcome.transient,
+                    retry: false,
+                    tick: r.tick,
+                },
+            );
+        }
+        st.crawled += 1;
+        if st.wants & interest::FETCHED != 0 {
+            emit(
+                st.sinks,
+                CrawlEvent::Fetched {
+                    page: p,
+                    crawled: st.crawled,
+                },
+            );
+        }
+
+        // Only OK HTML pages *that were actually delivered* have
+        // content to classify (a page behind a dead host or an
+        // exhausted retry budget never arrived).
+        let delivered = meta.is_ok_html() && r.outcome.is_ok();
+        let relevance = if delivered {
+            classifier.relevance(ws, p)
+        } else {
+            0.0
+        };
+        let relevant = ws.is_relevant(p) && r.outcome.is_ok();
+        if relevant {
+            st.relevant_crawled += 1; // metrics use ground truth
+        }
+        if st.wants & interest::CLASSIFIED != 0 {
+            emit(
+                st.sinks,
+                CrawlEvent::Classified {
+                    page: p,
+                    relevance,
+                    relevant,
+                },
+            );
+        }
+
+        // The run of consecutive irrelevant pages ending here: a
+        // relevant page resets it, an irrelevant one extends the
+        // referrer path's run carried on the queue entry.
+        let consec = if relevance > 0.5 {
+            0
+        } else {
+            r.entry.distance.saturating_add(1)
+        };
+
+        let outlinks = if delivered { ws.outlinks(p) } else { &[] };
+        let view = PageView {
+            page: p,
+            relevance,
+            consec_irrelevant: consec,
+            outlinks,
+            crawled: st.crawled,
+        };
+        scratch.clear();
+        strategy.admit(&view, scratch);
+
+        let offered = scratch.len() as u32;
+        let mut enqueued = 0u32;
+        let mut dropped = 0u32;
+        for &a in scratch.iter() {
+            if self.config.url_filter && ws.meta(a.page).kind == PageKind::Other {
+                dropped += 1;
+                continue; // extension-filtered before entering the queue
+            }
+            if frontier.push(a) {
+                enqueued += 1;
+            }
+        }
+        if dropped > 0 && st.wants & interest::FILTERED != 0 {
+            emit(st.sinks, CrawlEvent::Filtered { page: p, dropped });
+        }
+        if st.wants & interest::ADMITTED != 0 {
+            emit(
+                st.sinks,
+                CrawlEvent::Admitted {
+                    page: p,
+                    offered,
+                    enqueued,
+                },
+            );
+        }
+
+        if st.wants & interest::SAMPLED != 0 && st.crawled.is_multiple_of(st.sample_interval) {
+            emit(
+                st.sinks,
+                CrawlEvent::Sampled {
+                    crawled: st.crawled,
+                    relevant: st.relevant_crawled,
+                    pending: frontier.pending(),
+                },
+            );
+        }
+    }
+}
+
+/// One resolved fetch attempt, handed to
+/// [`CrawlEngine::resolve`] by whichever run path concluded it.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Resolution {
+    /// The frontier entry that was fetched.
+    pub(crate) entry: Entry,
+    /// Attempt number, 1-based.
+    pub(crate) attempt: u32,
+    /// What the virtual web (plus fault model) answered.
+    pub(crate) outcome: FetchOutcome,
+    /// Virtual tick the attempt completed at.
+    pub(crate) tick: u64,
+}
+
+/// Run-wide mutable state shared by the legacy loop and the
+/// virtual-time scheduler: the sinks with their unioned interest mask,
+/// the sampling cadence, and the resolution counters.
+pub(crate) struct RunState<'s, 'k> {
+    /// The attached observers.
+    pub(crate) sinks: &'s mut [&'k mut dyn EventSink],
+    /// Union of the sinks' interest masks.
+    pub(crate) wants: u16,
+    /// Emit [`CrawlEvent::Sampled`] every this many resolutions.
+    pub(crate) sample_interval: u64,
+    /// Pages resolved so far.
+    pub(crate) crawled: u64,
+    /// Ground-truth relevant pages delivered so far.
+    pub(crate) relevant_crawled: u64,
+    /// Pages abandoned after exhausting their retry budget.
+    pub(crate) gave_up: u64,
 }
 
 #[inline]
@@ -491,7 +576,7 @@ mod tests {
                     other => panic!("undeclared event emitted: {other:?}"),
                 }
             }
-            fn interests(&self) -> u8 {
+            fn interests(&self) -> u16 {
                 interest::FINISHED
             }
         }
@@ -587,7 +672,7 @@ mod tests {
                     self.max_seen = self.max_seen.max(attempt);
                 }
             }
-            fn interests(&self) -> u8 {
+            fn interests(&self) -> u16 {
                 interest::ATTEMPT
             }
         }

@@ -108,27 +108,64 @@ pub enum CrawlEvent {
         /// Total frontier pushes accepted.
         total_pushes: u64,
     },
+    /// The virtual-time scheduler advanced the clock with at least one
+    /// fetch slot unoccupied while work was still waiting (behind a
+    /// politeness cool-down or a retry backoff). Emitted only by
+    /// scheduled runs ([`crate::sched::SchedConfig`]); the legacy
+    /// single-slot loop never idles.
+    SlotIdle {
+        /// Virtual tick the idle span started at.
+        tick: u64,
+        /// Slots unoccupied over the span.
+        idle: u32,
+        /// Length of the span in ticks.
+        span: u64,
+    },
+    /// Links discovered while resolving a page were routed to frontier
+    /// shards other than the fetching host's own — the cross-shard
+    /// discovery handoff traffic a distributed crawler would pay as
+    /// network messages. One event per fetch that crossed at least once.
+    ShardHandoff {
+        /// The page whose outlinks were handed off.
+        page: PageId,
+        /// Accepted pushes that landed on a foreign shard.
+        crossed: u32,
+    },
+    /// A host finished a fetch but still owes its politeness gap, with
+    /// more of its pages queued: the shard parks it until `until`.
+    PolitenessWait {
+        /// Host index in the space's host table.
+        host: u32,
+        /// Virtual tick at which the host may fetch again.
+        until: u64,
+    },
 }
 
 /// Bitmask constants naming each [`CrawlEvent`] variant, for
 /// [`EventSink::interests`].
 pub mod interest {
     /// [`super::CrawlEvent::Fetched`]
-    pub const FETCHED: u8 = 1 << 0;
+    pub const FETCHED: u16 = 1 << 0;
     /// [`super::CrawlEvent::Classified`]
-    pub const CLASSIFIED: u8 = 1 << 1;
+    pub const CLASSIFIED: u16 = 1 << 1;
     /// [`super::CrawlEvent::Filtered`]
-    pub const FILTERED: u8 = 1 << 2;
+    pub const FILTERED: u16 = 1 << 2;
     /// [`super::CrawlEvent::Admitted`]
-    pub const ADMITTED: u8 = 1 << 3;
+    pub const ADMITTED: u16 = 1 << 3;
     /// [`super::CrawlEvent::Sampled`]
-    pub const SAMPLED: u8 = 1 << 4;
+    pub const SAMPLED: u16 = 1 << 4;
     /// [`super::CrawlEvent::Finished`]
-    pub const FINISHED: u8 = 1 << 5;
+    pub const FINISHED: u16 = 1 << 5;
     /// [`super::CrawlEvent::FetchAttempt`]
-    pub const ATTEMPT: u8 = 1 << 6;
+    pub const ATTEMPT: u16 = 1 << 6;
+    /// [`super::CrawlEvent::SlotIdle`]
+    pub const SLOT_IDLE: u16 = 1 << 7;
+    /// [`super::CrawlEvent::ShardHandoff`]
+    pub const HANDOFF: u16 = 1 << 8;
+    /// [`super::CrawlEvent::PolitenessWait`]
+    pub const POLITENESS: u16 = 1 << 9;
     /// Every variant.
-    pub const ALL: u8 = 0x7F;
+    pub const ALL: u16 = 0x3FF;
 }
 
 /// A crawl observer. Sinks receive every emitted event; most match on
@@ -144,7 +181,7 @@ pub trait EventSink {
     /// sinks — a sink can still receive variants outside its declared
     /// interests (when a broader sink is co-attached) and must ignore
     /// them. Default: everything.
-    fn interests(&self) -> u8 {
+    fn interests(&self) -> u16 {
         interest::ALL
     }
 }
@@ -207,7 +244,7 @@ impl EventSink for MetricsSampler {
         }
     }
 
-    fn interests(&self) -> u8 {
+    fn interests(&self) -> u16 {
         interest::SAMPLED | interest::FINISHED
     }
 }
@@ -243,7 +280,7 @@ impl EventSink for VisitRecorder {
         }
     }
 
-    fn interests(&self) -> u8 {
+    fn interests(&self) -> u16 {
         interest::FETCHED
     }
 }
@@ -368,12 +405,16 @@ impl EventSink for PhaseTimingSink {
             // time, which the following Fetched would otherwise absorb —
             // advancing the clock here keeps the attribution the same.
             // Filtered arrives between Classified and Admitted; fold its
-            // interval into admission time. Sampled/Finished intervals
-            // are bookkeeping; just advance the clock.
+            // interval into admission time. Sampled/Finished and the
+            // scheduler's narration (SlotIdle, ShardHandoff,
+            // PolitenessWait) are bookkeeping; just advance the clock.
             CrawlEvent::FetchAttempt { .. }
             | CrawlEvent::Filtered { .. }
             | CrawlEvent::Sampled { .. }
-            | CrawlEvent::Finished { .. } => {
+            | CrawlEvent::Finished { .. }
+            | CrawlEvent::SlotIdle { .. }
+            | CrawlEvent::ShardHandoff { .. }
+            | CrawlEvent::PolitenessWait { .. } => {
                 let d = self.lap();
                 if matches!(event, CrawlEvent::Filtered { .. }) {
                     self.admit.add(d);
@@ -430,8 +471,60 @@ impl EventSink for FaultStatsSink {
         }
     }
 
-    fn interests(&self) -> u8 {
+    fn interests(&self) -> u16 {
         interest::ATTEMPT
+    }
+}
+
+/// Tallies the virtual-time scheduler's narration — slot idleness,
+/// cross-shard handoff traffic, politeness stalls — from the
+/// [`CrawlEvent::SlotIdle`] / [`CrawlEvent::ShardHandoff`] /
+/// [`CrawlEvent::PolitenessWait`] stream. The parallelism-sweep harness
+/// attaches one per run; unattached runs never pay for these events
+/// (the engine elides them like every other unwanted variant).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SchedStatsSink {
+    /// Sum over idle spans of `idle slots × span ticks` — capacity the
+    /// schedule could not use because work was cooling or backing off.
+    pub idle_slot_ticks: u64,
+    /// Idle spans observed.
+    pub idle_events: u64,
+    /// Fetches whose discoveries crossed to a foreign shard at least
+    /// once.
+    pub handoff_events: u64,
+    /// Total accepted pushes that landed on a foreign shard.
+    pub crossed_links: u64,
+    /// Times a host was parked for its politeness gap with work queued.
+    pub politeness_waits: u64,
+}
+
+impl SchedStatsSink {
+    /// An empty tally.
+    pub fn new() -> Self {
+        SchedStatsSink::default()
+    }
+}
+
+impl EventSink for SchedStatsSink {
+    fn on_event(&mut self, event: &CrawlEvent) {
+        match *event {
+            CrawlEvent::SlotIdle { idle, span, .. } => {
+                self.idle_slot_ticks += u64::from(idle).saturating_mul(span);
+                self.idle_events += 1;
+            }
+            CrawlEvent::ShardHandoff { crossed, .. } => {
+                self.handoff_events += 1;
+                self.crossed_links += u64::from(crossed);
+            }
+            CrawlEvent::PolitenessWait { .. } => {
+                self.politeness_waits += 1;
+            }
+            _ => {}
+        }
+    }
+
+    fn interests(&self) -> u16 {
+        interest::SLOT_IDLE | interest::HANDOFF | interest::POLITENESS
     }
 }
 
@@ -501,6 +594,63 @@ mod tests {
         assert_eq!(VisitRecorder::new().interests(), interest::FETCHED);
         assert_eq!(PhaseTimingSink::new().interests(), interest::ALL);
         assert_eq!(FaultStatsSink::new().interests(), interest::ATTEMPT);
+        assert_eq!(
+            SchedStatsSink::new().interests(),
+            interest::SLOT_IDLE | interest::HANDOFF | interest::POLITENESS
+        );
+    }
+
+    #[test]
+    fn interest_bits_cover_every_variant_once() {
+        let bits = [
+            interest::FETCHED,
+            interest::CLASSIFIED,
+            interest::FILTERED,
+            interest::ADMITTED,
+            interest::SAMPLED,
+            interest::FINISHED,
+            interest::ATTEMPT,
+            interest::SLOT_IDLE,
+            interest::HANDOFF,
+            interest::POLITENESS,
+        ];
+        let mut union = 0u16;
+        for b in bits {
+            assert_eq!(b.count_ones(), 1, "bit {b:#x} must be a single bit");
+            assert_eq!(union & b, 0, "bit {b:#x} duplicated");
+            union |= b;
+        }
+        assert_eq!(union, interest::ALL);
+    }
+
+    #[test]
+    fn sched_stats_tally_idle_handoff_and_politeness() {
+        let mut s = SchedStatsSink::new();
+        s.on_event(&CrawlEvent::SlotIdle {
+            tick: 10,
+            idle: 3,
+            span: 4,
+        });
+        s.on_event(&CrawlEvent::SlotIdle {
+            tick: 20,
+            idle: 1,
+            span: 2,
+        });
+        s.on_event(&CrawlEvent::ShardHandoff {
+            page: 7,
+            crossed: 5,
+        });
+        s.on_event(&CrawlEvent::PolitenessWait { host: 2, until: 30 });
+        // Other variants are ignored.
+        s.on_event(&CrawlEvent::Fetched {
+            page: 1,
+            crawled: 1,
+        });
+        assert_eq!(s.idle_slot_ticks, 14);
+        assert_eq!(s.idle_events, 2);
+        assert_eq!(s.handoff_events, 1);
+        assert_eq!(s.crossed_links, 5);
+        assert_eq!(s.politeness_waits, 1);
     }
 
     #[test]

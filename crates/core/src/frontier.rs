@@ -11,9 +11,13 @@
 //!   rings, the discipline every figure of the paper assumes;
 //! * [`BestFirstFrontier`] — a binary-heap frontier that orders by the
 //!   full admission key `(priority, distance)` with FIFO tie-breaking,
-//!   proving the seam carries a genuinely different pop policy.
+//!   proving the seam carries a genuinely different pop policy;
+//! * [`crate::shard::ShardedFrontier`] — the scaling step: host-sharded
+//!   storage with per-host politeness state for the virtual-time
+//!   scheduler ([`crate::sched`]), reproducing [`UrlQueue`]'s exact pop
+//!   order when every host is ready.
 //!
-//! Both share the same admission semantics: a page is admitted once,
+//! All of them share the same admission semantics: a page is admitted once,
 //! re-admitted only with a *strictly better* key (re-prioritization),
 //! never re-admitted after it was popped, and `pending()` counts
 //! distinct waiting pages — the paper's "URL queue size".

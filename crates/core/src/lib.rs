@@ -35,6 +35,11 @@
 //!   distinct-pending counter that Fig. 5/6(a)/7(a) plot) and
 //!   [`frontier::BestFirstFrontier`] (a binary-heap frontier ordering by
 //!   the full admission key).
+//! * [`shard`] / [`sched`] — the scaling seam made concrete: a
+//!   host-sharded frontier ([`shard::ShardedFrontier`]) and a
+//!   deterministic virtual-time scheduler ([`sched::SchedConfig`]: `K`
+//!   fetch slots, per-host politeness gaps, per-host concurrency 1)
+//!   that is bit-identical to the legacy loop at `K = 1`.
 //! * [`event`] — *who watches*: the engine narrates the crawl as typed
 //!   [`event::CrawlEvent`]s to any number of composable
 //!   [`event::EventSink`]s — metrics sampling, visit recording,
@@ -67,6 +72,8 @@ pub mod frontier;
 pub mod metrics;
 pub mod queue;
 pub mod retry;
+pub mod sched;
+pub mod shard;
 pub mod sim;
 pub mod strategy;
 pub mod timing;
@@ -74,9 +81,13 @@ pub mod timing;
 pub use classifier::{Classifier, DetectorClassifier, MetaClassifier, OracleClassifier};
 pub use content::{ContentClassifier, ContentConfig, ContentSimulator};
 pub use engine::{CrawlEngine, EngineConfig, EngineOutcome};
-pub use event::{interest, CrawlEvent, EventSink, MetricsSampler, PhaseTimingSink, VisitRecorder};
+pub use event::{
+    interest, CrawlEvent, EventSink, MetricsSampler, PhaseTimingSink, SchedStatsSink, VisitRecorder,
+};
 pub use frontier::{BestFirstFrontier, Frontier};
 pub use metrics::CrawlReport;
 pub use retry::RetryPolicy;
+pub use sched::SchedConfig;
+pub use shard::{ShardStats, ShardedFrontier};
 pub use sim::{SimConfig, Simulator};
 pub use strategy::{BreadthFirst, LimitedDistanceStrategy, SimpleStrategy, Strategy};

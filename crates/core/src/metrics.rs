@@ -72,6 +72,13 @@ pub struct CrawlReport {
     /// Pages abandoned after exhausting their retry budget.
     #[cfg_attr(feature = "serde", serde(default))]
     pub gave_up: u64,
+    /// Virtual ticks the crawl spanned (the schedule's makespan). With
+    /// the legacy single-slot engine this tracks attempts plus backoff
+    /// fast-forwards; under the virtual-time scheduler
+    /// ([`crate::sched::SchedConfig`]) it shrinks with the slot count
+    /// and stretches with politeness stalls.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub ticks: u64,
 }
 
 impl CrawlReport {
@@ -175,7 +182,7 @@ impl CrawlReport {
         out.push_str(&format!(
             "],\"crawled\":{},\"relevant_crawled\":{},\"total_relevant\":{},\
              \"max_queue\":{},\"total_pushes\":{},\"attempts\":{},\
-             \"retries\":{},\"gave_up\":{},\"visited\":[",
+             \"retries\":{},\"gave_up\":{},\"ticks\":{},\"visited\":[",
             self.crawled,
             self.relevant_crawled,
             self.total_relevant,
@@ -183,7 +190,8 @@ impl CrawlReport {
             self.total_pushes,
             self.attempts,
             self.retries,
-            self.gave_up
+            self.gave_up,
+            self.ticks
         ));
         for (i, v) in self.visited.iter().enumerate() {
             if i > 0 {
@@ -265,6 +273,7 @@ mod tests {
             attempts: 1000,
             retries: 0,
             gave_up: 0,
+            ticks: 1000,
         }
     }
 
@@ -308,6 +317,7 @@ mod tests {
             attempts: 0,
             retries: 0,
             gave_up: 0,
+            ticks: 0,
         };
         assert_eq!(r.final_harvest(), 0.0);
         assert_eq!(r.final_coverage(), 0.0);

@@ -1,0 +1,778 @@
+//! The virtual-time scheduler: `K` fetch slots over a sharded frontier.
+//!
+//! This generalizes the legacy loop's `(ready_tick, seq)` retry heap
+//! into a full event-driven simulation in virtual time. The state is a
+//! set of `K` *fetch slots* draining a [`ShardedFrontier`]: a slot
+//! starts the globally best entry whose host is ready, the fetch
+//! occupies one virtual tick, and its completion resolves through the
+//! same [`CrawlEngine::resolve`](crate::engine::CrawlEngine) step as
+//! the legacy path. Between starts and completions the clock jumps
+//! straight to the next event — a completion, a politeness cool-down
+//! expiring, or a retry coming due — exactly like the retry heap's
+//! dry-frontier fast-forward, now applied uniformly.
+//!
+//! **Determinism is the contract.** The schedule is a pure function of
+//! (space seed, config): entries start in global `(level, seq)` order,
+//! completions process in `(finish tick, start seq)` order, cool-downs
+//! wake in `(ready tick, host)` order, and the politeness jitter is a
+//! per-host hash of the space's generation seed. Nothing reads the wall
+//! clock, thread ids, or map iteration order, so reports are
+//! bit-identical across machines and `LANGCRAWL_THREADS` settings
+//! (pinned by the scheduler conformance suite).
+//!
+//! **`K = 1` with zero politeness is the legacy engine.** One slot
+//! starting at tick `t` completes at `t + 1` — the same "attempt tick =
+//! pop tick + 1" accounting as the legacy loop — and a single-slot
+//! schedule never reorders anything, so the conformance goldens for the
+//! legacy engine pin this path bit-for-bit (with and without the
+//! degenerate-point frontier elision; see
+//! [`CrawlEngine::run_scheduled_full`]). The scheduler-overhead
+//! microbench gate keeps the default `K = 1` configuration within 5%
+//! of the legacy loop.
+//!
+//! Politeness is a *start-to-start* gap, BUbiNG-style: a host that
+//! started a fetch at `t` may not start another before `t + gap(h)`,
+//! and per-host concurrency is 1 (a busy host exposes nothing). Gaps
+//! are drawn per host from the space's host table: the configured base
+//! plus a deterministic per-host jitter seeded from the space's
+//! generation seed under the `STREAM_POLITENESS` domain.
+
+use crate::classifier::Classifier;
+use crate::engine::{CrawlEngine, EngineOutcome, Resolution, RunState};
+use crate::event::{interest, CrawlEvent, EventSink};
+use crate::frontier::Frontier;
+use crate::queue::{Entry, UrlQueue};
+use crate::shard::{ShardStats, ShardedFrontier};
+use crate::strategy::Strategy;
+use langcrawl_rng::Rng;
+use langcrawl_webgraph::{FetchOutcome, PageId};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// RNG stream domain for per-host politeness jitter (domains 1–5 are
+/// taken by the generator and fault layers; see the D3 lint registry).
+const STREAM_POLITENESS: u64 = 6 << 40;
+
+/// Scheduler parameters. The default (`1` slot, zero politeness) is
+/// the conformance configuration: bit-identical to the legacy engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedConfig {
+    /// Number of virtual fetch slots (`K`). `0` is treated as `1`.
+    pub slots: u32,
+    /// Number of frontier shards; `0` (the default) means one shard
+    /// per slot. Shard count never changes the schedule — only the
+    /// load-imbalance stats and handoff traffic it surfaces.
+    pub shards: u32,
+    /// Minimum ticks between successive fetch *starts* on one host.
+    /// `0` disables politeness entirely.
+    pub politeness_gap: u64,
+    /// Upper bound of the deterministic per-host jitter added to
+    /// `politeness_gap` (uniform in `0..=spread`, hashed from the
+    /// space's generation seed and the host id).
+    pub politeness_spread: u64,
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        SchedConfig {
+            slots: 1,
+            shards: 0,
+            politeness_gap: 0,
+            politeness_spread: 0,
+        }
+    }
+}
+
+impl SchedConfig {
+    /// `K` slots, everything else default.
+    pub fn with_slots(slots: u32) -> Self {
+        SchedConfig {
+            slots,
+            ..SchedConfig::default()
+        }
+    }
+
+    /// Effective slot count (`0` collapses to `1`).
+    pub fn effective_slots(&self) -> u32 {
+        self.slots.max(1)
+    }
+
+    /// Effective shard count (`0` means one shard per slot).
+    pub fn effective_shards(&self) -> usize {
+        if self.shards == 0 {
+            self.effective_slots() as usize
+        } else {
+            self.shards as usize
+        }
+    }
+}
+
+/// The scheduler's view of a frontier: the [`Frontier`] admission
+/// contract plus the host-state surface (ready-pop, release, cool-down
+/// wake-ups) and the shard diagnostics. [`ShardedFrontier`] is the real
+/// implementation; [`UrlQueue`] implements it *inertly* — every host
+/// always ready, nothing ever cooling — which is exactly the behavior
+/// of the sharded frontier at the scheduler's degenerate point (one
+/// slot, zero politeness), where per-host concurrency 1 cannot bite:
+/// the single slot drains before the next pop, so no host is ever busy
+/// at pop time. The degenerate elision in
+/// [`CrawlEngine::run_scheduled_full`] exploits this to run over the
+/// legacy rings at ring cost, the same move as the fault layer's
+/// inert-model fast path.
+trait SlotFrontier: Frontier {
+    fn pop_ready(&mut self) -> Option<Entry>;
+    fn release(&mut self, host: u32, ready_at: u64, now: u64) -> bool;
+    fn advance_to(&mut self, t: u64);
+    fn next_cooling(&self) -> Option<u64>;
+    fn host_of(&self, p: PageId) -> u32;
+    fn set_origin(&mut self, host: Option<u32>);
+    fn handoffs(&self) -> u64;
+    fn shard_stats(&self) -> Vec<ShardStats>;
+}
+
+impl SlotFrontier for ShardedFrontier {
+    fn pop_ready(&mut self) -> Option<Entry> {
+        ShardedFrontier::pop_ready(self)
+    }
+    fn release(&mut self, host: u32, ready_at: u64, now: u64) -> bool {
+        ShardedFrontier::release(self, host, ready_at, now)
+    }
+    fn advance_to(&mut self, t: u64) {
+        ShardedFrontier::advance_to(self, t);
+    }
+    fn next_cooling(&self) -> Option<u64> {
+        ShardedFrontier::next_cooling(self)
+    }
+    fn host_of(&self, p: PageId) -> u32 {
+        ShardedFrontier::host_of(self, p)
+    }
+    fn set_origin(&mut self, host: Option<u32>) {
+        ShardedFrontier::set_origin(self, host);
+    }
+    fn handoffs(&self) -> u64 {
+        ShardedFrontier::handoffs(self)
+    }
+    fn shard_stats(&self) -> Vec<ShardStats> {
+        ShardedFrontier::shard_stats(self)
+    }
+}
+
+impl SlotFrontier for UrlQueue {
+    #[inline]
+    fn pop_ready(&mut self) -> Option<Entry> {
+        UrlQueue::pop(self)
+    }
+    #[inline]
+    fn release(&mut self, _host: u32, _ready_at: u64, _now: u64) -> bool {
+        false
+    }
+    #[inline]
+    fn advance_to(&mut self, _t: u64) {}
+    #[inline]
+    fn next_cooling(&self) -> Option<u64> {
+        None
+    }
+    #[inline]
+    fn host_of(&self, _p: PageId) -> u32 {
+        0
+    }
+    #[inline]
+    fn set_origin(&mut self, _host: Option<u32>) {}
+    #[inline]
+    fn handoffs(&self) -> u64 {
+        0
+    }
+    fn shard_stats(&self) -> Vec<ShardStats> {
+        Vec::new()
+    }
+}
+
+/// A fetch occupying a slot: started at `finish - 1`, resolves at
+/// `finish`. Completions process in `(finish, seq)` order — completion
+/// time with start-order tie-breaking — so completion processing is a
+/// pure function of the start schedule. Starts happen at the
+/// monotonically advancing `now` with an increasing start seq, so the
+/// in-flight queue is *born sorted* in that order and a plain FIFO
+/// holds it — no heap needed. The attempt number and fetch outcome are
+/// decided at start time (the fetch "happens" during its tick); only
+/// the bookkeeping waits for the completion.
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    finish: u64,
+    entry: Entry,
+    attempt: u32,
+    outcome: FetchOutcome,
+}
+
+impl CrawlEngine<'_> {
+    /// Per-host politeness gaps: base plus deterministic jitter. Empty
+    /// when politeness is disabled — the scheduler then skips the host
+    /// gap lookup entirely.
+    fn politeness_gaps(&self, sched: &SchedConfig) -> Vec<u64> {
+        let ws = self.web_space();
+        if sched.politeness_gap == 0 && sched.politeness_spread == 0 {
+            return Vec::new();
+        }
+        let seed = ws.generation_seed();
+        (0..ws.num_hosts() as u64)
+            .map(|h| {
+                let jitter = if sched.politeness_spread == 0 {
+                    0
+                } else {
+                    Rng::stream(seed, STREAM_POLITENESS | h)
+                        .random_range(0..=sched.politeness_spread)
+                };
+                sched.politeness_gap.saturating_add(jitter)
+            })
+            .collect()
+    }
+
+    /// Run one crawl under the virtual-time scheduler. Same contract as
+    /// [`CrawlEngine::run`] — same seeding, same per-page event
+    /// sequence, same outcome — except that up to
+    /// [`SchedConfig::slots`] fetches overlap in virtual time and
+    /// per-host politeness gaps stall hosts between starts. The
+    /// frontier is a [`ShardedFrontier`] built from the space's host
+    /// table.
+    pub fn run_scheduled(
+        &self,
+        sched: &SchedConfig,
+        strategy: &mut dyn Strategy,
+        classifier: &dyn Classifier,
+        sinks: &mut [&mut dyn EventSink],
+    ) -> EngineOutcome {
+        let mut admissions: Vec<Entry> = Vec::with_capacity(64);
+        self.run_scheduled_with_scratch(sched, strategy, classifier, sinks, &mut admissions)
+    }
+
+    /// [`CrawlEngine::run_scheduled`] with a caller-provided admission
+    /// scratch buffer (see
+    /// [`CrawlEngine::run_with_scratch`]).
+    pub fn run_scheduled_with_scratch(
+        &self,
+        sched: &SchedConfig,
+        strategy: &mut dyn Strategy,
+        classifier: &dyn Classifier,
+        sinks: &mut [&mut dyn EventSink],
+        scratch: &mut Vec<Entry>,
+    ) -> EngineOutcome {
+        self.run_scheduled_full(sched, strategy, classifier, sinks, scratch)
+            .0
+    }
+
+    /// [`CrawlEngine::run_scheduled_with_scratch`], additionally
+    /// returning the frontier's per-shard load counters — the raw
+    /// material for the parallelism sweep's imbalance and handoff
+    /// figures (the frontier itself is consumed by the run).
+    pub fn run_scheduled_full(
+        &self,
+        sched: &SchedConfig,
+        strategy: &mut dyn Strategy,
+        classifier: &dyn Classifier,
+        sinks: &mut [&mut dyn EventSink],
+        scratch: &mut Vec<Entry>,
+    ) -> (EngineOutcome, Vec<ShardStats>) {
+        let ws = self.web_space();
+        // Degenerate-point elision, tiered like the fault layer's
+        // inert-model fast path. With one slot, zero politeness and no
+        // explicit shard request, the host machinery cannot block,
+        // delay or reorder anything — the single slot always drains
+        // before the next pop, so no host is ever busy or cooling at
+        // pop time, and one shard's order is [`UrlQueue`] order (the
+        // shard-parity property test pins that equivalence; an explicit
+        // `shards` setting opts back into the sharded frontier, which
+        // the conformance suite uses to pin the sharded `K = 1`
+        // schedule against the legacy goldens). Two degenerate tiers:
+        //
+        // 1. No sink asks for [`SlotIdle`](CrawlEvent::SlotIdle) — the
+        //    only scheduler-only event that can fire here (it marks
+        //    retry-backoff stalls; handoffs and politeness waits are
+        //    structurally impossible). Then the schedule *is* the
+        //    legacy loop, outcome, ticks, events and all (pinned by
+        //    `single_slot_schedule_matches_legacy_engine`), so run it
+        //    verbatim — the scheduler-overhead microbench gate prices
+        //    this default path against the legacy loop directly.
+        // 2. A sink wants `SlotIdle`: run the virtual-time loop, but
+        //    over the legacy rings at ring cost instead of the sharded
+        //    frontier's heaps.
+        let degenerate = sched.effective_slots() == 1
+            && sched.shards == 0
+            && sched.politeness_gap == 0
+            && sched.politeness_spread == 0;
+        let wants = sinks.iter().fold(0u16, |m, s| m | s.interests());
+        if degenerate && wants & interest::SLOT_IDLE == 0 {
+            let frontier = UrlQueue::new(ws.num_pages(), strategy.levels());
+            let outcome = self.run_with_scratch(frontier, strategy, classifier, sinks, scratch);
+            (outcome, Vec::new())
+        } else if degenerate {
+            let frontier = UrlQueue::new(ws.num_pages(), strategy.levels());
+            self.sched_loop(sched, strategy, classifier, sinks, scratch, frontier)
+        } else {
+            let frontier =
+                ShardedFrontier::for_space(ws, strategy.levels(), sched.effective_shards());
+            self.sched_loop(sched, strategy, classifier, sinks, scratch, frontier)
+        }
+    }
+
+    /// The virtual-time event loop, monomorphized per frontier (the
+    /// sharded frontier, or the legacy rings at the degenerate point).
+    fn sched_loop<F: SlotFrontier>(
+        &self,
+        sched: &SchedConfig,
+        strategy: &mut dyn Strategy,
+        classifier: &dyn Classifier,
+        sinks: &mut [&mut dyn EventSink],
+        scratch: &mut Vec<Entry>,
+        mut frontier: F,
+    ) -> (EngineOutcome, Vec<ShardStats>) {
+        let ws = self.web_space();
+        let gaps = self.politeness_gaps(sched);
+        let slots = sched.effective_slots();
+        let sample_interval = self
+            .config
+            .sample_interval
+            .unwrap_or_else(|| (ws.num_pages() as u64 / 512).max(1));
+        let budget = self.config.max_pages.unwrap_or(u64::MAX);
+        let wants = sinks.iter().fold(0u16, |m, s| m | s.interests());
+
+        let retry = self.config.retry;
+        let max_attempts = retry.effective_max_attempts();
+        let fault = self.fault.as_ref();
+        // Next allowed fetch *start* per host (start-to-start gap),
+        // written at each start, read at the completion's release.
+        let mut next_ok: Vec<u64> = vec![0; ws.num_hosts()];
+
+        for &s in ws.seeds() {
+            frontier.push(Entry {
+                page: s,
+                priority: 0,
+                distance: 0,
+            });
+        }
+
+        // Same lazy fault bookkeeping as the legacy loop.
+        let mut attempt_counts: Vec<u32> = Vec::new();
+        let mut retry_heap: BinaryHeap<Reverse<(u64, u64, Entry)>> = BinaryHeap::new();
+        let mut retry_seq: u64 = 0;
+        // Born sorted by (finish, start seq): see [`InFlight`].
+        let mut in_flight: VecDeque<InFlight> = VecDeque::with_capacity(slots as usize);
+        let mut busy: u32 = 0;
+        let mut now: u64 = 0;
+        let mut attempts: u64 = 0;
+        let mut retries: u64 = 0;
+
+        let mut st = RunState {
+            sinks,
+            wants,
+            sample_interval,
+            crawled: 0,
+            relevant_crawled: 0,
+            gave_up: 0,
+        };
+
+        'outer: loop {
+            // 1. Due retries re-enter the frontier before slots fill, so
+            // the frontier orders them against fresh discoveries —
+            // identical to the legacy loop's drain-before-pop.
+            if !attempt_counts.is_empty() {
+                while let Some(&Reverse((ready, _, _))) = retry_heap.peek() {
+                    if ready > now {
+                        break;
+                    }
+                    if let Some(Reverse((_, _, e))) = retry_heap.pop() {
+                        frontier.requeue(e);
+                    }
+                }
+            }
+
+            // 2. Fill free slots in global priority order. Popping marks
+            // the host busy, so one host never occupies two slots.
+            while busy < slots {
+                let Some(entry) = frontier.pop_ready() else {
+                    break;
+                };
+                let p = entry.page;
+                attempts += 1;
+                let meta = ws.meta(p);
+                let (attempt, outcome) = match &fault {
+                    Some(model) => {
+                        let a = if attempt_counts.is_empty() {
+                            1
+                        } else {
+                            attempt_counts[p as usize] + 1
+                        };
+                        if a > 1 {
+                            retries += 1;
+                        }
+                        (a, model.outcome_at(meta.status, meta.host, p, a))
+                    }
+                    None => (
+                        1,
+                        FetchOutcome {
+                            status: meta.status,
+                            transient: false,
+                        },
+                    ),
+                };
+                if !gaps.is_empty() {
+                    let host = frontier.host_of(p);
+                    next_ok[host as usize] = now.saturating_add(gaps[host as usize]);
+                }
+                in_flight.push_back(InFlight {
+                    finish: now + 1,
+                    entry,
+                    attempt,
+                    outcome,
+                });
+                busy += 1;
+            }
+
+            // 3. Advance the clock to the next event. With busy slots
+            // that is always the earliest completion: fetches take one
+            // tick, so every in-flight fetch finishes at `now + 1`, and
+            // cool-downs/retries (strictly in the future) cannot beat
+            // it. With all slots empty the next event is the earliest
+            // cool-down expiry or retry readiness; neither pending means
+            // the crawl is over.
+            let t_next = if let Some(f) = in_flight.front() {
+                f.finish
+            } else {
+                let next_retry = retry_heap.peek().map(|&Reverse((ready, _, _))| ready);
+                match [frontier.next_cooling(), next_retry]
+                    .into_iter()
+                    .flatten()
+                    .min()
+                {
+                    Some(t) => t,
+                    None => break 'outer,
+                }
+            };
+            // Idle slots while work is waiting (parked behind busy or
+            // cooling hosts, or backing off in the retry heap) are the
+            // politeness/parallelism stall signal the sweep measures.
+            if wants & interest::SLOT_IDLE != 0 && busy < slots {
+                let waiting = frontier.pending() > 0 || !retry_heap.is_empty();
+                if waiting {
+                    emit(
+                        st.sinks,
+                        CrawlEvent::SlotIdle {
+                            tick: now,
+                            idle: slots - busy,
+                            span: t_next - now,
+                        },
+                    );
+                }
+            }
+            now = t_next;
+            frontier.advance_to(now);
+
+            // 4. Process completions due now, in (finish, start seq)
+            // order. Each releases its host first — politeness runs
+            // start-to-start, so the host may cool even as its fetch
+            // resolves — then retries or resolves exactly like the
+            // legacy loop.
+            while let Some(&f) = in_flight.front() {
+                if f.finish > now {
+                    break;
+                }
+                in_flight.pop_front();
+                busy -= 1;
+                let p = f.entry.page;
+                let host = frontier.host_of(p);
+                let ready_at = if gaps.is_empty() {
+                    0
+                } else {
+                    next_ok[host as usize]
+                };
+                let parked = frontier.release(host, ready_at, now);
+                if parked && wants & interest::POLITENESS != 0 {
+                    emit(
+                        st.sinks,
+                        CrawlEvent::PolitenessWait {
+                            host,
+                            until: ready_at,
+                        },
+                    );
+                }
+
+                if f.outcome.transient && f.attempt < max_attempts {
+                    if attempt_counts.is_empty() {
+                        attempt_counts = vec![0; ws.num_pages()];
+                    }
+                    attempt_counts[p as usize] = f.attempt;
+                    if wants & interest::ATTEMPT != 0 {
+                        emit(
+                            st.sinks,
+                            CrawlEvent::FetchAttempt {
+                                page: p,
+                                attempt: f.attempt,
+                                status: f.outcome.status,
+                                transient: true,
+                                retry: true,
+                                tick: now,
+                            },
+                        );
+                    }
+                    let ready = now.saturating_add(retry.delay(f.attempt));
+                    retry_heap.push(Reverse((ready, retry_seq, f.entry)));
+                    retry_seq += 1;
+                    continue;
+                }
+
+                let handoffs_before = frontier.handoffs();
+                frontier.set_origin(Some(host));
+                self.resolve(
+                    &mut st,
+                    &mut frontier,
+                    strategy,
+                    classifier,
+                    scratch,
+                    Resolution {
+                        entry: f.entry,
+                        attempt: f.attempt,
+                        outcome: f.outcome,
+                        tick: now,
+                    },
+                );
+                frontier.set_origin(None);
+                let crossed = frontier.handoffs() - handoffs_before;
+                if crossed > 0 && wants & interest::HANDOFF != 0 {
+                    emit(
+                        st.sinks,
+                        CrawlEvent::ShardHandoff {
+                            page: p,
+                            crossed: crossed as u32,
+                        },
+                    );
+                }
+                if st.crawled >= budget {
+                    break 'outer;
+                }
+            }
+        }
+
+        if wants & interest::FINISHED != 0 {
+            emit(
+                st.sinks,
+                CrawlEvent::Finished {
+                    crawled: st.crawled,
+                    relevant: st.relevant_crawled,
+                    pending: frontier.pending(),
+                    max_pending: frontier.max_pending(),
+                    total_pushes: frontier.total_pushes(),
+                },
+            );
+        }
+
+        let outcome = EngineOutcome {
+            crawled: st.crawled,
+            relevant_crawled: st.relevant_crawled,
+            max_pending: frontier.max_pending(),
+            total_pushes: frontier.total_pushes(),
+            attempts,
+            retries,
+            gave_up: st.gave_up,
+            ticks: now,
+        };
+        (outcome, frontier.shard_stats())
+    }
+}
+
+#[inline]
+fn emit(sinks: &mut [&mut dyn EventSink], event: CrawlEvent) {
+    for sink in sinks.iter_mut() {
+        sink.on_event(&event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::OracleClassifier;
+    use crate::engine::EngineConfig;
+    use crate::event::{SchedStatsSink, VisitRecorder};
+    use crate::strategy::{BreadthFirst, SimpleStrategy};
+    use langcrawl_webgraph::{GeneratorConfig, WebSpace};
+
+    fn space() -> WebSpace {
+        GeneratorConfig::thai_like().scaled(4_000).build(9)
+    }
+
+    #[test]
+    fn single_slot_schedule_matches_legacy_engine() {
+        let ws = space();
+        let engine = CrawlEngine::new(&ws, EngineConfig::default());
+        let legacy = {
+            let mut visits = VisitRecorder::new();
+            let o = engine.run(
+                UrlQueue::new(ws.num_pages(), 1),
+                &mut BreadthFirst::new(),
+                &OracleClassifier::target(ws.target_language()),
+                &mut [&mut visits],
+            );
+            (o, visits.into_visited())
+        };
+        // Default config (full legacy-loop elision), the same with a
+        // `SlotIdle`-interested sink attached (the virtual-time loop
+        // over the legacy rings), and explicit shard counts (the real
+        // sharded frontier) must all reproduce the legacy run exactly.
+        for (shards, stats) in [(0u32, false), (0, true), (1, false), (3, false)] {
+            let scheduled = {
+                let mut visits = VisitRecorder::new();
+                let mut sched_stats = SchedStatsSink::new();
+                let mut sinks: Vec<&mut dyn EventSink> = vec![&mut visits];
+                if stats {
+                    sinks.push(&mut sched_stats);
+                }
+                let o = engine.run_scheduled(
+                    &SchedConfig {
+                        shards,
+                        ..SchedConfig::default()
+                    },
+                    &mut BreadthFirst::new(),
+                    &OracleClassifier::target(ws.target_language()),
+                    &mut sinks,
+                );
+                (o, visits.into_visited())
+            };
+            assert_eq!(legacy.0, scheduled.0, "{shards} shards, stats={stats}");
+            assert_eq!(legacy.1, scheduled.1, "{shards} shards, stats={stats}");
+        }
+    }
+
+    #[test]
+    fn more_slots_shrink_the_makespan() {
+        let ws = space();
+        let engine = CrawlEngine::new(&ws, EngineConfig::default());
+        let run = |k: u32| {
+            engine.run_scheduled(
+                &SchedConfig::with_slots(k),
+                &mut SimpleStrategy::soft(),
+                &OracleClassifier::target(ws.target_language()),
+                &mut [],
+            )
+        };
+        let k1 = run(1);
+        let k8 = run(8);
+        // Same work either way; only the schedule differs.
+        assert_eq!(k1.crawled, k8.crawled);
+        assert_eq!(k1.relevant_crawled, k8.relevant_crawled);
+        assert!(
+            k8.ticks < k1.ticks,
+            "8 slots must beat 1: {} vs {}",
+            k8.ticks,
+            k1.ticks
+        );
+        // Perfect speedup is ceil(attempts / K); the schedule can only
+        // be worse (per-host concurrency 1), never better.
+        assert!(k8.ticks >= k8.attempts.div_ceil(8));
+    }
+
+    #[test]
+    fn politeness_stretches_the_makespan() {
+        let ws = space();
+        let engine = CrawlEngine::new(&ws, EngineConfig::default());
+        let run = |gap: u64| {
+            let mut stats = SchedStatsSink::new();
+            let o = engine.run_scheduled(
+                &SchedConfig {
+                    slots: 4,
+                    politeness_gap: gap,
+                    ..SchedConfig::default()
+                },
+                &mut SimpleStrategy::soft(),
+                &OracleClassifier::target(ws.target_language()),
+                &mut [&mut stats],
+            );
+            (o, stats)
+        };
+        let (free, _) = run(0);
+        let (polite, stats) = run(6);
+        assert_eq!(
+            free.crawled, polite.crawled,
+            "politeness reorders, never loses"
+        );
+        assert_eq!(free.relevant_crawled, polite.relevant_crawled);
+        assert!(polite.ticks > free.ticks, "gaps must stall the schedule");
+        assert!(
+            stats.politeness_waits > 0,
+            "hosts must park with work queued"
+        );
+        assert!(stats.idle_slot_ticks > 0, "stalls must idle slots");
+    }
+
+    #[test]
+    fn politeness_jitter_is_deterministic() {
+        let ws = space();
+        let engine = CrawlEngine::new(&ws, EngineConfig::default());
+        let sched = SchedConfig {
+            slots: 4,
+            politeness_gap: 2,
+            politeness_spread: 3,
+            ..SchedConfig::default()
+        };
+        let gaps = engine.politeness_gaps(&sched);
+        assert_eq!(gaps, engine.politeness_gaps(&sched));
+        assert!(gaps.iter().all(|&g| (2..=5).contains(&g)));
+        assert!(
+            gaps.iter().any(|&g| g != gaps[0]),
+            "jitter must actually vary across hosts"
+        );
+        let run = || {
+            let mut visits = VisitRecorder::new();
+            let o = engine.run_scheduled(
+                &sched,
+                &mut SimpleStrategy::soft(),
+                &OracleClassifier::target(ws.target_language()),
+                &mut [&mut visits],
+            );
+            (o, visits.into_visited())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn budget_stops_scheduled_runs() {
+        let ws = space();
+        let engine = CrawlEngine::new(
+            &ws,
+            EngineConfig {
+                max_pages: Some(100),
+                ..EngineConfig::default()
+            },
+        );
+        let outcome = engine.run_scheduled(
+            &SchedConfig::with_slots(16),
+            &mut BreadthFirst::new(),
+            &OracleClassifier::target(ws.target_language()),
+            &mut [],
+        );
+        assert_eq!(outcome.crawled, 100);
+    }
+
+    #[test]
+    fn faulted_scheduled_runs_retry_and_terminate() {
+        let ws = space();
+        let engine = CrawlEngine::new(
+            &ws,
+            EngineConfig {
+                fault: langcrawl_webgraph::FaultConfig::with_rate(0.2),
+                ..EngineConfig::default()
+            },
+        );
+        let outcome = engine.run_scheduled(
+            &SchedConfig {
+                slots: 4,
+                politeness_gap: 1,
+                ..SchedConfig::default()
+            },
+            &mut BreadthFirst::new(),
+            &OracleClassifier::target(ws.target_language()),
+            &mut [],
+        );
+        assert!(outcome.crawled > 0);
+        assert!(outcome.retries > 0);
+        assert!(outcome.gave_up > 0);
+        assert_eq!(outcome.attempts, outcome.crawled + outcome.retries);
+    }
+}

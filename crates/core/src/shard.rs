@@ -1,0 +1,613 @@
+//! The host-sharded frontier — BUbiNG's frontier layout in miniature.
+//!
+//! Production crawlers partition the frontier by host: politeness is a
+//! per-host constraint, so the unit of scheduling is the host queue,
+//! and hosts are hash-partitioned across shards (agents, in BUbiNG's
+//! vocabulary) so discovery traffic can be routed to the shard that
+//! owns the link's host. [`ShardedFrontier`] reproduces that layout
+//! over the virtual web space while implementing the existing
+//! [`Frontier`] trait, so strategies and the admission contract are
+//! untouched:
+//!
+//! * **admission** is global and identical to [`UrlQueue`]: one `best`
+//!   key table, one `done` table, `pending()` counts distinct waiting
+//!   pages;
+//! * **storage** is per-host: every entry lives in its host's parked
+//!   heap, always. A ready host additionally *exposes* a copy of its
+//!   minimum entry as a token in the owning shard's avail heap; tokens
+//!   are disposable — when a host's minimum changes (better discovery,
+//!   state transition), a fresh token is pushed and the old one goes
+//!   stale, to be discarded when it surfaces;
+//! * **pop order** is the exact global `(priority level, FIFO seq)`
+//!   discipline of [`UrlQueue`], *regardless of shard count*: each
+//!   ready host exposes exactly its minimum entry, so the minimum over
+//!   shard tops is the global minimum, and stale entries are skipped
+//!   destructively at pop time just as the FIFO rings skip them. The
+//!   shard-parity property test drives this equivalence through random
+//!   push/pop/requeue interleavings.
+//!
+//! The scheduler-facing surface ([`ShardedFrontier::pop_ready`],
+//! [`ShardedFrontier::release`], [`ShardedFrontier::advance_to`]) adds
+//! per-host state — `Ready`/`Busy`/`Cooling` — on top: a busy or
+//! cooling host parks all its entries and exposes nothing, which is
+//! how per-host concurrency 1 and politeness gaps are enforced without
+//! any scan. With every host permanently ready (the plain [`Frontier`]
+//! path), the state machinery is inert.
+//!
+//! Tie-breaks are total and deterministic everywhere: `(level, seq)`
+//! orders entries (seq is the global push ordinal, so FIFO within a
+//! level), `(ready_at, host)` orders cool-downs, and shard assignment
+//! is a pure hash of the host id.
+
+use crate::frontier::Frontier;
+use crate::queue::Entry;
+use langcrawl_rng::mix;
+use langcrawl_webgraph::{PageId, WebSpace};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Salt for the host → shard hash. Any fixed constant works; hashing
+/// (rather than `host % shards`) decorrelates shard load from the
+/// generator's host-id layout, which allocates contiguous id ranges to
+/// similar hosts.
+const SHARD_SALT: u64 = 0x5ca1_ab1e_0000_0001;
+
+/// A stored entry: `(level, seq)` is the total order, the tail carries
+/// the entry payload. `seq` is unique, so comparisons never reach the
+/// payload and ordering is a pure function of push history.
+type Slot = (u8, u64, PageId, u8, u8);
+
+/// Per-host scheduling state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum HostState {
+    /// May fetch: its minimum entry (if any) stands in the shard's
+    /// avail heap.
+    Ready,
+    /// A fetch is in flight: per-host concurrency 1 parks everything.
+    Busy,
+    /// Politeness cool-down: parked until its `ready_at` tick.
+    Cooling,
+}
+
+/// One host's queue. Every entry of the host lives in `parked` until it
+/// is popped; the avail heap only ever holds *copies*.
+#[derive(Debug, Default)]
+struct HostQueue {
+    parked: BinaryHeap<Reverse<Slot>>,
+    /// `(level, seq)` of the token this host currently exposes in its
+    /// shard's avail heap; `None` when the host exposes nothing (busy,
+    /// cooling, or empty). Always equals `parked`'s minimum when set.
+    /// Avail tokens that do not match are stale and simply discarded —
+    /// the entries they carry are safe in `parked`.
+    exposed: Option<(u8, u64)>,
+}
+
+/// Per-shard load counters, for the imbalance stats the parallelism
+/// sweep reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Accepted pushes routed to this shard.
+    pub pushes: u64,
+    /// Entries popped from this shard.
+    pub pops: u64,
+    /// Accepted pushes that arrived from a fetch resolving on another
+    /// shard — the cross-shard discovery handoff traffic.
+    pub handoffs_in: u64,
+}
+
+/// `(level, seq, host, page, priority, distance)` — an exposure token:
+/// a disposable copy of one host's parked minimum, ordered by the same
+/// `(level, seq)` key as the host heaps.
+type AvailToken = (u8, u64, u32, PageId, u8, u8);
+
+/// One shard: the hosts it owns expose their minima here.
+#[derive(Debug, Default)]
+struct Shard {
+    /// Exposure tokens (copies of host minima), live and stale mixed;
+    /// staleness is checked against the host's `exposed` marker when a
+    /// token surfaces.
+    avail: BinaryHeap<Reverse<AvailToken>>,
+    /// `(ready_at, host)` for hosts in politeness cool-down.
+    cooling: BinaryHeap<Reverse<(u64, u32)>>,
+    stats: ShardStats,
+}
+
+/// The host-sharded, politeness-aware frontier. See the module docs for
+/// the layout; see [`Frontier`] for the admission contract it shares
+/// with [`UrlQueue`] and
+/// [`crate::frontier::BestFirstFrontier`].
+///
+/// ```
+/// use langcrawl_core::frontier::Frontier;
+/// use langcrawl_core::queue::Entry;
+/// use langcrawl_core::shard::ShardedFrontier;
+///
+/// // Four pages on two hosts, two shards.
+/// let mut f = ShardedFrontier::new(vec![0, 0, 1, 1], 2, 2, 2);
+/// f.push(Entry { page: 2, priority: 1, distance: 0 });
+/// f.push(Entry { page: 1, priority: 0, distance: 0 });
+/// assert_eq!(f.pop().unwrap().page, 1); // global level order, not per-shard
+/// assert_eq!(f.pop().unwrap().page, 2);
+/// ```
+#[derive(Debug)]
+pub struct ShardedFrontier {
+    shards: Vec<Shard>,
+    hosts: Vec<HostQueue>,
+    host_state: Vec<HostState>,
+    /// Host owning each page.
+    host_of_page: Vec<u32>,
+    /// Owning shard of each host (pure hash of the host id).
+    shard_of_host: Vec<u32>,
+    /// Priority levels; priorities at or above clamp into the last
+    /// level, exactly like [`UrlQueue`].
+    num_levels: usize,
+    /// Best admission key per page; `u16::MAX` = never admitted.
+    best: Vec<u16>,
+    /// Pages fetched already (their stored entries are stale).
+    done: Vec<bool>,
+    pending: usize,
+    max_pending: usize,
+    pushes: u64,
+    /// Global push ordinal: FIFO tie-break within a level.
+    seq: u64,
+    /// Host currently resolving a fetch, for handoff attribution.
+    origin: Option<u32>,
+    /// Total accepted pushes that crossed shards (sum of
+    /// [`ShardStats::handoffs_in`]).
+    handoffs: u64,
+}
+
+impl ShardedFrontier {
+    /// A frontier over `num_pages = host_of_page.len()` pages living on
+    /// `num_hosts` hosts, with `levels` priority levels, partitioned
+    /// into `shards` shards.
+    pub fn new(host_of_page: Vec<u32>, num_hosts: usize, levels: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let num_pages = host_of_page.len();
+        ShardedFrontier {
+            shards: (0..shards).map(|_| Shard::default()).collect(),
+            hosts: (0..num_hosts).map(|_| HostQueue::default()).collect(),
+            host_state: vec![HostState::Ready; num_hosts],
+            host_of_page,
+            shard_of_host: (0..num_hosts)
+                .map(|h| (mix(SHARD_SALT, h as u64) % shards as u64) as u32)
+                .collect(),
+            num_levels: levels.max(1),
+            best: vec![u16::MAX; num_pages],
+            done: vec![false; num_pages],
+            pending: 0,
+            max_pending: 0,
+            pushes: 0,
+            seq: 0,
+            origin: None,
+            handoffs: 0,
+        }
+    }
+
+    /// A frontier over a virtual web space's host table.
+    pub fn for_space(ws: &WebSpace, levels: usize, shards: usize) -> Self {
+        let host_of_page = ws.page_ids().map(|p| ws.host_id(p)).collect();
+        ShardedFrontier::new(host_of_page, ws.num_hosts(), levels, shards)
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Host owning a page.
+    pub fn host_of(&self, p: PageId) -> u32 {
+        self.host_of_page[p as usize]
+    }
+
+    /// Shard owning a host.
+    pub fn shard_of(&self, host: u32) -> usize {
+        self.shard_of_host[host as usize] as usize
+    }
+
+    /// Per-shard load counters, in shard order.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards.iter().map(|s| s.stats).collect()
+    }
+
+    /// Total accepted pushes that crossed shards so far. The scheduler
+    /// reads the delta across one resolution to emit
+    /// [`crate::event::CrawlEvent::ShardHandoff`].
+    pub fn handoffs(&self) -> u64 {
+        self.handoffs
+    }
+
+    /// Declare the host whose fetch is currently being resolved:
+    /// subsequent accepted pushes landing on another shard count as
+    /// handoffs. `None` (the initial state) attributes nothing — seed
+    /// pushes are not discovery traffic.
+    pub fn set_origin(&mut self, host: Option<u32>) {
+        self.origin = host;
+    }
+
+    /// `UrlQueue`'s level clamp: priorities at or above the level count
+    /// share the last ring.
+    fn level(&self, e: &Entry) -> u8 {
+        (e.priority as usize).min(self.num_levels - 1) as u8
+    }
+
+    /// Store an accepted entry on its host and re-expose the host's
+    /// minimum, updating shard stats.
+    fn insert(&mut self, e: Entry) {
+        let host = self.host_of_page[e.page as usize];
+        let level = self.level(&e);
+        let seq = self.seq;
+        self.seq += 1;
+        let si = self.shard_of_host[host as usize] as usize;
+        self.shards[si].stats.pushes += 1;
+        if let Some(from) = self.origin {
+            if self.shard_of_host[from as usize] as usize != si {
+                self.shards[si].stats.handoffs_in += 1;
+                self.handoffs += 1;
+            }
+        }
+        let slot: Slot = (level, seq, e.page, e.priority, e.distance);
+        self.hosts[host as usize].parked.push(Reverse(slot));
+        self.refresh(host);
+    }
+
+    /// Re-establish the exposure invariant for one host: a `Ready` host
+    /// with entries exposes exactly its parked minimum. Pushes a fresh
+    /// token when the exposed minimum changed (the previous token, if
+    /// any, goes stale and is discarded when it surfaces); no-op for
+    /// busy/cooling hosts and when the minimum is already exposed.
+    fn refresh(&mut self, host: u32) {
+        if self.host_state[host as usize] != HostState::Ready {
+            return;
+        }
+        let hq = &mut self.hosts[host as usize];
+        match hq.parked.peek() {
+            Some(&Reverse((level, seq, page, priority, distance))) => {
+                if hq.exposed != Some((level, seq)) {
+                    hq.exposed = Some((level, seq));
+                    let si = self.shard_of_host[host as usize] as usize;
+                    self.shards[si]
+                        .avail
+                        .push(Reverse((level, seq, host, page, priority, distance)));
+                }
+            }
+            None => hq.exposed = None,
+        }
+    }
+
+    /// Settle shard `si`'s avail top to a live token and return its
+    /// `(level, seq)`, discarding stale tokens along the way. `None`
+    /// when the shard exposes nothing.
+    fn clean_top(&mut self, si: usize) -> Option<(u8, u64)> {
+        loop {
+            let &Reverse((level, seq, host, ..)) = self.shards[si].avail.peek()?;
+            if self.hosts[host as usize].exposed == Some((level, seq)) {
+                // A live token implies its host is Ready (only
+                // `refresh` sets `exposed`, and every transition away
+                // from Ready clears it) and that the token mirrors the
+                // host's parked minimum.
+                return Some((level, seq));
+            }
+            // Stale token: the host's minimum moved on, or the host
+            // left Ready. The entry it carries still lives in the
+            // host's parked heap, so the copy is just dropped.
+            self.shards[si].avail.pop();
+        }
+    }
+
+    /// Pop the global minimum over ready hosts. `mark_busy` is the
+    /// scheduler path: the popped entry's host transitions to `Busy`
+    /// (per-host concurrency 1) instead of re-exposing its next entry.
+    fn pop_inner(&mut self, mark_busy: bool) -> Option<Entry> {
+        loop {
+            // The minimum over shard tops is the global minimum over
+            // ready hosts: each ready host exposes exactly its minimum.
+            let mut min: Option<(usize, (u8, u64))> = None;
+            for si in 0..self.shards.len() {
+                if let Some(k) = self.clean_top(si) {
+                    if min.is_none_or(|(_, mk)| k < mk) {
+                        min = Some((si, k));
+                    }
+                }
+            }
+            let (si, _) = min?;
+            let Reverse((_, _, host, page, priority, distance)) = self.shards[si].avail.pop()?;
+            // The live token is a copy of the host's parked minimum;
+            // consume the original too.
+            let hq = &mut self.hosts[host as usize];
+            hq.exposed = None;
+            hq.parked.pop();
+            let e = Entry {
+                page,
+                priority,
+                distance,
+            };
+            let idx = page as usize;
+            if self.done[idx] || key(&e) > self.best[idx] {
+                // Stale: fetched already, or superseded by a better
+                // admission. Discarded destructively at pop time —
+                // exactly when the FIFO rings would have skipped it.
+                self.refresh(host);
+                continue;
+            }
+            self.done[idx] = true;
+            self.pending -= 1;
+            self.shards[si].stats.pops += 1;
+            if mark_busy {
+                self.host_state[host as usize] = HostState::Busy;
+            } else {
+                self.refresh(host);
+            }
+            return Some(e);
+        }
+    }
+
+    /// Scheduler pop: the global minimum over *ready* hosts, marking
+    /// the winning host `Busy`. Busy and cooling hosts expose nothing,
+    /// so per-host concurrency 1 and politeness gaps hold by
+    /// construction. `None` when every waiting entry belongs to a busy
+    /// or cooling host (or the frontier is dry).
+    pub fn pop_ready(&mut self) -> Option<Entry> {
+        self.pop_inner(true)
+    }
+
+    /// Finish a fetch on `host`. `ready_at` is the host's next allowed
+    /// fetch start (politeness); at or before `now` the host returns to
+    /// `Ready` immediately, otherwise it parks in its shard's cool-down
+    /// heap. Returns `true` when the host was parked *with work still
+    /// queued* — the politeness-wait signal.
+    pub fn release(&mut self, host: u32, ready_at: u64, now: u64) -> bool {
+        if ready_at > now {
+            self.host_state[host as usize] = HostState::Cooling;
+            let si = self.shard_of_host[host as usize] as usize;
+            self.shards[si].cooling.push(Reverse((ready_at, host)));
+            !self.hosts[host as usize].parked.is_empty()
+        } else {
+            self.host_state[host as usize] = HostState::Ready;
+            self.refresh(host);
+            false
+        }
+    }
+
+    /// Wake every host whose cool-down expires at or before `t`.
+    pub fn advance_to(&mut self, t: u64) {
+        for si in 0..self.shards.len() {
+            while let Some(&Reverse((ready_at, host))) = self.shards[si].cooling.peek() {
+                if ready_at > t {
+                    break;
+                }
+                self.shards[si].cooling.pop();
+                self.host_state[host as usize] = HostState::Ready;
+                self.refresh(host);
+            }
+        }
+    }
+
+    /// Earliest tick at which a cooling host wakes, if any — the
+    /// scheduler's next candidate time when slots idle.
+    pub fn next_cooling(&self) -> Option<u64> {
+        self.shards
+            .iter()
+            .filter_map(|s| s.cooling.peek().map(|&Reverse((at, _))| at))
+            .min()
+    }
+}
+
+/// The shared admission key (identical to `UrlQueue`'s).
+fn key(e: &Entry) -> u16 {
+    ((e.priority as u16) << 8) | e.distance as u16
+}
+
+impl Frontier for ShardedFrontier {
+    fn push(&mut self, e: Entry) -> bool {
+        let idx = e.page as usize;
+        if self.done[idx] {
+            return false;
+        }
+        let k = key(&e);
+        if k >= self.best[idx] {
+            return false; // duplicate or not better
+        }
+        if self.best[idx] == u16::MAX {
+            self.pending += 1;
+            self.max_pending = self.max_pending.max(self.pending);
+        }
+        self.best[idx] = k;
+        self.insert(e);
+        self.pushes += 1;
+        true
+    }
+
+    fn pop(&mut self) -> Option<Entry> {
+        self.pop_inner(false)
+    }
+
+    fn requeue(&mut self, e: Entry) -> bool {
+        let idx = e.page as usize;
+        if !self.done[idx] {
+            return self.push(e);
+        }
+        self.done[idx] = false;
+        self.best[idx] = key(&e);
+        self.pending += 1;
+        self.max_pending = self.max_pending.max(self.pending);
+        self.insert(e);
+        self.pushes += 1;
+        true
+    }
+
+    fn pending(&self) -> usize {
+        self.pending
+    }
+
+    fn max_pending(&self) -> usize {
+        self.max_pending
+    }
+
+    fn total_pushes(&self) -> u64 {
+        self.pushes
+    }
+
+    fn is_done(&self, p: PageId) -> bool {
+        self.done[p as usize]
+    }
+
+    fn was_admitted(&self, p: PageId) -> bool {
+        self.best[p as usize] != u16::MAX
+    }
+}
+
+/// The plain-`Frontier` face of [`UrlQueue`] and [`ShardedFrontier`]
+/// share semantics; re-exported tests pin it, so nothing here.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::UrlQueue;
+
+    fn e(page: PageId, priority: u8, distance: u8) -> Entry {
+        Entry {
+            page,
+            priority,
+            distance,
+        }
+    }
+
+    /// 8 pages spread over 3 hosts (pages 0..3 on host 0, 3..6 on
+    /// host 1, 6..8 on host 2).
+    fn frontier(shards: usize) -> ShardedFrontier {
+        ShardedFrontier::new(vec![0, 0, 0, 1, 1, 1, 2, 2], 3, 4, shards)
+    }
+
+    #[test]
+    fn global_pop_order_matches_urlqueue_for_any_shard_count() {
+        let pushes = [
+            e(3, 1, 0),
+            e(0, 0, 0),
+            e(6, 0, 0),
+            e(1, 2, 1),
+            e(4, 0, 2),
+            e(1, 0, 0), // re-prioritized
+            e(7, 3, 0),
+        ];
+        let mut reference = UrlQueue::new(8, 4);
+        for &p in &pushes {
+            reference.push(p);
+        }
+        let want: Vec<Entry> = std::iter::from_fn(|| reference.pop()).collect();
+        for shards in [1, 2, 3, 8] {
+            let mut f = frontier(shards);
+            for &p in &pushes {
+                Frontier::push(&mut f, p);
+            }
+            let got: Vec<Entry> = std::iter::from_fn(|| f.pop()).collect();
+            assert_eq!(got, want, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn busy_host_is_skipped_and_resumes() {
+        let mut f = frontier(2);
+        f.push(e(0, 0, 0));
+        f.push(e(1, 0, 0));
+        f.push(e(3, 1, 0));
+        // Pop page 0 → host 0 busy; its page 1 is parked, so the next
+        // ready entry is host 1's page 3 despite its worse level.
+        let first = f.pop_ready().unwrap();
+        assert_eq!(first.page, 0);
+        assert_eq!(f.pop_ready().unwrap().page, 3);
+        assert!(f.pop_ready().is_none(), "both hosts busy");
+        // Releasing host 0 with no politeness re-exposes page 1.
+        assert!(!f.release(0, 0, 0));
+        assert_eq!(f.pop_ready().unwrap().page, 1);
+    }
+
+    #[test]
+    fn cooling_host_waits_for_advance() {
+        let mut f = frontier(1);
+        f.push(e(0, 0, 0));
+        f.push(e(1, 0, 0));
+        assert_eq!(f.pop_ready().unwrap().page, 0);
+        // Host 0 owes a gap until tick 5 and still has page 1 queued.
+        assert!(f.release(0, 5, 1), "parked with work → politeness wait");
+        assert!(f.pop_ready().is_none());
+        assert_eq!(f.next_cooling(), Some(5));
+        f.advance_to(4);
+        assert!(f.pop_ready().is_none(), "gap not yet elapsed");
+        f.advance_to(5);
+        assert_eq!(f.pop_ready().unwrap().page, 1);
+        assert_eq!(f.next_cooling(), None);
+    }
+
+    #[test]
+    fn handoffs_attribute_cross_shard_pushes() {
+        // The shard hash is opaque: find a shard count under which two
+        // fixture hosts land on different shards, and a page on each.
+        let (shards, home, away) = (2..=16usize)
+            .find_map(|n| {
+                let probe = frontier(n);
+                (0..3u32)
+                    .flat_map(|a| (0..3u32).map(move |b| (a, b)))
+                    .find(|&(a, b)| probe.shard_of(a) != probe.shard_of(b))
+                    .map(|(a, b)| (n, a, b))
+            })
+            .expect("some shard count must separate the fixture hosts");
+        let page_on = |h: u32| [0u32, 3, 6][h as usize];
+        let mut f = frontier(shards);
+        f.set_origin(Some(home));
+        f.push(e(page_on(away), 0, 0)); // crosses shards
+        f.push(e(page_on(home), 1, 0)); // stays home
+        assert_eq!(f.handoffs(), 1);
+        let stats = f.shard_stats();
+        assert_eq!(stats.iter().map(|s| s.handoffs_in).sum::<u64>(), 1);
+        assert_eq!(stats.iter().map(|s| s.pushes).sum::<u64>(), 2);
+        f.set_origin(None);
+        f.push(e(7, 0, 0)); // no origin: seeds never count
+        assert_eq!(f.handoffs(), 1);
+    }
+
+    #[test]
+    fn requeue_matches_urlqueue_semantics() {
+        let mut f = frontier(2);
+        f.push(e(2, 0, 0));
+        f.pop().unwrap();
+        assert!(!f.push(e(2, 0, 0)), "push refuses done pages");
+        assert!(f.requeue(e(2, 1, 0)));
+        assert!(!f.is_done(2));
+        assert_eq!(f.pending(), 1);
+        let again = f.pop().unwrap();
+        assert_eq!((again.page, again.priority), (2, 1));
+        assert!(f.pop().is_none());
+    }
+
+    #[test]
+    fn accounting_matches_urlqueue_semantics() {
+        let mut f = frontier(3);
+        for p in 0..5 {
+            f.push(e(p, 0, 0));
+        }
+        assert_eq!(f.pending(), 5);
+        assert_eq!(f.max_pending(), 5);
+        f.pop();
+        f.pop();
+        assert_eq!(f.pending(), 3);
+        assert_eq!(f.max_pending(), 5);
+        assert_eq!(f.total_pushes(), 5);
+        let stats = f.shard_stats();
+        assert_eq!(stats.iter().map(|s| s.pushes).sum::<u64>(), 5);
+        assert_eq!(stats.iter().map(|s| s.pops).sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn reprioritization_supersedes_the_representative() {
+        let mut f = frontier(1);
+        assert!(f.push(e(1, 2, 0)));
+        assert!(f.push(e(0, 3, 0)));
+        // Page 1 re-discovered at a better priority: the old exposure
+        // token goes stale and the better entry is exposed instead.
+        assert!(f.push(e(1, 0, 0)));
+        assert_eq!(f.pending(), 2);
+        assert_eq!(f.pop().unwrap(), e(1, 0, 0));
+        assert_eq!(f.pop().unwrap(), e(0, 3, 0));
+        assert!(f.pop().is_none(), "stale duplicate skipped");
+    }
+}

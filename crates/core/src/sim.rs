@@ -17,6 +17,7 @@ use crate::event::{EventSink, MetricsSampler, VisitRecorder};
 use crate::metrics::CrawlReport;
 use crate::queue::UrlQueue;
 use crate::retry::RetryPolicy;
+use crate::sched::SchedConfig;
 use crate::strategy::Strategy;
 use langcrawl_webgraph::{FaultConfig, WebSpace};
 
@@ -48,6 +49,14 @@ pub struct SimConfig {
     pub fault_override: Option<FaultConfig>,
     /// Retry/backoff policy for transient fetch failures.
     pub retry: RetryPolicy,
+    /// Virtual-time scheduler configuration. `None` — the default —
+    /// runs the legacy single-slot loop over a [`UrlQueue`]; `Some`
+    /// runs the event-driven scheduler over a
+    /// [`crate::shard::ShardedFrontier`] with that many fetch slots and
+    /// per-host politeness. `Some(SchedConfig::default())` (one slot,
+    /// zero politeness) produces bit-identical reports to `None` — the
+    /// scheduler conformance suite pins this.
+    pub sched: Option<SchedConfig>,
 }
 
 impl SimConfig {
@@ -79,6 +88,38 @@ impl SimConfig {
     /// Use `retry` as the transient-failure retry policy.
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
+        self
+    }
+
+    /// Run under the virtual-time scheduler with `k` fetch slots (see
+    /// [`SimConfig::sched`]).
+    pub fn with_workers(mut self, k: u32) -> Self {
+        self.sched.get_or_insert_with(SchedConfig::default).slots = k;
+        self
+    }
+
+    /// Set the per-host politeness gap in ticks (minimum interval
+    /// between fetch starts on one host), enabling the scheduler.
+    pub fn with_politeness(mut self, gap: u64) -> Self {
+        self.sched
+            .get_or_insert_with(SchedConfig::default)
+            .politeness_gap = gap;
+        self
+    }
+
+    /// Set the deterministic per-host politeness jitter bound, enabling
+    /// the scheduler.
+    pub fn with_politeness_spread(mut self, spread: u64) -> Self {
+        self.sched
+            .get_or_insert_with(SchedConfig::default)
+            .politeness_spread = spread;
+        self
+    }
+
+    /// Set the frontier shard count (`0` = one shard per slot),
+    /// enabling the scheduler.
+    pub fn with_shards(mut self, shards: u32) -> Self {
+        self.sched.get_or_insert_with(SchedConfig::default).shards = shards;
         self
     }
 }
@@ -140,28 +181,14 @@ impl<'a> Simulator<'a> {
                 retry: self.config.retry,
             },
         );
-        let frontier = UrlQueue::new(ws.num_pages(), strategy.levels());
-
         let mut metrics = MetricsSampler::new();
         let mut visits = VisitRecorder::new();
         let outcome = if self.config.record_visits {
             let mut sinks: [&mut dyn EventSink; 2] = [&mut metrics, &mut visits];
-            engine.run_with_scratch(
-                frontier,
-                strategy,
-                classifier,
-                &mut sinks,
-                &mut self.scratch,
-            )
+            self.dispatch(&engine, strategy, classifier, &mut sinks)
         } else {
             let mut sinks: [&mut dyn EventSink; 1] = [&mut metrics];
-            engine.run_with_scratch(
-                frontier,
-                strategy,
-                classifier,
-                &mut sinks,
-                &mut self.scratch,
-            )
+            self.dispatch(&engine, strategy, classifier, &mut sinks)
         };
 
         CrawlReport {
@@ -177,6 +204,35 @@ impl<'a> Simulator<'a> {
             attempts: outcome.attempts,
             retries: outcome.retries,
             gave_up: outcome.gave_up,
+            ticks: outcome.ticks,
+        }
+    }
+
+    /// Run through the configured engine path: the legacy single-slot
+    /// loop over a [`UrlQueue`] by default, or the virtual-time
+    /// scheduler when [`SimConfig::sched`] is set.
+    fn dispatch(
+        &mut self,
+        engine: &CrawlEngine<'_>,
+        strategy: &mut dyn Strategy,
+        classifier: &dyn Classifier,
+        sinks: &mut [&mut dyn EventSink],
+    ) -> crate::engine::EngineOutcome {
+        match self.config.sched {
+            Some(sched) => engine.run_scheduled_with_scratch(
+                &sched,
+                strategy,
+                classifier,
+                sinks,
+                &mut self.scratch,
+            ),
+            None => engine.run_with_scratch(
+                UrlQueue::new(engine.web_space().num_pages(), strategy.levels()),
+                strategy,
+                classifier,
+                sinks,
+                &mut self.scratch,
+            ),
         }
     }
 }

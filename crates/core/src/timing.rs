@@ -309,6 +309,7 @@ pub fn run_timed(
         attempts: crawled,
         retries: 0,
         gave_up: 0,
+        ticks: crawled,
     };
     let utilization = if now == 0 {
         0.0

@@ -6,6 +6,7 @@
 use langcrawl_core::classifier::{MetaClassifier, OracleClassifier};
 use langcrawl_core::frontier::{BestFirstFrontier, Frontier};
 use langcrawl_core::queue::{Entry, UrlQueue};
+use langcrawl_core::shard::ShardedFrontier;
 use langcrawl_core::sim::{SimConfig, Simulator};
 use langcrawl_core::strategy::{
     BreadthFirst, CombinedStrategy, LimitedDistanceStrategy, SimpleStrategy,
@@ -214,6 +215,66 @@ fn frontier_pop_order_is_monotone_in_key() {
         }
         drain_keys(&mut q, bucketed_order);
         drain_keys(&mut b, best_first_order);
+    });
+}
+
+/// The sharded frontier is [`UrlQueue`] with different storage: under
+/// random push/pop/**requeue** interleavings (requeue is the engine's
+/// retry re-admission path, with its own semantics on done pages) the
+/// two agree on every verdict, every popped entry, and all accounting —
+/// with one shard and with several, since each ready host exposes
+/// exactly its minimum entry and the global minimum is shard-invariant.
+#[test]
+fn sharded_frontier_matches_url_queue_including_requeue() {
+    /// (op, page, priority, distance): op 0..3 = push, 3 = pop,
+    /// 4 = requeue.
+    fn arb_requeue_ops(g: &mut Gen) -> Vec<(u8, u32, u8, u8)> {
+        g.vec(1..400, |g| {
+            (g.u8(0..=4), g.u32(0..64), g.u8(0..=3), g.u8(0..=3))
+        })
+    }
+    check_default(|g| {
+        let ops = arb_requeue_ops(g);
+        for shards in [1usize, 3] {
+            let mut q = UrlQueue::new(64, 4);
+            // 64 pages over 7 hosts, striped so shards interleave.
+            let hosts: Vec<u32> = (0..64).map(|p| p % 7).collect();
+            let mut s = ShardedFrontier::new(hosts, 7, 4, shards);
+            for &(op, page, priority, distance) in &ops {
+                let e = Entry {
+                    page,
+                    priority,
+                    distance,
+                };
+                match op {
+                    0..=2 => assert_eq!(
+                        Frontier::push(&mut q, e),
+                        s.push(e),
+                        "push {e:?} ({shards} shards)"
+                    ),
+                    3 => assert_eq!(Frontier::pop(&mut q), s.pop(), "{shards} shards"),
+                    _ => assert_eq!(
+                        Frontier::requeue(&mut q, e),
+                        s.requeue(e),
+                        "requeue {e:?} ({shards} shards)"
+                    ),
+                }
+                assert_eq!(Frontier::pending(&q), s.pending());
+                assert_eq!(Frontier::max_pending(&q), s.max_pending());
+                assert_eq!(Frontier::total_pushes(&q), s.total_pushes());
+                assert_eq!(Frontier::is_done(&q, page), s.is_done(page));
+                assert_eq!(Frontier::was_admitted(&q, page), s.was_admitted(page));
+            }
+            // Drain both fully: the tails must agree entry by entry.
+            loop {
+                let a = Frontier::pop(&mut q);
+                let b = s.pop();
+                assert_eq!(a, b, "{shards} shards");
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
     });
 }
 

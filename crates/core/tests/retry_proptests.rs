@@ -63,7 +63,7 @@ impl EventSink for ScheduleRecorder {
         }
     }
 
-    fn interests(&self) -> u8 {
+    fn interests(&self) -> u16 {
         interest::ATTEMPT
     }
 }

@@ -15,7 +15,7 @@
 //! | `rng-stream`     | D3   | duplicated / non-literal `Rng::stream` domains      |
 //! | `event-bits`     | D4   | colliding or shadowed `interest::*` bits            |
 //! | `safety-comment` | S1   | `unsafe` without a `// SAFETY:` comment             |
-//! | `no-panic`       | P1   | `unwrap`/`expect`/`panic!`/`todo!` in hot paths     |
+//! | `no-panic`       | P1   | `unwrap`/`expect`/panicking macros in hot paths     |
 //!
 //! ## Suppressions
 //!

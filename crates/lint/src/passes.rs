@@ -604,7 +604,8 @@ pub fn event_bits(file: &SourceFile, out: &mut Vec<Finding>) {
 }
 
 fn check_interest_mod(file: &SourceFile, toks: &[Tok], out: &mut Vec<Finding>) {
-    // Collect `const NAME : u8 = <expr> ;` items.
+    // Collect `const NAME : u8|u16 = <expr> ;` items (the mask widened
+    // to `u16` when the scheduler events outgrew eight bits).
     let mut consts: Vec<(&Tok, Option<u64>)> = Vec::new();
     for i in 0..toks.len() {
         if !toks[i].is_ident("const") {
@@ -614,7 +615,9 @@ fn check_interest_mod(file: &SourceFile, toks: &[Tok], out: &mut Vec<Finding>) {
             continue;
         };
         if !(toks.get(i + 2).is_some_and(|p| p.is_punct(":"))
-            && toks.get(i + 3).is_some_and(|t| t.is_ident("u8"))
+            && toks
+                .get(i + 3)
+                .is_some_and(|t| t.is_ident("u8") || t.is_ident("u16"))
             && toks.get(i + 4).is_some_and(|p| p.is_punct("=")))
         {
             continue;
@@ -720,6 +723,8 @@ const P1_PATHS: &[&str] = &[
     "crates/core/src/engine.rs",
     "crates/core/src/frontier.rs",
     "crates/core/src/queue.rs",
+    "crates/core/src/sched.rs",
+    "crates/core/src/shard.rs",
     "crates/webgraph/src/generate.rs",
     "crates/webgraph/src/fault.rs",
 ];
@@ -729,9 +734,9 @@ pub fn p1_applies(rel: &str) -> bool {
     P1_PATHS.iter().any(|p| rel == *p || rel.ends_with(p))
 }
 
-/// P1: no `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!` in the
-/// crawl-engine and generation hot paths — recoverable structure or an
-/// explicitly justified allow only.
+/// P1: no `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!`/
+/// `unreachable!` in the crawl-engine and generation hot paths —
+/// recoverable structure or an explicitly justified allow only.
 pub fn no_panic(file: &SourceFile, out: &mut Vec<Finding>) {
     if file.is_test_file || !p1_applies(&file.rel) {
         return;
@@ -760,6 +765,8 @@ pub fn no_panic(file: &SourceFile, out: &mut Vec<Finding>) {
             Some("todo!")
         } else if macro_call("unimplemented") {
             Some("unimplemented!")
+        } else if macro_call("unreachable") {
+            Some("unreachable!")
         } else {
             None
         };

@@ -5,4 +5,5 @@ pub mod interest {
     pub const SHADOW: u8 = 1 << 1; // line 5: finding — shadows ADMIT
     pub const WIDE: u8 = 0x3; // line 6: finding — not a single bit
     pub const ALL: u8 = 0x1; // line 7: finding — not the union of the bits
+    pub const WIDEBIT: u16 = 1 << 0; // line 8: finding — u16 consts count too; shadows FETCH
 }

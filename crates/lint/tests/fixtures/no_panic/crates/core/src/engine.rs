@@ -11,6 +11,10 @@ pub fn boom() -> u32 {
     panic!("never") // line 11: finding
 }
 
+pub fn cannot_happen() -> u32 {
+    unreachable!("proof lives far away") // line 15: finding
+}
+
 pub fn pick_checked(v: &[u32]) -> u32 {
     v.first().copied().unwrap_or(0) // unwrap_or is fine
 }

@@ -65,6 +65,7 @@ fn d4_event_bits_fires_on_shadow_multi_bit_and_bad_all() {
             ("event-bits".to_string(), 5), // SHADOW duplicates ADMIT
             ("event-bits".to_string(), 6), // WIDE is two bits
             ("event-bits".to_string(), 7), // ALL != union
+            ("event-bits".to_string(), 8), // u16 WIDEBIT shadows FETCH
         ]
     );
 }
@@ -78,13 +79,14 @@ fn s1_safety_comment_fires_without_justification() {
 }
 
 #[test]
-fn p1_no_panic_fires_on_unwrap_expect_and_panic() {
+fn p1_no_panic_fires_on_unwrap_expect_and_panicking_macros() {
     assert_eq!(
         lints_and_lines("no_panic"),
         vec![
             ("no-panic".to_string(), 3),  // unwrap
             ("no-panic".to_string(), 7),  // expect
             ("no-panic".to_string(), 11), // panic!
+            ("no-panic".to_string(), 15), // unreachable!
         ]
     );
 }

@@ -401,7 +401,7 @@ fn plan_hosts(config: &GeneratorConfig, n_html: u64, rng: &mut Rng) -> Vec<HostP
         .collect();
     shuffle(&mut candidates, rng);
     let mut island_pages = 0u64;
-    let mut islands: Vec<usize> = Vec::new();
+    let mut islands: Vec<(usize, u8)> = Vec::new();
     for i in candidates {
         if island_pages >= island_goal {
             break;
@@ -409,14 +409,11 @@ fn plan_hosts(config: &GeneratorConfig, n_html: u64, rng: &mut Rng) -> Vec<HostP
         let depth = 1 + rng.random_range(0..config.max_island_depth as u32) as u8;
         plans[i].role = Role::Island { depth };
         island_pages += plans[i].html as u64;
-        islands.push(i);
+        islands.push((i, depth));
     }
 
     // One gateway chain host per island, language ≠ target.
-    for (k, &i) in islands.iter().enumerate() {
-        let Role::Island { depth } = plans[i].role else {
-            unreachable!()
-        };
+    for (k, &(i, depth)) in islands.iter().enumerate() {
         plans.push(HostPlan {
             lang: other_langs[k % other_langs.len()],
             html: depth as u32,

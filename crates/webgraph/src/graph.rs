@@ -66,6 +66,14 @@ impl WebSpace {
         &self.hosts[self.pages[p as usize].host as usize]
     }
 
+    /// Numeric host id of a page — the sharding key for host-partitioned
+    /// frontiers, stable across runs because host assignment is part of
+    /// the generated space.
+    #[inline]
+    pub fn host_id(&self, p: PageId) -> u32 {
+        self.pages[p as usize].host
+    }
+
     /// All hosts.
     pub fn hosts(&self) -> &[HostMeta] {
         &self.hosts
