@@ -46,11 +46,38 @@ cargo fmt --all --check
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+# Steady-state allocation gate: the same microbench compiled with the
+# counting allocator must observe ZERO allocations per fetch once the
+# engine scratch is warm. This run deliberately omits --json — the
+# counting allocator itself perturbs throughput, so its numbers are
+# not comparable and must not overwrite the archival trajectory.
+echo "==> cargo bench microbench --features count-allocs (steady-state gate)"
+LANGCRAWL_SCALE=20000 cargo bench -p langcrawl-bench --offline \
+    --features count-allocs --bench microbench
+
 # Smoke-scale bench trajectory: exercises the parallel-generation
 # parity, sink-overhead, fault-path-overhead and single-slot
 # scheduler-overhead gates (the bench exits nonzero on a regression)
 # and leaves BENCH_<sha>.json at the repo root for archival.
 echo "==> cargo bench microbench --json (smoke scale)"
 LANGCRAWL_SCALE=20000 cargo bench -p langcrawl-bench --offline --bench microbench -- --json
+
+# Trajectory regression gate: compare the fresh BENCH_<sha>.json against
+# the most recently committed predecessor. bench_compare fails the build
+# if queue, detector, or simulator throughput drops more than 10%.
+echo "==> bench_compare (fresh vs committed trajectory)"
+fresh="BENCH_$(git rev-parse --short HEAD).json"
+baseline=""
+for f in $(git ls-files 'BENCH_*.json'); do
+    [ "$f" = "$fresh" ] && continue
+    if [ -z "$baseline" ] || [ "$(git log -1 --format=%ct -- "$f")" -gt "$(git log -1 --format=%ct -- "$baseline")" ]; then
+        baseline=$f
+    fi
+done
+if [ -n "$baseline" ] && [ -f "$fresh" ]; then
+    cargo run -q --release --offline -p langcrawl-bench --bin bench_compare -- "$fresh" "$baseline"
+else
+    echo "    no committed predecessor trajectory; comparison skipped"
+fi
 
 echo "==> ci: all green"

@@ -1,0 +1,143 @@
+//! `bench_compare` — the CI regression gate over committed benchmark
+//! trajectories.
+//!
+//! Usage: `bench_compare <fresh BENCH_*.json> <baseline BENCH_*.json>`
+//!
+//! Compares the three headline throughput metrics of a freshly
+//! generated `BENCH_<sha>.json` against the committed predecessor and
+//! exits nonzero when any of them regresses by more than 10%. The
+//! parser is a deliberately minimal string scan over the flat key
+//! layout `microbench --json` emits (the workspace is dependency-free;
+//! a JSON crate is not on the table), so it reads exactly the files
+//! this repo produces and nothing fancier.
+//!
+//! The threshold is generous because these are wall-clock throughputs
+//! on shared CI hosts: run-to-run medians wobble, and the gate exists
+//! to catch structural regressions (an accidental de-inlining, a
+//! re-introduced per-fetch allocation), not 2% scheduling noise.
+
+use std::process::ExitCode;
+
+/// The compared metrics — the three throughputs the optimization PRs
+/// track against their predecessor trajectories.
+const METRICS: &[&str] = &[
+    "queue_ops_per_s",
+    "detector_bytes_per_s",
+    "simulator_pages_per_s",
+];
+
+/// Lowest acceptable fresh/baseline ratio: >10% regression fails.
+const FLOOR: f64 = 0.9;
+
+/// Extract the numeric value of a top-level `"key": <number>` pair.
+fn extract(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)?;
+    let rest = json[at + needle.len()..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Compare fresh against baseline; returns the per-metric ratios and
+/// whether every metric clears the floor.
+fn compare(fresh: &str, baseline: &str) -> Result<(Vec<(String, f64)>, bool), String> {
+    let mut ratios = Vec::new();
+    let mut ok = true;
+    for key in METRICS {
+        let new = extract(fresh, key).ok_or_else(|| format!("fresh file lacks `{key}`"))?;
+        let old = extract(baseline, key).ok_or_else(|| format!("baseline lacks `{key}`"))?;
+        if old <= 0.0 {
+            return Err(format!("baseline `{key}` is not positive ({old})"));
+        }
+        let ratio = new / old;
+        ok &= ratio >= FLOOR;
+        ratios.push((key.to_string(), ratio));
+    }
+    Ok((ratios, ok))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let [_, fresh_path, base_path] = &args[..] else {
+        eprintln!("usage: bench_compare <fresh BENCH_*.json> <baseline BENCH_*.json>");
+        return ExitCode::from(2);
+    };
+    let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"));
+    let run = || -> Result<bool, String> {
+        let fresh = read(fresh_path)?;
+        let baseline = read(base_path)?;
+        let (ratios, ok) = compare(&fresh, &baseline)?;
+        println!("bench_compare: {fresh_path} vs {base_path} (floor {FLOOR}x)");
+        for (key, ratio) in &ratios {
+            let verdict = if *ratio >= FLOOR { "ok" } else { "REGRESSED" };
+            println!("  {key:<24} {ratio:>6.2}x  [{verdict}]");
+        }
+        Ok(ok)
+    };
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => {
+            eprintln!("bench_compare: throughput regressed more than 10% vs baseline");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("bench_compare: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(queue: f64, det: f64, sim: f64) -> String {
+        format!(
+            "{{\n  \"git\": \"abc1234\",\n  \"queue_ops_per_s\": {queue:.0},\n  \
+             \"batch_admit_ops_per_s\": 1,\n  \"detector_bytes_per_s\": {det:.0},\n  \
+             \"generation\": {{\n    \"pages_per_s\": 99\n  }},\n  \
+             \"simulator_pages_per_s\": {sim:.0}\n}}\n"
+        )
+    }
+
+    #[test]
+    fn extracts_top_level_numbers() {
+        let j = record(49131696.0, 457233243.0, 15030564.0);
+        assert_eq!(extract(&j, "queue_ops_per_s"), Some(49131696.0));
+        assert_eq!(extract(&j, "detector_bytes_per_s"), Some(457233243.0));
+        assert_eq!(extract(&j, "simulator_pages_per_s"), Some(15030564.0));
+        assert_eq!(extract(&j, "no_such_key"), None);
+    }
+
+    #[test]
+    fn equal_or_faster_passes() {
+        let base = record(100.0, 100.0, 100.0);
+        let (ratios, ok) = compare(&record(95.0, 130.0, 100.0), &base).unwrap();
+        assert!(ok, "{ratios:?}");
+    }
+
+    #[test]
+    fn regression_beyond_ten_percent_fails() {
+        let base = record(100.0, 100.0, 100.0);
+        let (ratios, ok) = compare(&record(100.0, 100.0, 89.0), &base).unwrap();
+        assert!(!ok);
+        let sim = ratios.iter().find(|(k, _)| k == "simulator_pages_per_s");
+        assert!(sim.is_some_and(|(_, r)| (*r - 0.89).abs() < 1e-9));
+    }
+
+    #[test]
+    fn exactly_ninety_percent_still_passes() {
+        let base = record(100.0, 100.0, 100.0);
+        let (_, ok) = compare(&record(90.0, 90.0, 90.0), &base).unwrap();
+        assert!(ok, "the floor is inclusive");
+    }
+
+    #[test]
+    fn missing_metric_is_an_error() {
+        let base = record(100.0, 100.0, 100.0);
+        assert!(compare("{}", &base).is_err());
+        assert!(compare(&base, "{}").is_err());
+    }
+}

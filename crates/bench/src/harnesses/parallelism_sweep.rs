@@ -83,7 +83,7 @@ pub fn run() {
         };
         let mut metrics = MetricsSampler::new();
         let mut stats = SchedStatsSink::new();
-        let mut scratch = Vec::with_capacity(64);
+        let mut scratch = langcrawl_core::engine::EngineScratch::new();
         let (outcome, shards) = {
             let mut sinks: [&mut dyn EventSink; 2] = [&mut metrics, &mut stats];
             engine.run_scheduled_full(

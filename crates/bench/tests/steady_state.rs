@@ -1,0 +1,53 @@
+//! Steady-state memory-discipline regressions: repeated runs over one
+//! process-wide cached space must not re-grow the engine's reusable
+//! scratch. The microbench's counting-allocator gate enforces the
+//! zero-allocation contract wholesale; these tests pin the one piece
+//! with observable bookkeeping — the lazily materialized attempt
+//! table — at the API level, where a regression names the culprit.
+
+use langcrawl_core::classifier::OracleClassifier;
+use langcrawl_core::sim::{SimConfig, Simulator};
+use langcrawl_core::strategy::SimpleStrategy;
+use langcrawl_webgraph::{FaultConfig, GeneratorConfig};
+
+#[test]
+fn second_run_on_a_cached_space_performs_zero_attempt_table_allocs() {
+    // Same shared-space path every Experiment takes (`build_shared`
+    // goes through the process-wide SpaceCache).
+    let ws = GeneratorConfig::thai_like().scaled(8_000).build_shared(11);
+    let oracle = OracleClassifier::target(ws.target_language());
+    let mut sim = Simulator::new(
+        &ws,
+        SimConfig::default().with_faults(FaultConfig::with_rate(0.2)),
+    );
+
+    let first = sim.run(&mut SimpleStrategy::soft(), &oracle);
+    assert!(first.retries > 0, "faults must actually schedule retries");
+    assert_eq!(
+        sim.attempt_table_allocs(),
+        1,
+        "first faulted run materializes the attempt table exactly once"
+    );
+
+    let second = sim.run(&mut SimpleStrategy::soft(), &oracle);
+    assert_eq!(
+        sim.attempt_table_allocs(),
+        1,
+        "second run must reuse the grown table, not reallocate it"
+    );
+    assert_eq!(
+        second.retries, first.retries,
+        "reuse must not change the schedule"
+    );
+}
+
+#[test]
+fn zero_fault_runs_never_materialize_the_attempt_table() {
+    let ws = GeneratorConfig::thai_like().scaled(8_000).build_shared(11);
+    let oracle = OracleClassifier::target(ws.target_language());
+    let mut sim = Simulator::new(&ws, SimConfig::default());
+    for _ in 0..3 {
+        sim.run(&mut SimpleStrategy::soft(), &oracle);
+        assert_eq!(sim.attempt_table_allocs(), 0);
+    }
+}

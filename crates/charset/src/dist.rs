@@ -11,6 +11,32 @@
 
 use crate::kuten::{rows, Kuten};
 
+/// The distributions' row-class matches, flattened into per-row weight
+/// tables built once at compile time: recording a decoded character is
+/// then one indexed load instead of a cascade of range compares, which
+/// matters because the probers call these on every multibyte character
+/// of every document. Index is the row (ku) 1..=94; slot 0 is unused.
+const fn ja_row_weights() -> [f64; 95] {
+    let mut t = [0.05f64; 95];
+    let mut ku = 1usize;
+    while ku < 95 {
+        t[ku] = match ku as u8 {
+            rows::HIRAGANA => 1.0,
+            rows::KATAKANA => 0.9,
+            rows::PUNCT => 0.85,
+            rows::FULLWIDTH_LATIN => 0.7,
+            2 => 0.4, // symbols
+            ku if ku >= rows::KANJI_FIRST && ku <= rows::KANJI_LEVEL1_LAST => 0.85,
+            ku if ku >= 48 && ku <= rows::KANJI_LAST => 0.35,
+            _ => 0.05, // Greek/Cyrillic/box-drawing rows: wrong decoding smell
+        };
+        ku += 1;
+    }
+    t
+}
+
+static JA_ROW_WEIGHTS: [f64; 95] = ja_row_weights();
+
 /// Accumulates decoded characters of a candidate Japanese decoding and
 /// scores how much they look like Japanese text.
 #[derive(Debug, Default, Clone)]
@@ -47,18 +73,13 @@ impl JapaneseDistribution {
 
     /// Typicality of one JIS X 0208 cell in running Japanese text, in
     /// [0, 1]. The shape mirrors [`crate::kuten::row_weight`] but is
-    /// normalised per character instead of per row.
+    /// normalised per character instead of per row. One table load plus
+    /// the two in-row exceptions (the unassigned tails of the kana rows).
     fn typicality(k: Kuten) -> f64 {
-        match k.ku {
-            rows::HIRAGANA if k.ten <= 83 => 1.0,
-            rows::KATAKANA if k.ten <= 86 => 0.9,
-            rows::PUNCT => 0.85,
-            rows::FULLWIDTH_LATIN => 0.7,
-            2 => 0.4, // symbols
-            ku if (rows::KANJI_FIRST..=rows::KANJI_LEVEL1_LAST).contains(&ku) => 0.85,
-            ku if (48..=rows::KANJI_LAST).contains(&ku) => 0.35,
-            _ => 0.05, // Greek/Cyrillic/box-drawing rows: wrong decoding smell
+        if (k.ku == rows::HIRAGANA && k.ten > 83) || (k.ku == rows::KATAKANA && k.ten > 86) {
+            return 0.05;
         }
+        JA_ROW_WEIGHTS[k.ku as usize]
     }
 
     /// Number of multibyte characters recorded.
@@ -98,6 +119,24 @@ impl JapaneseDistribution {
     }
 }
 
+const fn kr_row_weights() -> [f64; 95] {
+    use crate::dbcs::rows as kr;
+    let mut t = [0.05f64; 95];
+    let mut ku = 1usize;
+    while ku < 95 {
+        t[ku] = match ku as u8 {
+            ku if ku >= kr::HANGUL_FIRST && ku <= kr::HANGUL_LAST => 1.0,
+            1..=12 => 0.5,   // symbols/punctuation rows
+            42..=93 => 0.15, // hanja: rare in modern text
+            _ => 0.05,
+        };
+        ku += 1;
+    }
+    t
+}
+
+static KR_ROW_WEIGHTS: [f64; 95] = kr_row_weights();
+
 /// Accumulates decoded KS X 1001 cells and scores how much they look
 /// like modern Korean text (hangul-dominated; see [`crate::dbcs`]).
 #[derive(Debug, Default, Clone)]
@@ -114,14 +153,8 @@ impl KoreanDistribution {
 
     /// Record one decoded cell.
     pub fn add_cell(&mut self, k: Kuten) {
-        use crate::dbcs::rows as kr;
         self.chars += 1;
-        self.weight_sum += match k.ku {
-            r if (kr::HANGUL_FIRST..=kr::HANGUL_LAST).contains(&r) => 1.0,
-            1..=12 => 0.5,   // symbols/punctuation rows
-            42..=93 => 0.15, // hanja: rare in modern text
-            _ => 0.05,
-        };
+        self.weight_sum += KR_ROW_WEIGHTS[k.ku as usize];
     }
 
     /// Characters recorded.
@@ -138,6 +171,24 @@ impl KoreanDistribution {
         }
     }
 }
+
+const fn cn_row_weights() -> [f64; 95] {
+    use crate::dbcs::rows as cn;
+    let mut t = [0.05f64; 95];
+    let mut ku = 1usize;
+    while ku < 95 {
+        t[ku] = match ku as u8 {
+            ku if ku >= cn::HANZI_L1_FIRST && ku <= cn::HANZI_L1_LAST => 0.95,
+            ku if ku > cn::HANZI_L1_LAST && ku <= cn::HANZI_L2_LAST => 0.75,
+            1..=9 => 0.6, // GB symbol rows
+            _ => 0.05,
+        };
+        ku += 1;
+    }
+    t
+}
+
+static CN_ROW_WEIGHTS: [f64; 95] = cn_row_weights();
 
 /// Accumulates decoded GB 2312 cells and scores how much they look like
 /// Simplified-Chinese text (level-1 hanzi core + steady level-2 tail).
@@ -161,12 +212,7 @@ impl ChineseDistribution {
         if (cn::HANZI_L1_LAST + 1..=cn::HANZI_L2_LAST).contains(&k.ku) {
             self.level2 += 1;
         }
-        self.weight_sum += match k.ku {
-            r if (cn::HANZI_L1_FIRST..=cn::HANZI_L1_LAST).contains(&r) => 0.95,
-            r if (cn::HANZI_L1_LAST + 1..=cn::HANZI_L2_LAST).contains(&r) => 0.75,
-            1..=9 => 0.6, // GB symbol rows
-            _ => 0.05,
-        };
+        self.weight_sum += CN_ROW_WEIGHTS[k.ku as usize];
     }
 
     /// Characters recorded.

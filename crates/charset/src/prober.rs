@@ -5,6 +5,13 @@
 //! detector feeds the document to every prober in one pass and takes the
 //! highest-confidence survivor — the architecture of the Mozilla composite
 //! detector the paper used, rebuilt small.
+//!
+//! Probers share a word-wise ASCII fast path: whenever an automaton sits
+//! at a character boundary, a run of 7-bit bytes carries no distribution
+//! signal and cannot change the verifier state, so [`ascii_run`] skips it
+//! eight bytes at a time. Real pages are mostly ASCII markup around the
+//! encoded text, which makes this the dominant byte class even on
+//! non-English documents.
 
 use crate::dist::{ChineseDistribution, JapaneseDistribution, KoreanDistribution, UnicodeBlocks};
 use crate::kuten::Kuten;
@@ -14,6 +21,50 @@ use crate::sm::{
 };
 use crate::thai;
 use crate::types::{Charset, Language};
+
+const HI_BITS: u64 = 0x8080_8080_8080_8080;
+const LO_BITS: u64 = 0x0101_0101_0101_0101;
+
+/// Length of the run of 7-bit bytes starting at `start`, found eight
+/// bytes at a time (high-bit test per `u64` word).
+#[inline]
+pub(crate) fn ascii_run(bytes: &[u8], start: usize) -> usize {
+    let mut i = start;
+    while i + 8 <= bytes.len() {
+        let w = u64::from_le_bytes(bytes[i..i + 8].try_into().unwrap_or([0; 8]));
+        let hit = w & HI_BITS;
+        if hit != 0 {
+            return i + (hit.trailing_zeros() / 8) as usize - start;
+        }
+        i += 8;
+    }
+    while i < bytes.len() && bytes[i] < 0x80 {
+        i += 1;
+    }
+    i - start
+}
+
+/// Like [`ascii_run`] but the run also stops at an ESC byte (0x1B) —
+/// the one 7-bit byte that is *not* inert for ISO-2022-JP detection.
+/// The ESC scan uses Mycroft's exact zero-byte trick on `w ^ 0x1B…1B`.
+#[inline]
+pub(crate) fn ascii_run_no_esc(bytes: &[u8], start: usize) -> usize {
+    const ESC_PAT: u64 = 0x1B1B_1B1B_1B1B_1B1B;
+    let mut i = start;
+    while i + 8 <= bytes.len() {
+        let w = u64::from_le_bytes(bytes[i..i + 8].try_into().unwrap_or([0; 8]));
+        let x = w ^ ESC_PAT;
+        let hit = (w & HI_BITS) | (x.wrapping_sub(LO_BITS) & !x & HI_BITS);
+        if hit != 0 {
+            return i + (hit.trailing_zeros() / 8) as usize - start;
+        }
+        i += 8;
+    }
+    while i < bytes.len() && bytes[i] < 0x80 && bytes[i] != 0x1B {
+        i += 1;
+    }
+    i - start
+}
 
 /// A charset prober: consumes bytes, reports a confidence.
 pub trait Prober {
@@ -52,16 +103,30 @@ impl EucJpProber {
 
 impl Prober for EucJpProber {
     fn feed(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            if self.dead {
-                return;
+        if self.dead {
+            return;
+        }
+        let mut i = 0;
+        // At a boundary (no pending lead / SS2) an ASCII run is inert:
+        // each byte is its own character and carries no distribution
+        // signal.
+        let mut clean = self.lead.is_none() && !self.ss2 && self.v.at_boundary();
+        while i < bytes.len() {
+            if clean {
+                i += ascii_run(bytes, i);
+                if i >= bytes.len() {
+                    return;
+                }
             }
+            let b = bytes[i];
+            i += 1;
             match self.v.feed(b) {
                 SmState::Error => {
                     self.dead = true;
                     return;
                 }
                 SmState::Continue => {
+                    clean = false;
                     if b == 0x8E {
                         self.ss2 = true;
                         self.lead = None;
@@ -73,6 +138,7 @@ impl Prober for EucJpProber {
                     }
                 }
                 SmState::CharBoundary => {
+                    clean = true;
                     if self.ss2 {
                         self.dist.add_halfwidth_kana();
                         self.ss2 = false;
@@ -120,17 +186,31 @@ impl ShiftJisProber {
 
 impl Prober for ShiftJisProber {
     fn feed(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            if self.dead {
-                return;
+        if self.dead {
+            return;
+        }
+        let mut i = 0;
+        let mut clean = self.lead.is_none() && self.v.at_boundary();
+        while i < bytes.len() {
+            if clean {
+                i += ascii_run(bytes, i);
+                if i >= bytes.len() {
+                    return;
+                }
             }
+            let b = bytes[i];
+            i += 1;
             match self.v.feed(b) {
                 SmState::Error => {
                     self.dead = true;
                     return;
                 }
-                SmState::Continue => self.lead = Some(b),
+                SmState::Continue => {
+                    clean = false;
+                    self.lead = Some(b);
+                }
                 SmState::CharBoundary => {
+                    clean = true;
                     if let Some(l) = self.lead.take() {
                         if let Some(k) = Kuten::from_sjis(l, b) {
                             self.dist.add_kuten(k);
@@ -178,7 +258,18 @@ impl Prober for Iso2022JpProber {
         if self.dead {
             return;
         }
-        for &b in bytes {
+        let mut i = 0;
+        while i < bytes.len() {
+            if self.v.in_ascii_text() {
+                // Skip to the next ESC or 8-bit byte; plain ASCII never
+                // changes the designation.
+                i += ascii_run_no_esc(bytes, i);
+                if i >= bytes.len() {
+                    return;
+                }
+            }
+            let b = bytes[i];
+            i += 1;
             if self.v.feed(b) == SmState::Error {
                 self.dead = true;
                 return;
@@ -227,12 +318,23 @@ impl Utf8Prober {
 impl Prober for Utf8Prober {
     fn feed(&mut self, bytes: &[u8]) {
         // Track scalar values for the block census with a small inline
-        // decoder (the verifier guarantees validity).
+        // decoder (the verifier guarantees validity). ASCII runs between
+        // characters are skipped whole: they cannot affect the verdict
+        // (confidence counts multibyte chars, the census ignores ASCII).
         let mut cp: u32 = 0;
-        for &b in bytes {
+        let mut i = 0;
+        while i < bytes.len() {
             if self.dead {
                 return;
             }
+            if self.pending == 0 {
+                i += ascii_run(bytes, i);
+                if i >= bytes.len() {
+                    return;
+                }
+            }
+            let b = bytes[i];
+            i += 1;
             match self.v.feed(b) {
                 SmState::Error => {
                     self.dead = true;
@@ -292,14 +394,81 @@ impl Prober for Utf8Prober {
 
 // ------------------------------------------------------ EUC-KR / GB2312
 
+/// The shared scan behind [`EucKrProber`] and [`Gb2312Prober`]: both ride
+/// the identical 94×94 EUC validity machine and cell decode, so the
+/// composite detector walks the bytes once and feeds *both* distributions
+/// from the same decoded cells.
+#[derive(Debug, Default)]
+pub(crate) struct EucCnKrScan {
+    v: Euc94Verifier,
+    kr: KoreanDistribution,
+    cn: ChineseDistribution,
+    lead: Option<u8>,
+    dead: bool,
+}
+
+impl EucCnKrScan {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn feed(&mut self, bytes: &[u8]) {
+        if self.dead {
+            return;
+        }
+        let mut i = 0;
+        let mut clean = self.lead.is_none() && self.v.at_boundary();
+        while i < bytes.len() {
+            if clean {
+                i += ascii_run(bytes, i);
+                if i >= bytes.len() {
+                    return;
+                }
+            }
+            let b = bytes[i];
+            i += 1;
+            match self.v.feed(b) {
+                SmState::Error => {
+                    self.dead = true;
+                    return;
+                }
+                SmState::Continue => {
+                    clean = false;
+                    self.lead = Some(b);
+                }
+                SmState::CharBoundary => {
+                    clean = true;
+                    if let Some(l) = self.lead.take() {
+                        if let Some(k) = Kuten::from_eucjp(l, b) {
+                            self.kr.add_cell(k);
+                            self.cn.add_cell(k);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    pub(crate) fn kr_confidence(&self) -> f64 {
+        if self.dead || !self.v.at_boundary() {
+            return 0.0;
+        }
+        self.kr.score()
+    }
+
+    pub(crate) fn cn_confidence(&self) -> f64 {
+        if self.dead || !self.v.at_boundary() {
+            return 0.0;
+        }
+        self.cn.score()
+    }
+}
+
 /// EUC-KR prober: the generic 94×94 EUC validity machine + the Korean
 /// (hangul-row) distribution.
 #[derive(Debug, Default)]
 pub struct EucKrProber {
-    v: Euc94Verifier,
-    dist: KoreanDistribution,
-    lead: Option<u8>,
-    dead: bool,
+    scan: EucCnKrScan,
 }
 
 impl EucKrProber {
@@ -311,25 +480,7 @@ impl EucKrProber {
 
 impl Prober for EucKrProber {
     fn feed(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            if self.dead {
-                return;
-            }
-            match self.v.feed(b) {
-                SmState::Error => {
-                    self.dead = true;
-                    return;
-                }
-                SmState::Continue => self.lead = Some(b),
-                SmState::CharBoundary => {
-                    if let Some(l) = self.lead.take() {
-                        if let Some(k) = Kuten::from_eucjp(l, b) {
-                            self.dist.add_cell(k);
-                        }
-                    }
-                }
-            }
-        }
+        self.scan.feed(bytes);
     }
 
     fn charset(&self) -> Charset {
@@ -337,10 +488,7 @@ impl Prober for EucKrProber {
     }
 
     fn confidence(&self) -> f64 {
-        if self.dead || !self.v.at_boundary() {
-            return 0.0;
-        }
-        self.dist.score()
+        self.scan.kr_confidence()
     }
 }
 
@@ -351,10 +499,7 @@ impl Prober for EucKrProber {
 /// in-model score break the tie.
 #[derive(Debug, Default)]
 pub struct Gb2312Prober {
-    v: Euc94Verifier,
-    dist: ChineseDistribution,
-    lead: Option<u8>,
-    dead: bool,
+    scan: EucCnKrScan,
 }
 
 impl Gb2312Prober {
@@ -366,25 +511,7 @@ impl Gb2312Prober {
 
 impl Prober for Gb2312Prober {
     fn feed(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            if self.dead {
-                return;
-            }
-            match self.v.feed(b) {
-                SmState::Error => {
-                    self.dead = true;
-                    return;
-                }
-                SmState::Continue => self.lead = Some(b),
-                SmState::CharBoundary => {
-                    if let Some(l) = self.lead.take() {
-                        if let Some(k) = Kuten::from_eucjp(l, b) {
-                            self.dist.add_cell(k);
-                        }
-                    }
-                }
-            }
-        }
+        self.scan.feed(bytes);
     }
 
     fn charset(&self) -> Charset {
@@ -392,10 +519,7 @@ impl Prober for Gb2312Prober {
     }
 
     fn confidence(&self) -> f64 {
-        if self.dead || !self.v.at_boundary() {
-            return 0.0;
-        }
-        self.dist.score()
+        self.scan.cn_confidence()
     }
 }
 
@@ -442,10 +566,26 @@ impl ThaiProber {
 
 impl Prober for ThaiProber {
     fn feed(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            if self.dead {
-                return;
+        if self.dead {
+            return;
+        }
+        let mut i = 0;
+        while i < bytes.len() {
+            // A run of ASCII after an ASCII byte contributes no pairs
+            // and no byte counts; only its last byte matters, as the
+            // left neighbour of whatever follows.
+            if self.prev < 0x80 {
+                let run = ascii_run(bytes, i);
+                if run > 0 {
+                    self.prev = bytes[i + run - 1];
+                    i += run;
+                    if i >= bytes.len() {
+                        return;
+                    }
+                }
             }
+            let b = bytes[i];
+            i += 1;
             if b >= 0x80 {
                 self.high_bytes += 1;
                 if thai::is_thai_byte(b) {
@@ -513,6 +653,7 @@ pub struct Latin1Prober {
     c1: u32,
     total: u32,
     letter_adjacent: u32,
+    prev_alpha: bool,
 }
 
 impl Latin1Prober {
@@ -524,20 +665,33 @@ impl Latin1Prober {
 
 impl Prober for Latin1Prober {
     fn feed(&mut self, bytes: &[u8]) {
-        let mut prev_alpha = false;
-        for &b in bytes {
+        let mut i = 0;
+        while i < bytes.len() {
+            // ASCII runs only advance the totals; the C1 / accented-letter
+            // statistics all need an 8-bit byte.
+            let run = ascii_run(bytes, i);
+            if run > 0 {
+                self.total += run as u32;
+                self.prev_alpha = bytes[i + run - 1].is_ascii_alphabetic();
+                i += run;
+                if i >= bytes.len() {
+                    return;
+                }
+            }
+            let b = bytes[i];
+            i += 1;
             self.total += 1;
             if (0x80..=0x9F).contains(&b) {
                 self.c1 += 1;
             }
             if b >= 0xA0 {
                 self.high += 1;
-                if prev_alpha {
+                if self.prev_alpha {
                     // Accented letters embedded in words — the Latin-1 look.
                     self.letter_adjacent += 1;
                 }
             }
-            prev_alpha = b.is_ascii_alphabetic() || b >= 0xC0;
+            self.prev_alpha = b.is_ascii_alphabetic() || b >= 0xC0;
         }
     }
 
@@ -567,6 +721,28 @@ mod tests {
     fn probe<P: Prober>(mut p: P, bytes: &[u8]) -> f64 {
         p.feed(bytes);
         p.confidence()
+    }
+
+    #[test]
+    fn ascii_run_helpers_find_stops() {
+        let mut v = vec![b'a'; 37];
+        assert_eq!(ascii_run(&v, 0), 37);
+        assert_eq!(ascii_run_no_esc(&v, 0), 37);
+        v.push(0xA4);
+        v.extend_from_slice(&[b'x'; 9]);
+        assert_eq!(ascii_run(&v, 0), 37);
+        assert_eq!(ascii_run(&v, 38), 9);
+        let esc = [b'a', b'b', 0x1B, b'c'];
+        assert_eq!(ascii_run(&esc, 0), 4, "plain run ignores ESC");
+        assert_eq!(ascii_run_no_esc(&esc, 0), 2, "no-ESC run stops at it");
+        // Stops inside the 8-byte fast path, at every lane.
+        for lane in 0..16 {
+            let mut w = vec![b' '; 24];
+            w[lane] = 0x9B;
+            assert_eq!(ascii_run(&w, 0), lane, "high byte in lane {lane}");
+            w[lane] = 0x1B;
+            assert_eq!(ascii_run_no_esc(&w, 0), lane, "ESC in lane {lane}");
+        }
     }
 
     #[test]
@@ -673,5 +849,36 @@ mod tests {
         assert!(conf > 0.0 && conf < 0.5, "conf {conf}");
         // But C1 garbage is rejected.
         assert!(probe(Latin1Prober::new(), &[0x81, 0x82, 0x83, 0x84]) < 0.05);
+    }
+
+    /// The fast-path feed (with ASCII run skipping) must agree with a
+    /// byte-at-a-time reference on documents mixing markup and text.
+    #[test]
+    fn run_skipping_matches_bytewise_feed() {
+        let mut page = Vec::new();
+        page.extend_from_slice(b"<html><head><title>page title here</title>");
+        for _ in 0..4 {
+            page.extend_from_slice(&encode::encode_japanese(
+                &encode::japanese_demo_tokens(),
+                Charset::EucJp,
+            ));
+            page.extend_from_slice(b"<p class=\"body\">more ascii markup</p>");
+        }
+        page.extend_from_slice(b"</html>");
+        let whole = probe(EucJpProber::new(), &page);
+        let mut split = EucJpProber::new();
+        // Feeding in ragged pieces exercises every resume state.
+        for chunk in page.chunks(7) {
+            split.feed(chunk);
+        }
+        assert_eq!(whole, split.confidence());
+        assert!(whole > 0.5, "conf {whole}");
+
+        let l_whole = probe(Latin1Prober::new(), &page);
+        let mut l_split = Latin1Prober::new();
+        for chunk in page.chunks(11) {
+            l_split.feed(chunk);
+        }
+        assert_eq!(l_whole, l_split.confidence());
     }
 }

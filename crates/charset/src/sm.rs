@@ -3,9 +3,21 @@
 //! The first of Li & Momoi's three detection methods is the *coding scheme
 //! method*: feed the byte stream through one validity automaton per
 //! candidate encoding and eliminate encodings that hit an illegal
-//! transition. Each verifier here is a hand-coded DFA exposing the same
+//! transition. Each verifier here is a table-driven DFA exposing the same
 //! tiny interface ([`Verifier`]), fed byte-at-a-time so the detector can
 //! run all of them in a single pass over the document.
+//!
+//! ## Fused transition tables
+//!
+//! Each automaton's class lookup and transition function are fused into
+//! one flat `u8` array indexed as `state * 256 + byte`; a cell packs the
+//! next state in its low bits and the [`SmState`] outcome in its top two
+//! bits. One feed is therefore a single indexed load plus a shift —
+//! no per-byte branching over character classes — which is what makes
+//! the distribution probers cheap enough to run all-at-once over every
+//! document ([`crate::detect_with`]). The tables are built by `const fn`
+//! at compile time from the same range rules the match-based automata
+//! used, so the accepted language is unchanged.
 
 /// Outcome of feeding one byte into a verifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,24 +41,100 @@ pub trait Verifier {
     fn at_boundary(&self) -> bool;
 }
 
+// Packed-cell layout: bits 0..=5 next state, bits 6..=7 the outcome.
+const OUT_SHIFT: u32 = 6;
+const OUT_CONTINUE: u8 = 0 << OUT_SHIFT;
+const OUT_BOUNDARY: u8 = 1 << OUT_SHIFT;
+const OUT_ERROR: u8 = 2 << OUT_SHIFT;
+const STATE_MASK: u8 = (1 << OUT_SHIFT) - 1;
+
+/// Decode a packed cell into `(next_state, outcome)`, flipping `dead`
+/// on error. Shared by every table-driven verifier below.
+#[inline]
+fn step(table: &[u8], state: &mut u8, dead: &mut bool, b: u8) -> SmState {
+    if *dead {
+        return SmState::Error;
+    }
+    let cell = table[(*state as usize) * 256 + b as usize];
+    match cell >> OUT_SHIFT {
+        0 => {
+            *state = cell & STATE_MASK;
+            SmState::Continue
+        }
+        1 => {
+            *state = cell & STATE_MASK;
+            SmState::CharBoundary
+        }
+        _ => {
+            *dead = true;
+            SmState::Error
+        }
+    }
+}
+
+/// `const`-context helper: write one packed transition.
+const fn set(table: &mut [u8], state: usize, b: usize, next: u8, out: u8) {
+    table[state * 256 + b] = out | next;
+}
+
 // --------------------------------------------------------------------- UTF-8
+
+// States: 0 accept, 1 one unrestricted continuation left, 2 two left,
+// 5 three left; 3/4/6/7 are the restricted first continuations of
+// E0 / ED / F0 / F4 sequences (overlong, surrogate and > U+10FFFF
+// rejection).
+const UTF8_ACCEPT: u8 = 0;
+
+const fn utf8_table() -> [u8; 8 * 256] {
+    let mut t = [OUT_ERROR; 8 * 256];
+    let mut b = 0usize;
+    while b < 256 {
+        // State 0: lead bytes.
+        match b {
+            0x00..=0x7F => set(&mut t, 0, b, 0, OUT_BOUNDARY),
+            0xC2..=0xDF => set(&mut t, 0, b, 1, OUT_CONTINUE),
+            0xE0 => set(&mut t, 0, b, 3, OUT_CONTINUE), // reject overlong
+            0xE1..=0xEC | 0xEE..=0xEF => set(&mut t, 0, b, 2, OUT_CONTINUE),
+            0xED => set(&mut t, 0, b, 4, OUT_CONTINUE), // reject surrogates
+            0xF0 => set(&mut t, 0, b, 6, OUT_CONTINUE), // reject overlong
+            0xF1..=0xF3 => set(&mut t, 0, b, 5, OUT_CONTINUE),
+            0xF4 => set(&mut t, 0, b, 7, OUT_CONTINUE), // reject > U+10FFFF
+            _ => {}
+        }
+        // Continuation states.
+        if b >= 0x80 && b <= 0xBF {
+            set(&mut t, 1, b, 0, OUT_BOUNDARY);
+            set(&mut t, 2, b, 1, OUT_CONTINUE);
+            set(&mut t, 5, b, 2, OUT_CONTINUE);
+            if b >= 0xA0 {
+                set(&mut t, 3, b, 1, OUT_CONTINUE); // E0: A0..=BF
+            }
+            if b <= 0x9F {
+                set(&mut t, 4, b, 1, OUT_CONTINUE); // ED: 80..=9F
+            }
+            if b >= 0x90 {
+                set(&mut t, 6, b, 2, OUT_CONTINUE); // F0: 90..=BF
+            }
+            if b <= 0x8F {
+                set(&mut t, 7, b, 2, OUT_CONTINUE); // F4: 80..=8F
+            }
+        }
+        b += 1;
+    }
+    t
+}
+
+static UTF8_DFA: [u8; 8 * 256] = utf8_table();
 
 /// UTF-8 validity DFA (RFC 3629, rejecting overlongs and surrogates).
 #[derive(Debug, Clone)]
 pub struct Utf8Verifier {
-    /// Remaining continuation bytes expected.
-    pending: u8,
-    /// Restricted range for the *next* continuation byte (first
-    /// continuation of E0/ED/F0/F4 sequences).
-    next_lo: u8,
-    next_hi: u8,
+    state: u8,
     dead: bool,
 }
 
 impl Default for Utf8Verifier {
     fn default() -> Self {
-        // NB: not derivable — the continuation window must start at its
-        // unrestricted 0x80..=0xBF value, not zero.
         Self::new()
     }
 }
@@ -55,9 +143,7 @@ impl Utf8Verifier {
     /// New verifier in the initial state.
     pub fn new() -> Self {
         Self {
-            pending: 0,
-            next_lo: 0x80,
-            next_hi: 0xBF,
+            state: UTF8_ACCEPT,
             dead: false,
         }
     }
@@ -65,62 +151,7 @@ impl Utf8Verifier {
 
 impl Verifier for Utf8Verifier {
     fn feed(&mut self, b: u8) -> SmState {
-        if self.dead {
-            return SmState::Error;
-        }
-        if self.pending > 0 {
-            if b < self.next_lo || b > self.next_hi {
-                self.dead = true;
-                return SmState::Error;
-            }
-            self.pending -= 1;
-            self.next_lo = 0x80;
-            self.next_hi = 0xBF;
-            return if self.pending == 0 {
-                SmState::CharBoundary
-            } else {
-                SmState::Continue
-            };
-        }
-        match b {
-            0x00..=0x7F => SmState::CharBoundary,
-            0xC2..=0xDF => {
-                self.pending = 1;
-                SmState::Continue
-            }
-            0xE0 => {
-                self.pending = 2;
-                self.next_lo = 0xA0; // reject overlong
-                SmState::Continue
-            }
-            0xE1..=0xEC | 0xEE..=0xEF => {
-                self.pending = 2;
-                SmState::Continue
-            }
-            0xED => {
-                self.pending = 2;
-                self.next_hi = 0x9F; // reject surrogates
-                SmState::Continue
-            }
-            0xF0 => {
-                self.pending = 3;
-                self.next_lo = 0x90; // reject overlong
-                SmState::Continue
-            }
-            0xF1..=0xF3 => {
-                self.pending = 3;
-                SmState::Continue
-            }
-            0xF4 => {
-                self.pending = 3;
-                self.next_hi = 0x8F; // reject > U+10FFFF
-                SmState::Continue
-            }
-            _ => {
-                self.dead = true;
-                SmState::Error
-            }
-        }
+        step(&UTF8_DFA, &mut self.state, &mut self.dead, b)
     }
 
     fn reset(&mut self) {
@@ -128,29 +159,47 @@ impl Verifier for Utf8Verifier {
     }
 
     fn at_boundary(&self) -> bool {
-        !self.dead && self.pending == 0
+        !self.dead && self.state == UTF8_ACCEPT
     }
 }
 
 // -------------------------------------------------------------------- EUC-JP
+
+// States: 0 start, 1 JIS X 0208 trail, 2 SS2 kana trail, 3/4 the two
+// SS3 (JIS X 0212) trail bytes.
+const fn eucjp_table() -> [u8; 5 * 256] {
+    let mut t = [OUT_ERROR; 5 * 256];
+    let mut b = 0usize;
+    while b < 256 {
+        match b {
+            0x00..=0x7F => set(&mut t, 0, b, 0, OUT_BOUNDARY),
+            0x8E => set(&mut t, 0, b, 2, OUT_CONTINUE),
+            0x8F => set(&mut t, 0, b, 3, OUT_CONTINUE),
+            0xA1..=0xFE => set(&mut t, 0, b, 1, OUT_CONTINUE),
+            _ => {}
+        }
+        if b >= 0xA1 && b <= 0xFE {
+            set(&mut t, 1, b, 0, OUT_BOUNDARY);
+            set(&mut t, 3, b, 4, OUT_CONTINUE);
+            set(&mut t, 4, b, 0, OUT_BOUNDARY);
+            if b <= 0xDF {
+                set(&mut t, 2, b, 0, OUT_BOUNDARY);
+            }
+        }
+        b += 1;
+    }
+    t
+}
+
+static EUCJP_DFA: [u8; 5 * 256] = eucjp_table();
 
 /// EUC-JP validity DFA. Accepts ASCII, the JIS X 0208 plane
 /// (0xA1..=0xFE twice), half-width kana via SS2 (0x8E + 0xA1..=0xDF), and
 /// JIS X 0212 via SS3 (0x8F + two 0xA1..=0xFE bytes).
 #[derive(Debug, Default, Clone)]
 pub struct EucJpVerifier {
-    state: EucJpS,
+    state: u8,
     dead: bool,
-}
-
-#[derive(Debug, Default, Clone, Copy, PartialEq)]
-enum EucJpS {
-    #[default]
-    Start,
-    Lead208,
-    Ss2,
-    Ss3First,
-    Ss3Second,
 }
 
 impl EucJpVerifier {
@@ -162,26 +211,7 @@ impl EucJpVerifier {
 
 impl Verifier for EucJpVerifier {
     fn feed(&mut self, b: u8) -> SmState {
-        if self.dead {
-            return SmState::Error;
-        }
-        use EucJpS::*;
-        let (next, out) = match (self.state, b) {
-            (Start, 0x00..=0x7F) => (Start, SmState::CharBoundary),
-            (Start, 0x8E) => (Ss2, SmState::Continue),
-            (Start, 0x8F) => (Ss3First, SmState::Continue),
-            (Start, 0xA1..=0xFE) => (Lead208, SmState::Continue),
-            (Lead208, 0xA1..=0xFE) => (Start, SmState::CharBoundary),
-            (Ss2, 0xA1..=0xDF) => (Start, SmState::CharBoundary),
-            (Ss3First, 0xA1..=0xFE) => (Ss3Second, SmState::Continue),
-            (Ss3Second, 0xA1..=0xFE) => (Start, SmState::CharBoundary),
-            _ => {
-                self.dead = true;
-                return SmState::Error;
-            }
-        };
-        self.state = next;
-        out
+        step(&EUCJP_DFA, &mut self.state, &mut self.dead, b)
     }
 
     fn reset(&mut self) {
@@ -189,11 +219,30 @@ impl Verifier for EucJpVerifier {
     }
 
     fn at_boundary(&self) -> bool {
-        !self.dead && self.state == EucJpS::Start
+        !self.dead && self.state == 0
     }
 }
 
 // ------------------------------------------------------------- EUC (94×94)
+
+// States: 0 start, 1 trail.
+const fn euc94_table() -> [u8; 2 * 256] {
+    let mut t = [OUT_ERROR; 2 * 256];
+    let mut b = 0usize;
+    while b < 256 {
+        if b < 0x80 {
+            set(&mut t, 0, b, 0, OUT_BOUNDARY);
+        }
+        if b >= 0xA1 && b <= 0xFE {
+            set(&mut t, 0, b, 1, OUT_CONTINUE);
+            set(&mut t, 1, b, 0, OUT_BOUNDARY);
+        }
+        b += 1;
+    }
+    t
+}
+
+static EUC94_DFA: [u8; 2 * 256] = euc94_table();
 
 /// Validity DFA for the plain EUC packings of KS X 1001 (EUC-KR) and
 /// GB 2312 (GB2312/EUC-CN): ASCII single bytes, or two bytes both in
@@ -201,7 +250,7 @@ impl Verifier for EucJpVerifier {
 /// encodings do not have.)
 #[derive(Debug, Default, Clone)]
 pub struct Euc94Verifier {
-    mid: bool,
+    state: u8,
     dead: bool,
 }
 
@@ -214,29 +263,7 @@ impl Euc94Verifier {
 
 impl Verifier for Euc94Verifier {
     fn feed(&mut self, b: u8) -> SmState {
-        if self.dead {
-            return SmState::Error;
-        }
-        if self.mid {
-            return if (0xA1..=0xFE).contains(&b) {
-                self.mid = false;
-                SmState::CharBoundary
-            } else {
-                self.dead = true;
-                SmState::Error
-            };
-        }
-        match b {
-            0x00..=0x7F => SmState::CharBoundary,
-            0xA1..=0xFE => {
-                self.mid = true;
-                SmState::Continue
-            }
-            _ => {
-                self.dead = true;
-                SmState::Error
-            }
-        }
+        step(&EUC94_DFA, &mut self.state, &mut self.dead, b)
     }
 
     fn reset(&mut self) {
@@ -244,18 +271,38 @@ impl Verifier for Euc94Verifier {
     }
 
     fn at_boundary(&self) -> bool {
-        !self.dead && !self.mid
+        !self.dead && self.state == 0
     }
 }
 
 // ------------------------------------------------------------------ Shift_JIS
+
+// States: 0 start, 1 trail.
+const fn sjis_table() -> [u8; 2 * 256] {
+    let mut t = [OUT_ERROR; 2 * 256];
+    let mut b = 0usize;
+    while b < 256 {
+        match b {
+            0x00..=0x7F | 0xA1..=0xDF => set(&mut t, 0, b, 0, OUT_BOUNDARY),
+            0x81..=0x9F | 0xE0..=0xEF => set(&mut t, 0, b, 1, OUT_CONTINUE),
+            _ => {}
+        }
+        if matches!(b, 0x40..=0x7E | 0x80..=0xFC) {
+            set(&mut t, 1, b, 0, OUT_BOUNDARY);
+        }
+        b += 1;
+    }
+    t
+}
+
+static SJIS_DFA: [u8; 2 * 256] = sjis_table();
 
 /// Shift_JIS validity DFA. Accepts ASCII, half-width katakana
 /// (0xA1..=0xDF single bytes), and double-byte characters with lead
 /// 0x81..=0x9F / 0xE0..=0xEF and trail 0x40..=0x7E / 0x80..=0xFC.
 #[derive(Debug, Default, Clone)]
 pub struct ShiftJisVerifier {
-    mid: bool,
+    state: u8,
     dead: bool,
 }
 
@@ -268,30 +315,7 @@ impl ShiftJisVerifier {
 
 impl Verifier for ShiftJisVerifier {
     fn feed(&mut self, b: u8) -> SmState {
-        if self.dead {
-            return SmState::Error;
-        }
-        if self.mid {
-            return if matches!(b, 0x40..=0x7E | 0x80..=0xFC) {
-                self.mid = false;
-                SmState::CharBoundary
-            } else {
-                self.dead = true;
-                SmState::Error
-            };
-        }
-        match b {
-            0x00..=0x7F => SmState::CharBoundary,
-            0xA1..=0xDF => SmState::CharBoundary, // half-width kana
-            0x81..=0x9F | 0xE0..=0xEF => {
-                self.mid = true;
-                SmState::Continue
-            }
-            _ => {
-                self.dead = true;
-                SmState::Error
-            }
-        }
+        step(&SJIS_DFA, &mut self.state, &mut self.dead, b)
     }
 
     fn reset(&mut self) {
@@ -299,11 +323,53 @@ impl Verifier for ShiftJisVerifier {
     }
 
     fn at_boundary(&self) -> bool {
-        !self.dead && !self.mid
+        !self.dead && self.state == 0
     }
 }
 
 // ---------------------------------------------------------------- ISO-2022-JP
+
+// States: 0 ASCII/Roman text, 1 JIS X 0208 text (between characters),
+// 2 mid 0208 character, 3 after ESC, 4 after `ESC $`, 5 after `ESC (`.
+const ISO_ASCII: u8 = 0;
+const ISO_ESC_DOLLAR: u8 = 4;
+const ISO_ESC_PAREN: u8 = 5;
+
+const fn iso2022_table() -> [u8; 6 * 256] {
+    let mut t = [OUT_ERROR; 6 * 256];
+    let mut b = 0usize;
+    // Every byte >= 0x80 stays an error in every state — the encoding
+    // is 7-bit by construction.
+    while b < 0x80 {
+        match b {
+            0x1B => {
+                // ESC is legal from either text state, never mid-char.
+                set(&mut t, 0, b, 3, OUT_CONTINUE);
+                set(&mut t, 1, b, 3, OUT_CONTINUE);
+            }
+            _ => set(&mut t, 0, b, 0, OUT_BOUNDARY),
+        }
+        if b >= 0x21 && b <= 0x7E {
+            set(&mut t, 1, b, 2, OUT_CONTINUE);
+            set(&mut t, 2, b, 1, OUT_BOUNDARY);
+        } else if matches!(b as u8, b' ' | b'\n' | b'\r' | b'\t') {
+            // Whitespace is tolerated between 0208 chars.
+            set(&mut t, 1, b, 1, OUT_BOUNDARY);
+        }
+        b += 1;
+    }
+    set(&mut t, 3, b'$' as usize, 4, OUT_CONTINUE);
+    set(&mut t, 3, b'(' as usize, 5, OUT_CONTINUE);
+    // ESC $ @ (JIS C 6226) / ESC $ B (JIS X 0208) designate 0208.
+    set(&mut t, 4, b'@' as usize, 1, OUT_BOUNDARY);
+    set(&mut t, 4, b'B' as usize, 1, OUT_BOUNDARY);
+    // ESC ( B (ASCII) / ESC ( J (JIS X 0201 Roman) designate 1-byte text.
+    set(&mut t, 5, b'B' as usize, 0, OUT_BOUNDARY);
+    set(&mut t, 5, b'J' as usize, 0, OUT_BOUNDARY);
+    t
+}
+
+static ISO2022_DFA: [u8; 6 * 256] = iso2022_table();
 
 /// ISO-2022-JP validity DFA (RFC 1468 subset). Tracks the designation
 /// switched by escape sequences: ASCII / JIS-Roman (1 byte per char) vs
@@ -313,23 +379,10 @@ impl Verifier for ShiftJisVerifier {
 /// construction, which is what makes it detectable by escape scan alone.
 #[derive(Debug, Default, Clone)]
 pub struct Iso2022JpVerifier {
-    state: Iso2022S,
-    /// True while a JIS X 0208 designation is active.
-    in_208: bool,
-    /// Mid double-byte character.
-    mid: bool,
+    state: u8,
     /// Number of complete, recognised escape sequences seen.
     escapes_seen: u32,
     dead: bool,
-}
-
-#[derive(Debug, Default, Clone, Copy, PartialEq)]
-enum Iso2022S {
-    #[default]
-    Text,
-    Esc,
-    EscDollar,
-    EscParen,
 }
 
 impl Iso2022JpVerifier {
@@ -343,88 +396,23 @@ impl Iso2022JpVerifier {
     pub fn escapes_seen(&self) -> u32 {
         self.escapes_seen
     }
+
+    /// True while the automaton sits in plain ASCII/Roman text — the
+    /// state where any 7-bit byte other than ESC maps back onto itself,
+    /// so callers may skip whole runs of such bytes.
+    pub(crate) fn in_ascii_text(&self) -> bool {
+        !self.dead && self.state == ISO_ASCII
+    }
 }
 
 impl Verifier for Iso2022JpVerifier {
     fn feed(&mut self, b: u8) -> SmState {
-        if self.dead {
-            return SmState::Error;
+        let prior = self.state;
+        let out = step(&ISO2022_DFA, &mut self.state, &mut self.dead, b);
+        if (prior == ISO_ESC_DOLLAR || prior == ISO_ESC_PAREN) && out != SmState::Error {
+            self.escapes_seen += 1;
         }
-        use Iso2022S::*;
-        if b >= 0x80 {
-            self.dead = true;
-            return SmState::Error;
-        }
-        match self.state {
-            Text => match b {
-                0x1B => {
-                    if self.mid {
-                        // ESC inside a double-byte char is illegal.
-                        self.dead = true;
-                        return SmState::Error;
-                    }
-                    self.state = Esc;
-                    SmState::Continue
-                }
-                _ if self.in_208 => {
-                    if matches!(b, 0x21..=0x7E) {
-                        self.mid = !self.mid;
-                        if self.mid {
-                            SmState::Continue
-                        } else {
-                            SmState::CharBoundary
-                        }
-                    } else if matches!(b, b' ' | b'\n' | b'\r' | b'\t') && !self.mid {
-                        // Whitespace is tolerated between 0208 chars.
-                        SmState::CharBoundary
-                    } else {
-                        self.dead = true;
-                        SmState::Error
-                    }
-                }
-                _ => SmState::CharBoundary,
-            },
-            Esc => match b {
-                b'$' => {
-                    self.state = EscDollar;
-                    SmState::Continue
-                }
-                b'(' => {
-                    self.state = EscParen;
-                    SmState::Continue
-                }
-                _ => {
-                    self.dead = true;
-                    SmState::Error
-                }
-            },
-            EscDollar => match b {
-                b'@' | b'B' => {
-                    // ESC $ @ (JIS C 6226) / ESC $ B (JIS X 0208).
-                    self.in_208 = true;
-                    self.state = Text;
-                    self.escapes_seen += 1;
-                    SmState::CharBoundary
-                }
-                _ => {
-                    self.dead = true;
-                    SmState::Error
-                }
-            },
-            EscParen => match b {
-                b'B' | b'J' => {
-                    // ESC ( B (ASCII) / ESC ( J (JIS X 0201 Roman).
-                    self.in_208 = false;
-                    self.state = Text;
-                    self.escapes_seen += 1;
-                    SmState::CharBoundary
-                }
-                _ => {
-                    self.dead = true;
-                    SmState::Error
-                }
-            },
-        }
+        out
     }
 
     fn reset(&mut self) {
@@ -432,7 +420,7 @@ impl Verifier for Iso2022JpVerifier {
     }
 
     fn at_boundary(&self) -> bool {
-        !self.dead && !self.mid && self.state == Iso2022S::Text && !self.in_208
+        !self.dead && self.state == ISO_ASCII
     }
 }
 
@@ -588,6 +576,21 @@ mod tests {
     }
 
     #[test]
+    fn iso2022jp_whitespace_tolerated_only_between_0208_chars() {
+        // Between chars: fine.
+        let mut v = Iso2022JpVerifier::new();
+        for &b in &[0x1B, b'$', b'B', 0x24, 0x22, b' ', 0x24, 0x24] {
+            assert_ne!(v.feed(b), SmState::Error, "byte {b:#x}");
+        }
+        // Mid-char: error.
+        let mut m = Iso2022JpVerifier::new();
+        for &b in &[0x1B, b'$', b'B', 0x24] {
+            m.feed(b);
+        }
+        assert_eq!(m.feed(b' '), SmState::Error);
+    }
+
+    #[test]
     fn verifiers_reset() {
         let mut v = ShiftJisVerifier::new();
         v.feed(0xFD);
@@ -605,5 +608,24 @@ mod tests {
         assert!(run(&mut EucJpVerifier::new(), text));
         assert!(run(&mut ShiftJisVerifier::new(), text));
         assert!(run(&mut Iso2022JpVerifier::new(), text));
+    }
+
+    /// The packed tables must agree with the range rules they were built
+    /// from — brute-force the single-byte transitions from every state.
+    #[test]
+    fn tables_cover_every_byte() {
+        // Spot-check a few cells that sit exactly on range boundaries.
+        for (lo, hi, dfa, state) in [
+            (0xA1u8, 0xFEu8, &EUC94_DFA[..], 1usize),
+            (0xA1, 0xDF, &EUCJP_DFA[..], 2),
+            (0x40, 0x7E, &SJIS_DFA[..], 1),
+        ] {
+            assert_eq!(dfa[state * 256 + lo as usize] >> OUT_SHIFT, 1);
+            assert_eq!(dfa[state * 256 + hi as usize] >> OUT_SHIFT, 1);
+            assert_eq!(dfa[state * 256 + (lo - 1) as usize] >> OUT_SHIFT, 2);
+            if hi != 0xFE {
+                assert_eq!(dfa[state * 256 + (hi + 1) as usize] >> OUT_SHIFT, 2);
+            }
+        }
     }
 }

@@ -133,6 +133,7 @@ impl OracleClassifier {
 }
 
 impl Classifier for OracleClassifier {
+    #[inline]
     fn relevance(&self, ws: &WebSpace, page: PageId) -> f64 {
         if ws.meta(page).lang == Some(self.target) {
             1.0

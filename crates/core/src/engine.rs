@@ -77,6 +77,60 @@ pub struct EngineOutcome {
     pub ticks: u64,
 }
 
+/// Reusable per-run scratch: every buffer the crawl loop writes per
+/// fetch, hoisted out of the loop so a steady-state fetch allocates
+/// nothing. Callers that run many crawls back-to-back (experiment
+/// sweeps, benchmarks) pass the same scratch each time; buffers are
+/// length-reset per run but keep their capacity, so repeated runs stop
+/// paying the grow-from-empty cycle entirely.
+#[derive(Debug, Default)]
+pub struct EngineScratch {
+    /// Admission buffer the strategy refills once per fetch; grows to
+    /// the largest out-degree seen, then stabilizes.
+    pub(crate) admissions: Vec<Entry>,
+    /// Per-page attempt counts, materialized lazily at the first retry
+    /// of a run (emptiness doubles as the "no retry yet" flag — see the
+    /// run loop). Cleared but never shrunk between runs.
+    pub(crate) attempt_counts: Vec<u32>,
+    /// Times materializing the attempt table had to grow the buffer —
+    /// the regression counter for "a second run on the same space
+    /// performs zero attempt-table allocations".
+    attempt_table_allocs: u64,
+}
+
+impl EngineScratch {
+    /// A fresh scratch with a warm admission buffer.
+    pub fn new() -> Self {
+        EngineScratch {
+            admissions: Vec::with_capacity(64),
+            attempt_counts: Vec::new(),
+            attempt_table_allocs: 0,
+        }
+    }
+
+    /// How many times materializing the attempt table allocated. Stays
+    /// flat across repeated runs over spaces of the same (or smaller)
+    /// size — the zero-allocation steady-state contract.
+    pub fn attempt_table_allocs(&self) -> u64 {
+        self.attempt_table_allocs
+    }
+
+    /// Reset lengths for a new run; capacity is retained.
+    pub(crate) fn begin_run(&mut self) {
+        self.admissions.clear();
+        self.attempt_counts.clear();
+    }
+
+    /// Materialize the attempt table as `num_pages` zeros, reusing the
+    /// existing capacity when it suffices.
+    pub(crate) fn materialize_attempts(&mut self, num_pages: usize) {
+        if self.attempt_counts.capacity() < num_pages {
+            self.attempt_table_allocs += 1;
+        }
+        self.attempt_counts.resize(num_pages, 0);
+    }
+}
+
 /// The layered crawl engine.
 #[derive(Debug)]
 pub struct CrawlEngine<'a> {
@@ -117,31 +171,43 @@ impl<'a> CrawlEngine<'a> {
     /// then [`CrawlEvent::Sampled`] on sampling fetches. One
     /// [`CrawlEvent::Finished`] closes the run. Variants no attached
     /// sink declares in [`EventSink::interests`] are skipped entirely.
-    pub fn run<F: Frontier>(
+    pub fn run<F, S, C>(
         &self,
         frontier: F,
-        strategy: &mut dyn Strategy,
-        classifier: &dyn Classifier,
+        strategy: &mut S,
+        classifier: &C,
         sinks: &mut [&mut dyn EventSink],
-    ) -> EngineOutcome {
-        let mut admissions: Vec<Entry> = Vec::with_capacity(64);
-        self.run_with_scratch(frontier, strategy, classifier, sinks, &mut admissions)
+    ) -> EngineOutcome
+    where
+        F: Frontier,
+        S: Strategy + ?Sized,
+        C: Classifier + ?Sized,
+    {
+        let mut scratch = EngineScratch::new();
+        self.run_with_scratch(frontier, strategy, classifier, sinks, &mut scratch)
     }
 
-    /// [`CrawlEngine::run`] with a caller-provided admission scratch
-    /// buffer. The admission loop clears and refills `scratch` once per
-    /// fetch; callers that run many crawls back-to-back (experiment
-    /// sweeps, benchmarks) pass the same buffer each time so the hot
-    /// loop stops reallocating once the buffer has grown to the largest
-    /// out-degree seen. The buffer's prior contents are ignored.
-    pub fn run_with_scratch<F: Frontier>(
+    /// [`CrawlEngine::run`] with caller-provided [`EngineScratch`]: the
+    /// admission buffer the strategy refills once per fetch and the
+    /// lazily materialized attempt table. Callers that run many crawls
+    /// back-to-back (experiment sweeps, benchmarks) pass the same
+    /// scratch each time so the hot loop stops reallocating once the
+    /// buffers have grown to their high-water sizes. Prior contents are
+    /// ignored; only capacity carries over.
+    pub fn run_with_scratch<F, S, C>(
         &self,
         mut frontier: F,
-        strategy: &mut dyn Strategy,
-        classifier: &dyn Classifier,
+        strategy: &mut S,
+        classifier: &C,
         sinks: &mut [&mut dyn EventSink],
-        scratch: &mut Vec<Entry>,
-    ) -> EngineOutcome {
+        scratch: &mut EngineScratch,
+    ) -> EngineOutcome
+    where
+        F: Frontier,
+        S: Strategy + ?Sized,
+        C: Classifier + ?Sized,
+    {
+        scratch.begin_run();
         let ws = self.ws;
         let sample_interval = self
             .config
@@ -159,14 +225,14 @@ impl<'a> CrawlEngine<'a> {
         let retry = self.config.retry;
         let max_attempts = retry.effective_max_attempts();
         let fault = self.fault.as_ref();
-        // Per-page attempt counts, allocated lazily at the first retry:
-        // while no fetch has ever been retried, every pop is attempt #1
-        // and the table stays empty — a faulted-but-lucky run pays one
-        // emptiness check per fetch instead of a table read-modify-write
-        // (this is what keeps the microbench fault-path gate under 10%).
-        // Resolved pages never return, so their counts are only written
-        // when a retry is actually scheduled.
-        let mut attempt_counts: Vec<u32> = Vec::new();
+        // Per-page attempt counts live in the scratch and materialize
+        // lazily at the first retry: while no fetch has ever been
+        // retried, every pop is attempt #1 and the table stays empty — a
+        // faulted-but-lucky run pays one emptiness check per fetch
+        // instead of a table read-modify-write (this is what keeps the
+        // microbench fault-path gate under 10%). Resolved pages never
+        // return, so their counts are only written when a retry is
+        // actually scheduled.
         // Min-heap of (ready tick, schedule seq, entry): pops in ready
         // order with FIFO tie-breaking, so the retry schedule is a pure
         // function of the failure sequence.
@@ -188,6 +254,7 @@ impl<'a> CrawlEngine<'a> {
             sinks,
             wants,
             sample_interval,
+            until_sample: sample_interval,
             crawled: 0,
             relevant_crawled: 0,
             gave_up: 0,
@@ -199,7 +266,7 @@ impl<'a> CrawlEngine<'a> {
             // discoveries. The heap can only be non-empty once a retry
             // has been scheduled — which is also when the attempt table
             // materializes — so a run that never fails never touches it.
-            if !attempt_counts.is_empty() {
+            if !scratch.attempt_counts.is_empty() {
                 while let Some(&Reverse((ready, _, _))) = retry_heap.peek() {
                     if ready > tick {
                         break;
@@ -231,10 +298,10 @@ impl<'a> CrawlEngine<'a> {
             let meta = ws.meta(p);
             let (attempt, outcome) = match &fault {
                 Some(model) => {
-                    let a = if attempt_counts.is_empty() {
+                    let a = if scratch.attempt_counts.is_empty() {
                         1
                     } else {
-                        attempt_counts[p as usize] + 1
+                        scratch.attempt_counts[p as usize] + 1
                     };
                     if a > 1 {
                         retries += 1;
@@ -254,10 +321,10 @@ impl<'a> CrawlEngine<'a> {
                 // Transient failure with budget left: back off and
                 // re-enter the frontier later. The page is not resolved —
                 // `crawled` does not advance and nothing is classified.
-                if attempt_counts.is_empty() {
-                    attempt_counts = vec![0; ws.num_pages()];
+                if scratch.attempt_counts.is_empty() {
+                    scratch.materialize_attempts(ws.num_pages());
                 }
-                attempt_counts[p as usize] = attempt;
+                scratch.attempt_counts[p as usize] = attempt;
                 if wants & interest::ATTEMPT != 0 {
                     emit(
                         st.sinks,
@@ -329,15 +396,21 @@ impl<'a> CrawlEngine<'a> {
     /// the virtual-time scheduler ([`crate::sched`]) — which is what
     /// keeps a `K = 1`, politeness-0 scheduled run bit-identical to the
     /// legacy engine (pinned by the conformance goldens).
-    pub(crate) fn resolve<F: Frontier>(
+    // lint:hot-path — runs once per resolved fetch; all buffers live in
+    // `scratch`, so a steady-state resolution allocates nothing.
+    pub(crate) fn resolve<F, S, C>(
         &self,
         st: &mut RunState<'_, '_>,
         frontier: &mut F,
-        strategy: &mut dyn Strategy,
-        classifier: &dyn Classifier,
-        scratch: &mut Vec<Entry>,
+        strategy: &mut S,
+        classifier: &C,
+        scratch: &mut EngineScratch,
         r: Resolution,
-    ) {
+    ) where
+        F: Frontier,
+        S: Strategy + ?Sized,
+        C: Classifier + ?Sized,
+    {
         let ws = self.ws;
         let p = r.entry.page;
         let meta = ws.meta(p);
@@ -409,21 +482,28 @@ impl<'a> CrawlEngine<'a> {
             outlinks,
             crawled: st.crawled,
         };
-        scratch.clear();
-        strategy.admit(&view, scratch);
+        // Batched admission: collect the strategy's offers, filter in
+        // place, then hand the whole batch to the frontier at once so a
+        // sharded frontier can amortize its per-host bookkeeping
+        // ([`Frontier::push_all`]). Order is preserved throughout, so
+        // the enqueue sequence is identical to pushing one at a time.
+        let admissions = &mut scratch.admissions;
+        admissions.clear();
+        strategy.admit(&view, admissions);
 
-        let offered = scratch.len() as u32;
-        let mut enqueued = 0u32;
+        let offered = admissions.len() as u32;
         let mut dropped = 0u32;
-        for &a in scratch.iter() {
-            if self.config.url_filter && ws.meta(a.page).kind == PageKind::Other {
-                dropped += 1;
-                continue; // extension-filtered before entering the queue
-            }
-            if frontier.push(a) {
-                enqueued += 1;
-            }
+        if self.config.url_filter {
+            admissions.retain(|a| {
+                if ws.meta(a.page).kind == PageKind::Other {
+                    dropped += 1;
+                    false // extension-filtered before entering the queue
+                } else {
+                    true
+                }
+            });
         }
+        let enqueued = frontier.push_all(admissions);
         if dropped > 0 && st.wants & interest::FILTERED != 0 {
             emit(st.sinks, CrawlEvent::Filtered { page: p, dropped });
         }
@@ -438,15 +518,21 @@ impl<'a> CrawlEngine<'a> {
             );
         }
 
-        if st.wants & interest::SAMPLED != 0 && st.crawled.is_multiple_of(st.sample_interval) {
-            emit(
-                st.sinks,
-                CrawlEvent::Sampled {
-                    crawled: st.crawled,
-                    relevant: st.relevant_crawled,
-                    pending: frontier.pending(),
-                },
-            );
+        // Countdown instead of `crawled % interval` — the modulo is a
+        // 64-bit division on the once-per-fetch path.
+        st.until_sample -= 1;
+        if st.until_sample == 0 {
+            st.until_sample = st.sample_interval;
+            if st.wants & interest::SAMPLED != 0 {
+                emit(
+                    st.sinks,
+                    CrawlEvent::Sampled {
+                        crawled: st.crawled,
+                        relevant: st.relevant_crawled,
+                        pending: frontier.pending(),
+                    },
+                );
+            }
         }
     }
 }
@@ -475,6 +561,10 @@ pub(crate) struct RunState<'s, 'k> {
     pub(crate) wants: u16,
     /// Emit [`CrawlEvent::Sampled`] every this many resolutions.
     pub(crate) sample_interval: u64,
+    /// Resolutions left until the next sample (counts down from
+    /// `sample_interval`; equivalent to `crawled % interval == 0`
+    /// without the per-fetch division).
+    pub(crate) until_sample: u64,
     /// Pages resolved so far.
     pub(crate) crawled: u64,
     /// Ground-truth relevant pages delivered so far.

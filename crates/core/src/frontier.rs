@@ -37,6 +37,22 @@ pub trait Frontier {
     /// any prior admission of the same page).
     fn push(&mut self, e: Entry) -> bool;
 
+    /// Admit a batch of entries in order, returning how many were
+    /// enqueued. Semantically identical to calling [`Frontier::push`]
+    /// once per entry; implementations may override it to amortize
+    /// per-push bookkeeping across the batch (the sharded frontier
+    /// defers its per-host heap refresh to one pass at the end), but
+    /// must accept exactly the same entries in exactly the same order.
+    fn push_all(&mut self, entries: &[Entry]) -> u32 {
+        let mut enqueued = 0u32;
+        for &e in entries {
+            if self.push(e) {
+                enqueued += 1;
+            }
+        }
+        enqueued
+    }
+
     /// Pop the next URL to crawl, or `None` when the frontier is dry.
     fn pop(&mut self) -> Option<Entry>;
 
@@ -67,18 +83,27 @@ pub trait Frontier {
 }
 
 impl Frontier for UrlQueue {
+    #[inline]
     fn push(&mut self, e: Entry) -> bool {
         UrlQueue::push(self, e)
     }
 
+    #[inline]
+    fn push_all(&mut self, entries: &[Entry]) -> u32 {
+        UrlQueue::push_all(self, entries)
+    }
+
+    #[inline]
     fn pop(&mut self) -> Option<Entry> {
         UrlQueue::pop(self)
     }
 
+    #[inline]
     fn requeue(&mut self, e: Entry) -> bool {
         UrlQueue::requeue(self, e)
     }
 
+    #[inline]
     fn pending(&self) -> usize {
         UrlQueue::pending(self)
     }

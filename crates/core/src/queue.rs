@@ -30,6 +30,7 @@ pub struct Entry {
 
 impl Entry {
     /// Lexicographic admission key: lower is better.
+    #[inline]
     fn key(&self) -> u16 {
         ((self.priority as u16) << 8) | self.distance as u16
     }
@@ -52,10 +53,16 @@ impl Entry {
 #[derive(Debug)]
 pub struct UrlQueue {
     levels: Vec<VecDeque<Entry>>,
-    /// Best admission key per page; `u16::MAX` = never admitted.
-    best: Vec<u16>,
-    /// Pages fetched already (their entries are stale).
-    done: Vec<bool>,
+    /// Per-page admission bar, one word instead of separate `done` /
+    /// `best` tables so the duplicate check in [`UrlQueue::push`] and
+    /// the stale check in [`UrlQueue::pop`] each touch a single cache
+    /// line per page. Encoding: an entry with key `k` is *live* iff
+    /// `k + 1 < bar` would have admitted it, i.e.
+    ///   - [`BAR_NEVER`]  — never admitted (every key passes),
+    ///   - `k + 1`        — best admission key so far is `k`
+    ///     (only strictly better keys pass),
+    ///   - [`BAR_DONE`]   — fetched (nothing passes).
+    bar: Vec<u32>,
     /// Distinct pages admitted but not yet fetched.
     pending: usize,
     /// High-water mark of `pending`.
@@ -64,13 +71,17 @@ pub struct UrlQueue {
     pushes: u64,
 }
 
+/// Admission bar for a page never admitted: above any `key + 1`.
+const BAR_NEVER: u32 = u16::MAX as u32 + 2;
+/// Admission bar for a fetched page: below any `key + 1`.
+const BAR_DONE: u32 = 0;
+
 impl UrlQueue {
     /// Queue over a space of `num_pages` URLs with priorities `0..levels`.
     pub fn new(num_pages: usize, levels: usize) -> Self {
         UrlQueue {
             levels: (0..levels.max(1)).map(|_| VecDeque::new()).collect(),
-            best: vec![u16::MAX; num_pages],
-            done: vec![false; num_pages],
+            bar: vec![BAR_NEVER; num_pages],
             pending: 0,
             max_pending: 0,
             pushes: 0,
@@ -84,36 +95,73 @@ impl UrlQueue {
 
     /// Try to admit an entry. Returns true if it was enqueued (first
     /// discovery, or a strictly better key than any prior admission).
+    // lint:hot-path — one call per offered outlink; rings only grow to
+    // their high-water size, everything else is array writes.
+    #[inline]
     pub fn push(&mut self, e: Entry) -> bool {
         let idx = e.page as usize;
-        if self.done[idx] {
-            return false;
+        let bar = self.bar[idx];
+        let raised = e.key() as u32 + 1;
+        if raised >= bar {
+            return false; // fetched, duplicate, or not strictly better
         }
-        let key = e.key();
-        if key >= self.best[idx] {
-            return false; // duplicate or not better
-        }
-        if self.best[idx] == u16::MAX {
+        if bar == BAR_NEVER {
             self.pending += 1;
             self.max_pending = self.max_pending.max(self.pending);
         }
-        self.best[idx] = key;
+        self.bar[idx] = raised;
         let level = (e.priority as usize).min(self.levels.len() - 1);
         self.levels[level].push_back(e);
         self.pushes += 1;
         true
     }
 
+    /// Admit a batch of entries in order (see [`UrlQueue::push`] for
+    /// the per-entry contract). Accepts exactly the same entries in
+    /// exactly the same order as pushing one at a time; the batch form
+    /// hoists the level clamp and folds the push/high-water counter
+    /// updates into locals flushed once per batch.
+    // lint:hot-path — the engine admits every fetch's outlinks here.
+    #[inline]
+    pub fn push_all(&mut self, entries: &[Entry]) -> u32 {
+        let last_level = self.levels.len() - 1;
+        let mut pending = self.pending;
+        let mut enqueued = 0u32;
+        for &e in entries {
+            let idx = e.page as usize;
+            let bar = self.bar[idx];
+            let raised = e.key() as u32 + 1;
+            if raised >= bar {
+                continue; // fetched, duplicate, or not strictly better
+            }
+            if bar == BAR_NEVER {
+                pending += 1;
+            }
+            self.bar[idx] = raised;
+            let level = (e.priority as usize).min(last_level);
+            self.levels[level].push_back(e);
+            enqueued += 1;
+        }
+        self.pending = pending;
+        // `pending` only grows during a batch (pops happen elsewhere),
+        // so its end-of-batch value is the batch's high-water mark.
+        self.max_pending = self.max_pending.max(pending);
+        self.pushes += enqueued as u64;
+        enqueued
+    }
+
     /// Pop the next URL to crawl: lowest priority level first, FIFO
     /// within a level; stale duplicates are skipped transparently.
+    // lint:hot-path — one call per fetch; pure ring traffic.
+    #[inline]
     pub fn pop(&mut self) -> Option<Entry> {
         while let Some(level) = self.levels.iter().position(|l| !l.is_empty()) {
             while let Some(e) = self.levels[level].pop_front() {
                 let idx = e.page as usize;
-                if self.done[idx] || e.key() > self.best[idx] {
+                if e.key() as u32 >= self.bar[idx] {
                     continue; // fetched already, or superseded by a better entry
                 }
-                self.done[idx] = true;
+                self.bar[idx] = BAR_DONE;
                 self.pending -= 1;
                 return Some(e);
             }
@@ -122,18 +170,17 @@ impl UrlQueue {
     }
 
     /// Re-admit a page that was already popped — the retry path. The
-    /// `done` mark (which [`UrlQueue::push`] honors to keep fetched
+    /// fetched mark (which [`UrlQueue::push`] honors to keep fetched
     /// pages out forever) is cleared and the entry re-enters its
     /// priority ring at the back, with its key as the page's new best.
     /// Falls back to [`UrlQueue::push`] for pages that were never
     /// popped. Returns whether the entry was enqueued.
     pub fn requeue(&mut self, e: Entry) -> bool {
         let idx = e.page as usize;
-        if !self.done[idx] {
+        if self.bar[idx] != BAR_DONE {
             return self.push(e);
         }
-        self.done[idx] = false;
-        self.best[idx] = e.key();
+        self.bar[idx] = e.key() as u32 + 1;
         self.pending += 1;
         self.max_pending = self.max_pending.max(self.pending);
         let level = (e.priority as usize).min(self.levels.len() - 1);
@@ -155,12 +202,12 @@ impl UrlQueue {
 
     /// Has this page been fetched?
     pub fn is_done(&self, p: PageId) -> bool {
-        self.done[p as usize]
+        self.bar[p as usize] == BAR_DONE
     }
 
     /// Was this page ever admitted (queued or fetched)?
     pub fn was_admitted(&self, p: PageId) -> bool {
-        self.best[p as usize] != u16::MAX
+        self.bar[p as usize] != BAR_NEVER
     }
 
     /// Total push operations accepted (diagnostic; counts duplicates).
@@ -280,6 +327,48 @@ mod tests {
         q.push(e(9, 1, 0));
         assert_eq!(q.pending(), 4);
         assert_eq!(q.max_pending(), 5);
+    }
+
+    #[test]
+    fn push_all_matches_per_entry_pushes() {
+        let batch = [
+            e(3, 1, 0),
+            e(0, 0, 0),
+            e(3, 1, 0), // duplicate within the batch
+            e(1, 2, 1),
+            e(1, 0, 0), // re-prioritized within the batch
+            e(7, 9, 0), // clamped level
+        ];
+        let mut one_by_one = UrlQueue::new(10, 3);
+        let mut accepted = 0u32;
+        for &x in &batch {
+            if one_by_one.push(x) {
+                accepted += 1;
+            }
+        }
+        let mut batched = UrlQueue::new(10, 3);
+        assert_eq!(batched.push_all(&batch), accepted);
+        assert_eq!(batched.pending(), one_by_one.pending());
+        assert_eq!(batched.max_pending(), one_by_one.max_pending());
+        assert_eq!(batched.total_pushes(), one_by_one.total_pushes());
+        let want: Vec<Entry> = std::iter::from_fn(|| one_by_one.pop()).collect();
+        let got: Vec<Entry> = std::iter::from_fn(|| batched.pop()).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn key_ceiling_entry_is_admitted_once_and_only_once() {
+        // The worst possible key (priority 255, distance 255) sits right
+        // at the admission-bar encoding's boundary: it must be admitted
+        // on first discovery, rejected as a duplicate, and superseded by
+        // anything better.
+        let mut q = UrlQueue::new(4, 2);
+        assert!(q.push(e(0, 255, 255)));
+        assert!(!q.push(e(0, 255, 255)), "equal key rejected");
+        assert!(q.push(e(0, 255, 254)), "strictly better distance accepted");
+        assert_eq!(q.pending(), 1);
+        assert_eq!(q.pop().unwrap().distance, 254);
+        assert!(q.pop().is_none(), "stale ceiling entry skipped");
     }
 
     #[test]

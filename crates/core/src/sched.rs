@@ -38,7 +38,7 @@
 //! generation seed under the `STREAM_POLITENESS` domain.
 
 use crate::classifier::Classifier;
-use crate::engine::{CrawlEngine, EngineOutcome, Resolution, RunState};
+use crate::engine::{CrawlEngine, EngineOutcome, EngineScratch, Resolution, RunState};
 use crate::event::{interest, CrawlEvent, EventSink};
 use crate::frontier::Frontier;
 use crate::queue::{Entry, UrlQueue};
@@ -234,28 +234,35 @@ impl CrawlEngine<'_> {
     /// per-host politeness gaps stall hosts between starts. The
     /// frontier is a [`ShardedFrontier`] built from the space's host
     /// table.
-    pub fn run_scheduled(
+    pub fn run_scheduled<S, C>(
         &self,
         sched: &SchedConfig,
-        strategy: &mut dyn Strategy,
-        classifier: &dyn Classifier,
+        strategy: &mut S,
+        classifier: &C,
         sinks: &mut [&mut dyn EventSink],
-    ) -> EngineOutcome {
-        let mut admissions: Vec<Entry> = Vec::with_capacity(64);
-        self.run_scheduled_with_scratch(sched, strategy, classifier, sinks, &mut admissions)
+    ) -> EngineOutcome
+    where
+        S: Strategy + ?Sized,
+        C: Classifier + ?Sized,
+    {
+        let mut scratch = EngineScratch::new();
+        self.run_scheduled_with_scratch(sched, strategy, classifier, sinks, &mut scratch)
     }
 
-    /// [`CrawlEngine::run_scheduled`] with a caller-provided admission
-    /// scratch buffer (see
-    /// [`CrawlEngine::run_with_scratch`]).
-    pub fn run_scheduled_with_scratch(
+    /// [`CrawlEngine::run_scheduled`] with a caller-provided
+    /// [`EngineScratch`] (see [`CrawlEngine::run_with_scratch`]).
+    pub fn run_scheduled_with_scratch<S, C>(
         &self,
         sched: &SchedConfig,
-        strategy: &mut dyn Strategy,
-        classifier: &dyn Classifier,
+        strategy: &mut S,
+        classifier: &C,
         sinks: &mut [&mut dyn EventSink],
-        scratch: &mut Vec<Entry>,
-    ) -> EngineOutcome {
+        scratch: &mut EngineScratch,
+    ) -> EngineOutcome
+    where
+        S: Strategy + ?Sized,
+        C: Classifier + ?Sized,
+    {
         self.run_scheduled_full(sched, strategy, classifier, sinks, scratch)
             .0
     }
@@ -264,14 +271,18 @@ impl CrawlEngine<'_> {
     /// returning the frontier's per-shard load counters — the raw
     /// material for the parallelism sweep's imbalance and handoff
     /// figures (the frontier itself is consumed by the run).
-    pub fn run_scheduled_full(
+    pub fn run_scheduled_full<S, C>(
         &self,
         sched: &SchedConfig,
-        strategy: &mut dyn Strategy,
-        classifier: &dyn Classifier,
+        strategy: &mut S,
+        classifier: &C,
         sinks: &mut [&mut dyn EventSink],
-        scratch: &mut Vec<Entry>,
-    ) -> (EngineOutcome, Vec<ShardStats>) {
+        scratch: &mut EngineScratch,
+    ) -> (EngineOutcome, Vec<ShardStats>)
+    where
+        S: Strategy + ?Sized,
+        C: Classifier + ?Sized,
+    {
         let ws = self.web_space();
         // Degenerate-point elision, tiered like the fault layer's
         // inert-model fast path. With one slot, zero politeness and no
@@ -316,15 +327,21 @@ impl CrawlEngine<'_> {
 
     /// The virtual-time event loop, monomorphized per frontier (the
     /// sharded frontier, or the legacy rings at the degenerate point).
-    fn sched_loop<F: SlotFrontier>(
+    fn sched_loop<F, S, C>(
         &self,
         sched: &SchedConfig,
-        strategy: &mut dyn Strategy,
-        classifier: &dyn Classifier,
+        strategy: &mut S,
+        classifier: &C,
         sinks: &mut [&mut dyn EventSink],
-        scratch: &mut Vec<Entry>,
+        scratch: &mut EngineScratch,
         mut frontier: F,
-    ) -> (EngineOutcome, Vec<ShardStats>) {
+    ) -> (EngineOutcome, Vec<ShardStats>)
+    where
+        F: SlotFrontier,
+        S: Strategy + ?Sized,
+        C: Classifier + ?Sized,
+    {
+        scratch.begin_run();
         let ws = self.web_space();
         let gaps = self.politeness_gaps(sched);
         let slots = sched.effective_slots();
@@ -350,8 +367,8 @@ impl CrawlEngine<'_> {
             });
         }
 
-        // Same lazy fault bookkeeping as the legacy loop.
-        let mut attempt_counts: Vec<u32> = Vec::new();
+        // Same lazy fault bookkeeping as the legacy loop; the attempt
+        // table lives in the scratch (see `EngineScratch`).
         let mut retry_heap: BinaryHeap<Reverse<(u64, u64, Entry)>> = BinaryHeap::new();
         let mut retry_seq: u64 = 0;
         // Born sorted by (finish, start seq): see [`InFlight`].
@@ -365,6 +382,7 @@ impl CrawlEngine<'_> {
             sinks,
             wants,
             sample_interval,
+            until_sample: sample_interval,
             crawled: 0,
             relevant_crawled: 0,
             gave_up: 0,
@@ -374,7 +392,7 @@ impl CrawlEngine<'_> {
             // 1. Due retries re-enter the frontier before slots fill, so
             // the frontier orders them against fresh discoveries —
             // identical to the legacy loop's drain-before-pop.
-            if !attempt_counts.is_empty() {
+            if !scratch.attempt_counts.is_empty() {
                 while let Some(&Reverse((ready, _, _))) = retry_heap.peek() {
                     if ready > now {
                         break;
@@ -396,10 +414,10 @@ impl CrawlEngine<'_> {
                 let meta = ws.meta(p);
                 let (attempt, outcome) = match &fault {
                     Some(model) => {
-                        let a = if attempt_counts.is_empty() {
+                        let a = if scratch.attempt_counts.is_empty() {
                             1
                         } else {
-                            attempt_counts[p as usize] + 1
+                            scratch.attempt_counts[p as usize] + 1
                         };
                         if a > 1 {
                             retries += 1;
@@ -496,10 +514,10 @@ impl CrawlEngine<'_> {
                 }
 
                 if f.outcome.transient && f.attempt < max_attempts {
-                    if attempt_counts.is_empty() {
-                        attempt_counts = vec![0; ws.num_pages()];
+                    if scratch.attempt_counts.is_empty() {
+                        scratch.materialize_attempts(ws.num_pages());
                     }
-                    attempt_counts[p as usize] = f.attempt;
+                    scratch.attempt_counts[p as usize] = f.attempt;
                     if wants & interest::ATTEMPT != 0 {
                         emit(
                             st.sinks,

@@ -13,11 +13,18 @@
 //!   key table, one `done` table, `pending()` counts distinct waiting
 //!   pages;
 //! * **storage** is per-host: every entry lives in its host's parked
-//!   heap, always. A ready host additionally *exposes* a copy of its
-//!   minimum entry as a token in the owning shard's avail heap; tokens
-//!   are disposable — when a host's minimum changes (better discovery,
-//!   state transition), a fresh token is pushed and the old one goes
-//!   stale, to be discarded when it surfaces;
+//!   queue, always — one index-linked FIFO list per `(host, level)`
+//!   slot, with nodes drawn from a single slab ([`Node`]) and recycled
+//!   through a free list, so steady-state storage churn allocates
+//!   nothing. A host's minimum entry is the head of its lowest
+//!   non-empty level list (heads are seq-sorted by construction, since
+//!   entries append with a globally increasing seq — the exact
+//!   `(level, seq)` minimum the per-host heap used to compute). A ready
+//!   host additionally *exposes* a copy of its minimum entry as a token
+//!   in the owning shard's avail heap; tokens are disposable — when a
+//!   host's minimum changes (better discovery, state transition), a
+//!   fresh token is pushed and the old one goes stale, to be discarded
+//!   when it surfaces;
 //! * **pop order** is the exact global `(priority level, FIFO seq)`
 //!   discipline of [`UrlQueue`], *regardless of shard count*: each
 //!   ready host exposes exactly its minimum entry, so the minimum over
@@ -52,10 +59,23 @@ use std::collections::BinaryHeap;
 /// similar hosts.
 const SHARD_SALT: u64 = 0x5ca1_ab1e_0000_0001;
 
-/// A stored entry: `(level, seq)` is the total order, the tail carries
-/// the entry payload. `seq` is unique, so comparisons never reach the
-/// payload and ordering is a pure function of push history.
-type Slot = (u8, u64, PageId, u8, u8);
+/// Slab sentinel: "no node" for list links and the free-list head.
+const NIL: u32 = u32::MAX;
+
+/// One parked entry in the slab: the payload plus the `next` link of
+/// its `(host, level)` FIFO list. `seq` is the global push ordinal —
+/// unique, so `(level, seq)` totally orders a host's entries and the
+/// list head at the lowest non-empty level is the host's minimum.
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    seq: u64,
+    page: PageId,
+    priority: u8,
+    distance: u8,
+    /// Next node in this `(host, level)` list, or [`NIL`]. Doubles as
+    /// the free-list link when the node is recycled.
+    next: u32,
+}
 
 /// Per-host scheduling state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,19 +87,6 @@ enum HostState {
     Busy,
     /// Politeness cool-down: parked until its `ready_at` tick.
     Cooling,
-}
-
-/// One host's queue. Every entry of the host lives in `parked` until it
-/// is popped; the avail heap only ever holds *copies*.
-#[derive(Debug, Default)]
-struct HostQueue {
-    parked: BinaryHeap<Reverse<Slot>>,
-    /// `(level, seq)` of the token this host currently exposes in its
-    /// shard's avail heap; `None` when the host exposes nothing (busy,
-    /// cooling, or empty). Always equals `parked`'s minimum when set.
-    /// Avail tokens that do not match are stale and simply discarded —
-    /// the entries they carry are safe in `parked`.
-    exposed: Option<(u8, u64)>,
 }
 
 /// Per-shard load counters, for the imbalance stats the parallelism
@@ -132,7 +139,25 @@ struct Shard {
 #[derive(Debug)]
 pub struct ShardedFrontier {
     shards: Vec<Shard>,
-    hosts: Vec<HostQueue>,
+    /// The parked-entry slab: every waiting entry is a [`Node`] here,
+    /// linked into its `(host, level)` FIFO list. Detached nodes move
+    /// to the free list and are reused before the slab grows, so
+    /// steady-state traffic recycles indices instead of allocating.
+    nodes: Vec<Node>,
+    /// Head of the free list ([`NIL`] when empty).
+    free: u32,
+    /// FIFO list heads, indexed `host * num_levels + level`; [`NIL`]
+    /// marks an empty list.
+    heads: Vec<u32>,
+    /// FIFO list tails, same indexing; meaningful only when the
+    /// matching head is not [`NIL`].
+    tails: Vec<u32>,
+    /// `(level, seq)` of the token each host currently exposes in its
+    /// shard's avail heap; `None` when the host exposes nothing (busy,
+    /// cooling, or empty). Always equals the host's parked minimum when
+    /// set. Avail tokens that do not match are stale and simply
+    /// discarded — the entries they carry are safe in the slab.
+    exposed: Vec<Option<(u8, u64)>>,
     host_state: Vec<HostState>,
     /// Host owning each page.
     host_of_page: Vec<u32>,
@@ -164,15 +189,20 @@ impl ShardedFrontier {
     pub fn new(host_of_page: Vec<u32>, num_hosts: usize, levels: usize, shards: usize) -> Self {
         let shards = shards.max(1);
         let num_pages = host_of_page.len();
+        let levels = levels.max(1);
         ShardedFrontier {
             shards: (0..shards).map(|_| Shard::default()).collect(),
-            hosts: (0..num_hosts).map(|_| HostQueue::default()).collect(),
+            nodes: Vec::new(),
+            free: NIL,
+            heads: vec![NIL; num_hosts * levels],
+            tails: vec![NIL; num_hosts * levels],
+            exposed: vec![None; num_hosts],
             host_state: vec![HostState::Ready; num_hosts],
             host_of_page,
             shard_of_host: (0..num_hosts)
                 .map(|h| (mix(SHARD_SALT, h as u64) % shards as u64) as u32)
                 .collect(),
-            num_levels: levels.max(1),
+            num_levels: levels,
             best: vec![u16::MAX; num_pages],
             done: vec![false; num_pages],
             pending: 0,
@@ -231,9 +261,14 @@ impl ShardedFrontier {
         (e.priority as usize).min(self.num_levels - 1) as u8
     }
 
-    /// Store an accepted entry on its host and re-expose the host's
-    /// minimum, updating shard stats.
-    fn insert(&mut self, e: Entry) {
+    /// Store an accepted entry on its host (shard stats and handoff
+    /// attribution included) and return the host. Does *not* re-expose
+    /// the host's minimum — callers follow up with [`Self::refresh`],
+    /// either immediately ([`Frontier::push`]) or once per host after a
+    /// whole batch landed ([`Frontier::push_all`]).
+    // lint:hot-path — one call per accepted admission; nodes come from
+    // the free list, so steady-state inserts allocate nothing.
+    fn insert(&mut self, e: Entry) -> u32 {
         let host = self.host_of_page[e.page as usize];
         let level = self.level(&e);
         let seq = self.seq;
@@ -246,32 +281,87 @@ impl ShardedFrontier {
                 self.handoffs += 1;
             }
         }
-        let slot: Slot = (level, seq, e.page, e.priority, e.distance);
-        self.hosts[host as usize].parked.push(Reverse(slot));
-        self.refresh(host);
+        let node = Node {
+            seq,
+            page: e.page,
+            priority: e.priority,
+            distance: e.distance,
+            next: NIL,
+        };
+        // Recycle a detached node before growing the slab.
+        let idx = if self.free != NIL {
+            let idx = self.free;
+            self.free = self.nodes[idx as usize].next;
+            self.nodes[idx as usize] = node;
+            idx
+        } else {
+            self.nodes.push(node);
+            (self.nodes.len() - 1) as u32
+        };
+        // Append to the `(host, level)` FIFO list: seqs only grow, so
+        // the list stays seq-sorted and its head is the level minimum.
+        let slot = host as usize * self.num_levels + level as usize;
+        if self.heads[slot] == NIL {
+            self.heads[slot] = idx;
+        } else {
+            self.nodes[self.tails[slot] as usize].next = idx;
+        }
+        self.tails[slot] = idx;
+        host
+    }
+
+    /// The host's parked minimum: `(level, seq, node index)` of the
+    /// head of its lowest non-empty level list, or `None` when the host
+    /// parks nothing. Equivalent to the old per-host heap peek — each
+    /// list head is its level's minimum seq, and level dominates seq in
+    /// the `(level, seq)` order.
+    fn host_min(&self, host: u32) -> Option<(u8, u64, u32)> {
+        let base = host as usize * self.num_levels;
+        for level in 0..self.num_levels {
+            let head = self.heads[base + level];
+            if head != NIL {
+                return Some((level as u8, self.nodes[head as usize].seq, head));
+            }
+        }
+        None
+    }
+
+    /// Detach the head of the host's `level` list and recycle its node.
+    /// Callers pass the level of a minimum they just consumed.
+    fn detach_min(&mut self, host: u32, level: u8) {
+        let slot = host as usize * self.num_levels + level as usize;
+        let idx = self.heads[slot];
+        debug_assert_ne!(idx, NIL, "detach_min on an empty list");
+        self.heads[slot] = self.nodes[idx as usize].next;
+        self.nodes[idx as usize].next = self.free;
+        self.free = idx;
     }
 
     /// Re-establish the exposure invariant for one host: a `Ready` host
     /// with entries exposes exactly its parked minimum. Pushes a fresh
     /// token when the exposed minimum changed (the previous token, if
     /// any, goes stale and is discarded when it surfaces); no-op for
-    /// busy/cooling hosts and when the minimum is already exposed.
+    /// busy/cooling hosts and when the minimum is already exposed —
+    /// which also makes it idempotent, so a batch admission may refresh
+    /// each touched host once after the whole batch instead of after
+    /// every entry.
+    // lint:hot-path — runs per admission batch per host and per pop.
     fn refresh(&mut self, host: u32) {
         if self.host_state[host as usize] != HostState::Ready {
             return;
         }
-        let hq = &mut self.hosts[host as usize];
-        match hq.parked.peek() {
-            Some(&Reverse((level, seq, page, priority, distance))) => {
-                if hq.exposed != Some((level, seq)) {
-                    hq.exposed = Some((level, seq));
+        match self.host_min(host) {
+            Some((level, seq, idx)) => {
+                if self.exposed[host as usize] != Some((level, seq)) {
+                    self.exposed[host as usize] = Some((level, seq));
                     let si = self.shard_of_host[host as usize] as usize;
+                    let n = self.nodes[idx as usize];
                     self.shards[si]
                         .avail
-                        .push(Reverse((level, seq, host, page, priority, distance)));
+                        .push(Reverse((level, seq, host, n.page, n.priority, n.distance)));
                 }
             }
-            None => hq.exposed = None,
+            None => self.exposed[host as usize] = None,
         }
     }
 
@@ -281,7 +371,7 @@ impl ShardedFrontier {
     fn clean_top(&mut self, si: usize) -> Option<(u8, u64)> {
         loop {
             let &Reverse((level, seq, host, ..)) = self.shards[si].avail.peek()?;
-            if self.hosts[host as usize].exposed == Some((level, seq)) {
+            if self.exposed[host as usize] == Some((level, seq)) {
                 // A live token implies its host is Ready (only
                 // `refresh` sets `exposed`, and every transition away
                 // from Ready clears it) and that the token mirrors the
@@ -290,7 +380,7 @@ impl ShardedFrontier {
             }
             // Stale token: the host's minimum moved on, or the host
             // left Ready. The entry it carries still lives in the
-            // host's parked heap, so the copy is just dropped.
+            // slab, so the copy is just dropped.
             self.shards[si].avail.pop();
         }
     }
@@ -298,6 +388,8 @@ impl ShardedFrontier {
     /// Pop the global minimum over ready hosts. `mark_busy` is the
     /// scheduler path: the popped entry's host transitions to `Busy`
     /// (per-host concurrency 1) instead of re-exposing its next entry.
+    // lint:hot-path — one call per fetch; stale-token skips recycle
+    // slab nodes, never allocate.
     fn pop_inner(&mut self, mark_busy: bool) -> Option<Entry> {
         loop {
             // The minimum over shard tops is the global minimum over
@@ -311,12 +403,12 @@ impl ShardedFrontier {
                 }
             }
             let (si, _) = min?;
-            let Reverse((_, _, host, page, priority, distance)) = self.shards[si].avail.pop()?;
+            let Reverse((level, _, host, page, priority, distance)) =
+                self.shards[si].avail.pop()?;
             // The live token is a copy of the host's parked minimum;
             // consume the original too.
-            let hq = &mut self.hosts[host as usize];
-            hq.exposed = None;
-            hq.parked.pop();
+            self.exposed[host as usize] = None;
+            self.detach_min(host, level);
             let e = Entry {
                 page,
                 priority,
@@ -361,7 +453,7 @@ impl ShardedFrontier {
             self.host_state[host as usize] = HostState::Cooling;
             let si = self.shard_of_host[host as usize] as usize;
             self.shards[si].cooling.push(Reverse((ready_at, host)));
-            !self.hosts[host as usize].parked.is_empty()
+            self.host_min(host).is_some()
         } else {
             self.host_state[host as usize] = HostState::Ready;
             self.refresh(host);
@@ -413,9 +505,49 @@ impl Frontier for ShardedFrontier {
             self.max_pending = self.max_pending.max(self.pending);
         }
         self.best[idx] = k;
-        self.insert(e);
+        let host = self.insert(e);
+        self.refresh(host);
         self.pushes += 1;
         true
+    }
+
+    /// Batched admission with *deferred exposure*: store every accepted
+    /// entry first, then refresh each entry's host once. Bit-identical
+    /// to per-entry pushes: admission checks, seq assignment, and shard
+    /// stats run per entry in order, and the avail heap's `(level, seq,
+    /// …)` order is total — the skipped intermediate tokens are exactly
+    /// the ones a per-entry push sequence would have staled and
+    /// discarded unseen, so the set of *live* tokens after the batch is
+    /// the same either way. What the batch saves is one heap push (and
+    /// later one stale-skip) per superseded intermediate minimum.
+    // lint:hot-path — one call per resolved fetch with outlinks.
+    fn push_all(&mut self, entries: &[Entry]) -> u32 {
+        let mut enqueued = 0u32;
+        for &e in entries {
+            let idx = e.page as usize;
+            if self.done[idx] {
+                continue;
+            }
+            let k = key(&e);
+            if k >= self.best[idx] {
+                continue; // duplicate or not better
+            }
+            if self.best[idx] == u16::MAX {
+                self.pending += 1;
+                self.max_pending = self.max_pending.max(self.pending);
+            }
+            self.best[idx] = k;
+            self.insert(e);
+            self.pushes += 1;
+            enqueued += 1;
+        }
+        // One refresh per touched host; idempotent, so refreshing a
+        // host once per accepted entry (rather than deduplicating the
+        // host list) costs only the repeated no-op check.
+        for &e in entries {
+            self.refresh(self.host_of_page[e.page as usize]);
+        }
+        enqueued
     }
 
     fn pop(&mut self) -> Option<Entry> {
@@ -431,7 +563,8 @@ impl Frontier for ShardedFrontier {
         self.best[idx] = key(&e);
         self.pending += 1;
         self.max_pending = self.max_pending.max(self.pending);
-        self.insert(e);
+        let host = self.insert(e);
+        self.refresh(host);
         self.pushes += 1;
         true
     }
@@ -595,6 +728,101 @@ mod tests {
         let stats = f.shard_stats();
         assert_eq!(stats.iter().map(|s| s.pushes).sum::<u64>(), 5);
         assert_eq!(stats.iter().map(|s| s.pops).sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn out_of_range_priority_clamped_to_last_level() {
+        // 4 levels: priority 9 lands in level 3, behind everything
+        // better but ahead of nothing — exactly UrlQueue's clamp.
+        let mut reference = UrlQueue::new(8, 4);
+        let mut f = frontier(2);
+        for q in [&mut reference as &mut dyn Frontier, &mut f] {
+            q.push(e(0, 9, 0)); // clamps into level 3
+            q.push(e(3, 2, 0));
+            q.push(e(6, 0, 0));
+        }
+        let want: Vec<Entry> = std::iter::from_fn(|| reference.pop()).collect();
+        let got: Vec<Entry> = std::iter::from_fn(|| f.pop()).collect();
+        assert_eq!(got, want);
+        let pages: Vec<PageId> = got.iter().map(|x| x.page).collect();
+        assert_eq!(pages, vec![6, 3, 0], "clamped entry pops last");
+    }
+
+    #[test]
+    fn readmission_at_higher_priority_on_a_busy_host() {
+        let mut f = frontier(2);
+        f.push(e(0, 0, 0));
+        f.push(e(1, 2, 0));
+        f.push(e(3, 1, 0));
+        // Fetch page 0 → host 0 goes busy with page 1 still parked.
+        assert_eq!(f.pop_ready().unwrap().page, 0);
+        // While the host is busy, page 1 is re-discovered at a better
+        // priority. The promotion must survive the parked state.
+        assert!(f.push(e(1, 0, 0)));
+        assert_eq!(f.pending(), 2, "promotion is not a new distinct URL");
+        assert_eq!(f.pop_ready().unwrap().page, 3, "busy host still skipped");
+        assert!(!f.release(0, 0, 0));
+        let p1 = f.pop_ready().unwrap();
+        assert_eq!((p1.page, p1.priority), (1, 0), "promoted entry pops");
+        assert!(f.pop_ready().is_none());
+    }
+
+    #[test]
+    fn releasing_an_emptied_host_drops_its_exposure() {
+        let mut f = frontier(1);
+        f.push(e(0, 0, 0));
+        f.push(e(3, 0, 0));
+        assert_eq!(f.pop_ready().unwrap().page, 0);
+        // Host 0 has nothing left: it still parks (politeness gaps are
+        // start-to-start, work or not) but release reports no parked
+        // work, and no exposure token lingers for the emptied host.
+        assert!(!f.release(0, 10, 1), "empty host is not parked-with-work");
+        assert_eq!(f.next_cooling(), Some(10), "the gap itself still applies");
+        assert_eq!(f.pop_ready().unwrap().page, 3);
+        f.advance_to(10);
+        assert!(f.pop_ready().is_none(), "woken empty host exposes nothing");
+        assert_eq!(f.pending(), 0);
+    }
+
+    #[test]
+    fn same_shard_pushes_never_count_as_handoffs() {
+        let mut f = frontier(1); // one shard: every host lands on it
+        f.set_origin(Some(1));
+        f.push(e(0, 0, 0)); // host 0, same shard as origin host 1
+        f.push(e(4, 0, 0)); // origin's own host
+        assert_eq!(f.handoffs(), 0, "intra-shard discovery is not a handoff");
+        let stats = f.shard_stats();
+        assert_eq!(stats.iter().map(|s| s.handoffs_in).sum::<u64>(), 0);
+        assert_eq!(stats.iter().map(|s| s.pushes).sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn push_all_matches_per_entry_pushes() {
+        let batch = [
+            e(3, 1, 0),
+            e(0, 0, 0),
+            e(6, 0, 0),
+            e(1, 2, 1),
+            e(1, 0, 0), // re-prioritized within the batch
+            e(3, 1, 0), // duplicate within the batch
+            e(7, 9, 0), // clamped level
+        ];
+        for shards in [1, 2, 3] {
+            let mut one_by_one = frontier(shards);
+            let mut accepted = 0u32;
+            for &p in &batch {
+                if Frontier::push(&mut one_by_one, p) {
+                    accepted += 1;
+                }
+            }
+            let mut batched = frontier(shards);
+            assert_eq!(batched.push_all(&batch), accepted, "{shards} shards");
+            assert_eq!(batched.pending(), one_by_one.pending());
+            assert_eq!(batched.total_pushes(), one_by_one.total_pushes());
+            let want: Vec<Entry> = std::iter::from_fn(|| one_by_one.pop()).collect();
+            let got: Vec<Entry> = std::iter::from_fn(|| batched.pop()).collect();
+            assert_eq!(got, want, "{shards} shards");
+        }
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! the engine directly.
 
 use crate::classifier::Classifier;
-use crate::engine::{CrawlEngine, EngineConfig};
+use crate::engine::{CrawlEngine, EngineConfig, EngineScratch};
 use crate::event::{EventSink, MetricsSampler, VisitRecorder};
 use crate::metrics::CrawlReport;
 use crate::queue::UrlQueue;
@@ -145,11 +145,11 @@ impl SimConfig {
 pub struct Simulator<'a> {
     ws: &'a WebSpace,
     config: SimConfig,
-    /// Admission scratch buffer, reused across runs (see
-    /// [`CrawlEngine::run_with_scratch`]): repeated `run` calls — the
-    /// shape of every experiment sweep — stop paying a per-run
-    /// grow-from-empty cycle in the hot admission loop.
-    scratch: Vec<crate::queue::Entry>,
+    /// Engine scratch (admission buffer + attempt table), reused across
+    /// runs (see [`CrawlEngine::run_with_scratch`]): repeated `run`
+    /// calls — the shape of every experiment sweep — stop paying a
+    /// per-run grow-from-empty cycle in the hot loop entirely.
+    scratch: EngineScratch,
 }
 
 impl<'a> Simulator<'a> {
@@ -158,14 +158,26 @@ impl<'a> Simulator<'a> {
         Simulator {
             ws,
             config,
-            scratch: Vec::with_capacity(64),
+            scratch: EngineScratch::new(),
         }
+    }
+
+    /// How many times the reused scratch's attempt table had to
+    /// allocate (see [`EngineScratch::attempt_table_allocs`]). At most
+    /// one across any number of runs over the same space — the
+    /// steady-state regression tests pin this.
+    pub fn attempt_table_allocs(&self) -> u64 {
+        self.scratch.attempt_table_allocs()
     }
 
     /// Run one crawl to completion (or to the fetch budget) and return
     /// its report. The simulator is reusable: each `run` starts fresh
     /// from the seeds.
-    pub fn run(&mut self, strategy: &mut dyn Strategy, classifier: &dyn Classifier) -> CrawlReport {
+    pub fn run<S, C>(&mut self, strategy: &mut S, classifier: &C) -> CrawlReport
+    where
+        S: Strategy + ?Sized,
+        C: Classifier + ?Sized,
+    {
         let ws = self.ws;
         let engine = CrawlEngine::new(
             ws,
@@ -211,13 +223,17 @@ impl<'a> Simulator<'a> {
     /// Run through the configured engine path: the legacy single-slot
     /// loop over a [`UrlQueue`] by default, or the virtual-time
     /// scheduler when [`SimConfig::sched`] is set.
-    fn dispatch(
+    fn dispatch<S, C>(
         &mut self,
         engine: &CrawlEngine<'_>,
-        strategy: &mut dyn Strategy,
-        classifier: &dyn Classifier,
+        strategy: &mut S,
+        classifier: &C,
         sinks: &mut [&mut dyn EventSink],
-    ) -> crate::engine::EngineOutcome {
+    ) -> crate::engine::EngineOutcome
+    where
+        S: Strategy + ?Sized,
+        C: Classifier + ?Sized,
+    {
         match self.config.sched {
             Some(sched) => engine.run_scheduled_with_scratch(
                 &sched,
@@ -446,6 +462,37 @@ mod tests {
         let again = faulted_sim.run(&mut SimpleStrategy::soft(), &oracle);
         assert_eq!(faulted.samples, again.samples);
         assert_eq!(faulted.retries, again.retries);
+    }
+
+    #[test]
+    fn attempt_table_allocates_at_most_once_across_runs() {
+        use langcrawl_webgraph::FaultConfig;
+        let ws = space();
+        let oracle = OracleClassifier::target(Language::Thai);
+        // Zero-fault runs never materialize the attempt table at all.
+        let mut clean = Simulator::new(&ws, SimConfig::default());
+        clean.run(&mut SimpleStrategy::soft(), &oracle);
+        assert_eq!(clean.attempt_table_allocs(), 0);
+        // A faulted run materializes it exactly once; the second run on
+        // the same simulator reuses the grown table — zero further
+        // attempt-table allocations.
+        let mut faulted = Simulator::new(
+            &ws,
+            SimConfig::default().with_faults(FaultConfig::with_rate(0.2)),
+        );
+        let first = faulted.run(&mut SimpleStrategy::soft(), &oracle);
+        assert!(
+            first.retries > 0,
+            "fault rate must actually trigger retries"
+        );
+        let after_first = faulted.attempt_table_allocs();
+        assert_eq!(after_first, 1);
+        faulted.run(&mut SimpleStrategy::soft(), &oracle);
+        assert_eq!(
+            faulted.attempt_table_allocs(),
+            after_first,
+            "second run must not re-grow the attempt table"
+        );
     }
 
     #[test]

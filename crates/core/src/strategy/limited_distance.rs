@@ -75,6 +75,7 @@ impl Strategy for LimitedDistanceStrategy {
         }
     }
 
+    #[inline]
     fn admit(&mut self, view: &PageView<'_>, out: &mut Vec<Entry>) {
         let run = view.consec_irrelevant;
         if run > self.n {

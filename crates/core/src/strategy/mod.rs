@@ -73,6 +73,7 @@ pub trait Strategy {
 
 /// Admission helper shared by strategies: emit every outlink with one
 /// (priority, distance) pair.
+#[inline]
 pub(crate) fn emit_all(view: &PageView<'_>, priority: u8, distance: u8, out: &mut Vec<Entry>) {
     out.reserve(view.outlinks.len());
     for &t in view.outlinks {

@@ -47,6 +47,7 @@ impl Strategy for SimpleStrategy {
         }
     }
 
+    #[inline]
     fn admit(&mut self, view: &PageView<'_>, out: &mut Vec<Entry>) {
         let relevant = view.relevance > 0.5;
         match self {

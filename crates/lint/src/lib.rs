@@ -16,6 +16,7 @@
 //! | `event-bits`     | D4   | colliding or shadowed `interest::*` bits            |
 //! | `safety-comment` | S1   | `unsafe` without a `// SAFETY:` comment             |
 //! | `no-panic`       | P1   | `unwrap`/`expect`/panicking macros in hot paths     |
+//! | `hot-path-alloc` | P2   | allocating calls in `lint:hot-path` marked functions|
 //!
 //! ## Suppressions
 //!
@@ -41,7 +42,11 @@
 //! * `crates/bench`, `crates/lint` and `examples/` may read the wall
 //!   clock (D1) — benchmarks measure real time by design;
 //! * P1 applies to the crawl/generation hot paths listed in
-//!   [`passes::p1_applies`].
+//!   [`passes::p1_applies`];
+//! * P2 applies only inside functions marked with a `// lint:hot-path`
+//!   comment (the marker claims the next `fn` item through the end of
+//!   its body) — the once-per-fetch loop whose zero-allocation contract
+//!   the steady-state microbench gate enforces dynamically.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -111,6 +116,7 @@ fn scan_sources(sources: &[SourceFile]) -> Report {
         passes::event_bits(file, &mut raw);
         passes::safety_comment(file, &mut raw);
         passes::no_panic(file, &mut raw);
+        passes::hot_path_alloc(file, &mut raw);
     }
 
     // Suppression collection + validation.

@@ -40,6 +40,7 @@ fn main() -> ExitCode {
         println!("  D4 event-bits      colliding/shadowed core::event interest bits");
         println!("  S1 safety-comment  `unsafe` without a `// SAFETY:` comment");
         println!("  P1 no-panic        unwrap/expect/panic!/todo! in hot paths");
+        println!("  P2 hot-path-alloc  allocating calls in lint:hot-path marked functions");
         println!("suppression: // lint:allow(<id>): <reason>");
         return ExitCode::SUCCESS;
     }

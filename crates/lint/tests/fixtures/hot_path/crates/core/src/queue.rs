@@ -1,0 +1,48 @@
+// P2 fixture: allocating calls inside lint:hot-path marked functions.
+pub struct Q {
+    items: Vec<u32>,
+}
+
+impl Q {
+    // lint:hot-path — one call per offered outlink.
+    pub fn admit(&mut self, xs: &[u32]) -> Vec<u32> {
+        let v = Vec::new(); // line 9: finding
+        let b = Box::new(0u32); // line 10: finding
+        let doubled: Vec<u32> = xs.iter().map(|x| x * 2).collect(); // line 11: finding
+        let _ = (v, b);
+        doubled
+    }
+
+    // lint:hot-path — scratch-backed twin of `admit`.
+    pub fn admit_into(&mut self, xs: &[u32], out: &mut Vec<u32>) {
+        out.clear();
+        out.extend_from_slice(xs); // reuses caller capacity: clean
+        self.items.push(xs.len() as u32);
+    }
+
+    // lint:hot-path — justified allocation.
+    pub fn snapshot(&self) -> Vec<u32> {
+        // lint:allow(hot-path-alloc): cold diagnostics copy, never on the fetch path
+        self.items.iter().copied().collect()
+    }
+
+    // Unmarked functions may allocate freely.
+    pub fn drain_sorted(&mut self) -> Vec<u32> {
+        let mut v: Vec<u32> = self.items.drain(..).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // lint:hot-path — markers in test code never fire.
+    fn helper() -> Vec<u32> {
+        Vec::new()
+    }
+
+    #[test]
+    fn alloc_freely() {
+        assert!(helper().is_empty());
+    }
+}

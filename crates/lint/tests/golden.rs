@@ -92,6 +92,23 @@ fn p1_no_panic_fires_on_unwrap_expect_and_panicking_macros() {
 }
 
 #[test]
+fn p2_hot_path_alloc_fires_only_inside_marked_functions() {
+    // Three findings in the marked `admit`; the scratch-backed twin,
+    // the justified snapshot, the unmarked function and the test module
+    // stay silent.
+    assert_eq!(
+        lints_and_lines("hot_path"),
+        vec![
+            ("hot-path-alloc".to_string(), 9),  // Vec::new()
+            ("hot-path-alloc".to_string(), 10), // Box::new()
+            ("hot-path-alloc".to_string(), 11), // .collect()
+        ]
+    );
+    let paths: Vec<String> = scan("hot_path").into_iter().map(|(_, p, _)| p).collect();
+    assert!(paths.iter().all(|p| p == "crates/core/src/queue.rs"));
+}
+
+#[test]
 fn clean_tree_reports_nothing() {
     let report = langcrawl_lint::scan_path(
         &PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/clean"),
