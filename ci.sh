@@ -31,6 +31,21 @@ for threads in 1 4; do
         --test proptests sharded_frontier
 done
 
+# Checkpoint/resume parity, re-run under both generation thread counts
+# like the conformance suites: snapshot at tick T -> drop -> resume must
+# be bit-identical to the uninterrupted run for every pinned cell, and
+# the codec must reject every corruption with a typed error. The suites
+# dump each snapshot they resume from into LANGCRAWL_SNAPSHOT_DIR, so a
+# parity failure leaves its fixture behind (CI uploads the directory as
+# an artifact on failure).
+echo "==> resume parity + snapshot codec (LANGCRAWL_THREADS=1,4)"
+mkdir -p target/snapshot-fixtures
+for threads in 1 4; do
+    LANGCRAWL_THREADS=$threads LANGCRAWL_SNAPSHOT_DIR=target/snapshot-fixtures \
+        cargo test -q --offline -p langcrawl-core \
+        --test resume_parity --test snapshot_codec
+done
+
 # Determinism & safety lint: the in-tree static analyzer must find
 # nothing unsuppressed in the workspace's own sources. The JSON report
 # is kept as a CI artifact either way.
@@ -76,8 +91,12 @@ for f in $(git ls-files 'BENCH_*.json'); do
 done
 if [ -n "$baseline" ] && [ -f "$fresh" ]; then
     cargo run -q --release --offline -p langcrawl-bench --bin bench_compare -- "$fresh" "$baseline"
+elif [ -f "$fresh" ]; then
+    # No committed predecessor: the gate itself prints the explicit
+    # "no baseline" notice (and exits 0), so the skip is always visible.
+    cargo run -q --release --offline -p langcrawl-bench --bin bench_compare -- "$fresh"
 else
-    echo "    no committed predecessor trajectory; comparison skipped"
+    echo "    fresh trajectory $fresh missing; comparison skipped"
 fi
 
 echo "==> ci: all green"

@@ -1,7 +1,13 @@
 //! `bench_compare` — the CI regression gate over committed benchmark
 //! trajectories.
 //!
-//! Usage: `bench_compare <fresh BENCH_*.json> <baseline BENCH_*.json>`
+//! Usage: `bench_compare <fresh BENCH_*.json> [<baseline BENCH_*.json>]`
+//!
+//! With no baseline argument — the first trajectory on a branch, where
+//! nothing is committed to compare against — the gate prints an
+//! explicit notice and exits 0 instead of silently doing nothing: a CI
+//! log always shows whether the gate compared or had nothing to
+//! compare.
 //!
 //! Compares the three headline throughput metrics of a freshly
 //! generated `BENCH_<sha>.json` against the committed predecessor and
@@ -58,10 +64,23 @@ fn compare(fresh: &str, baseline: &str) -> Result<(Vec<(String, f64)>, bool), St
     Ok((ratios, ok))
 }
 
+/// The explicit first-trajectory notice: printed (and exits 0) when no
+/// baseline exists yet, so the skip is visible in CI logs.
+fn no_baseline_notice(fresh_path: &str) -> String {
+    format!(
+        "bench_compare: no committed baseline trajectory to compare {fresh_path} against; \
+         regression gate vacuously passes (first trajectory on this branch)"
+    )
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let [_, fresh_path, base_path] = &args[..] else {
-        eprintln!("usage: bench_compare <fresh BENCH_*.json> <baseline BENCH_*.json>");
+        if let [_, fresh_path] = &args[..] {
+            println!("{}", no_baseline_notice(fresh_path));
+            return ExitCode::SUCCESS;
+        }
+        eprintln!("usage: bench_compare <fresh BENCH_*.json> [<baseline BENCH_*.json>]");
         return ExitCode::from(2);
     };
     let read = |p: &str| std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"));
@@ -132,6 +151,14 @@ mod tests {
         let base = record(100.0, 100.0, 100.0);
         let (_, ok) = compare(&record(90.0, 90.0, 90.0), &base).unwrap();
         assert!(ok, "the floor is inclusive");
+    }
+
+    #[test]
+    fn no_baseline_notice_names_the_fresh_file_and_the_reason() {
+        let notice = no_baseline_notice("BENCH_abc1234.json");
+        assert!(notice.contains("BENCH_abc1234.json"));
+        assert!(notice.contains("no committed baseline"));
+        assert!(notice.contains("first trajectory"));
     }
 
     #[test]

@@ -114,6 +114,15 @@ impl Experiment {
         self
     }
 
+    /// Capture a crash-safe crawl snapshot every `every` ticks on each
+    /// strategy run (see [`SimConfig::snapshot_every`]; forces the
+    /// scheduler on). Files land in `LANGCRAWL_SNAPSHOT_DIR` when that
+    /// variable is set; capture never alters the crawl.
+    pub fn snapshot_every(mut self, every: u64) -> Self {
+        self.config = self.config.clone().with_snapshot_every(every);
+        self
+    }
+
     /// Suppress the banner line — for sweep loops that run many
     /// experiment instances and print their own table.
     pub fn quiet(mut self) -> Self {
@@ -143,9 +152,22 @@ impl Experiment {
 
     /// Run the strategy set on an already-built space (for harnesses
     /// that sweep generator knobs and build their spaces themselves).
+    /// `LANGCRAWL_SNAPSHOT_EVERY` supplies a snapshot cadence for
+    /// experiments that didn't set one — any figure binary becomes
+    /// checkpointable from the environment alone (paired with
+    /// `LANGCRAWL_SNAPSHOT_DIR` for the output directory).
     pub fn run_on(&self, ws: &WebSpace) -> Vec<CrawlReport> {
         let classifier = (self.classifier)(ws);
-        run_parallel(ws, &self.strategies, classifier.as_ref(), &self.config)
+        let mut config = self.config.clone();
+        if config.snapshot_every.is_none() {
+            if let Some(every) = std::env::var("LANGCRAWL_SNAPSHOT_EVERY")
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok())
+            {
+                config = config.with_snapshot_every(every);
+            }
+        }
+        run_parallel(ws, &self.strategies, classifier.as_ref(), &config)
     }
 }
 

@@ -45,6 +45,46 @@ pub struct EngineConfig {
     /// Irrelevant while `fault` is all-zero (nothing ever fails
     /// transiently then).
     pub retry: RetryPolicy,
+    /// Capture a [`crate::snapshot::CrawlSnapshot`] every this many
+    /// virtual ticks on the scheduled run path (`None` = never).
+    /// Scheduled runs honor it when `LANGCRAWL_SNAPSHOT_DIR` names a
+    /// directory to write to; the explicit
+    /// [`CrawlEngine::run_scheduled_snapshots`] entry point takes any
+    /// sink. The knob does not alter the crawl itself — capture is
+    /// observation-only, pinned by the resume-parity suite.
+    pub snapshot_every: Option<u64>,
+}
+
+impl EngineConfig {
+    /// Fingerprint of every config field that shapes the crawl —
+    /// folded into snapshots and re-checked on resume, so a snapshot
+    /// cannot silently continue under a different budget, fault model
+    /// or retry policy. `snapshot_every` is excluded: capture cadence
+    /// is observation, not behavior, and resuming with a different
+    /// cadence is legitimate.
+    pub(crate) fn snapshot_fingerprint(&self) -> u64 {
+        let mut enc = crate::snapshot::Enc::default();
+        match self.max_pages {
+            Some(v) => {
+                enc.u8(1);
+                enc.u64(v);
+            }
+            None => enc.u8(0),
+        }
+        match self.sample_interval {
+            Some(v) => {
+                enc.u8(1);
+                enc.u64(v);
+            }
+            None => enc.u8(0),
+        }
+        enc.bool(self.url_filter);
+        enc.u64(self.fault.fingerprint());
+        enc.u32(self.retry.max_attempts);
+        enc.u64(self.retry.backoff_base);
+        enc.u64(self.retry.backoff_cap);
+        crate::snapshot::fnv1a(&enc.buf)
+    }
 }
 
 /// What the engine can report without any sink attached.

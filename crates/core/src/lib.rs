@@ -75,6 +75,7 @@ pub mod retry;
 pub mod sched;
 pub mod shard;
 pub mod sim;
+pub mod snapshot;
 pub mod strategy;
 pub mod timing;
 
@@ -90,4 +91,5 @@ pub use retry::RetryPolicy;
 pub use sched::SchedConfig;
 pub use shard::{ShardStats, ShardedFrontier};
 pub use sim::{SimConfig, Simulator};
+pub use snapshot::{CrawlSnapshot, DirSink, SnapshotError, SnapshotLog, SnapshotSink};
 pub use strategy::{BreadthFirst, LimitedDistanceStrategy, SimpleStrategy, Strategy};

@@ -43,6 +43,10 @@ use crate::event::{interest, CrawlEvent, EventSink};
 use crate::frontier::Frontier;
 use crate::queue::{Entry, UrlQueue};
 use crate::shard::{ShardStats, ShardedFrontier};
+use crate::snapshot::{
+    frame_begin, frame_end, CrawlSnapshot, Dec, DirSink, Enc, SnapHead, SnapshotError,
+    SnapshotSink, KIND_RINGS, KIND_SHARDED,
+};
 use crate::strategy::Strategy;
 use langcrawl_rng::Rng;
 use langcrawl_webgraph::{FetchOutcome, PageId};
@@ -128,6 +132,12 @@ trait SlotFrontier: Frontier {
     fn set_origin(&mut self, host: Option<u32>);
     fn handoffs(&self) -> u64;
     fn shard_stats(&self) -> Vec<ShardStats>;
+    /// Snapshot kind tag ([`KIND_RINGS`] / [`KIND_SHARDED`]), recorded
+    /// in the header so resume rebuilds the same frontier type.
+    fn kind(&self) -> u8;
+    /// Serialize the complete frontier state into a snapshot payload
+    /// (canonical form — see the implementations).
+    fn encode_state(&self, enc: &mut Enc);
 }
 
 impl SlotFrontier for ShardedFrontier {
@@ -154,6 +164,12 @@ impl SlotFrontier for ShardedFrontier {
     }
     fn shard_stats(&self) -> Vec<ShardStats> {
         ShardedFrontier::shard_stats(self)
+    }
+    fn kind(&self) -> u8 {
+        KIND_SHARDED
+    }
+    fn encode_state(&self, enc: &mut Enc) {
+        ShardedFrontier::encode_state(self, enc);
     }
 }
 
@@ -185,6 +201,12 @@ impl SlotFrontier for UrlQueue {
     fn shard_stats(&self) -> Vec<ShardStats> {
         Vec::new()
     }
+    fn kind(&self) -> u8 {
+        KIND_RINGS
+    }
+    fn encode_state(&self, enc: &mut Enc) {
+        UrlQueue::encode_state(self, enc);
+    }
 }
 
 /// A fetch occupying a slot: started at `finish - 1`, resolves at
@@ -202,6 +224,218 @@ struct InFlight {
     entry: Entry,
     attempt: u32,
     outcome: FetchOutcome,
+}
+
+/// A snapshot request for one run: capture every `every` ticks into
+/// `sink`.
+struct SnapPlan<'a> {
+    every: u64,
+    sink: &'a mut dyn SnapshotSink,
+}
+
+/// Live capture state inside the event loop: the cadence, the next
+/// capture tick, the identity-header template (tick/crawled are filled
+/// per capture), the receiving sink, and one framed-bytes buffer
+/// reused across captures so steady-cadence capture settles into zero
+/// allocations per snapshot.
+struct SnapCtl<'a> {
+    every: u64,
+    next_at: u64,
+    head: SnapHead,
+    sink: &'a mut dyn SnapshotSink,
+    buf: Enc,
+}
+
+/// Everything [`CrawlEngine::sched_loop`] needs beyond the run
+/// arguments: the frontier to drain, the decoded state to resume from
+/// (`None` = fresh run seeded from the space), and the capture plan.
+struct LoopCtl<'a, F> {
+    frontier: F,
+    init: Option<ResumeState>,
+    snap: Option<SnapCtl<'a>>,
+}
+
+/// The scheduler-loop state a snapshot restores — everything mutable
+/// at the loop-top tick boundary except the frontier itself. Slot
+/// occupancy is *provably absent* there: step 4 of the loop drains
+/// every in-flight fetch before the loop re-enters (all fetches
+/// started at tick `t` finish together at `t + 1`), so `in_flight` is
+/// empty and `busy == 0` at every capture point by construction.
+struct ResumeState {
+    now: u64,
+    crawled: u64,
+    attempts: u64,
+    retries: u64,
+    retry_seq: u64,
+    /// Retry-heap contents, ascending `(ready, seq, entry)`.
+    retry_list: Vec<(u64, u64, Entry)>,
+    /// Per-host next-allowed-start ticks; empty when politeness is off
+    /// (the loop then never reads the table).
+    next_ok: Vec<u64>,
+    relevant_crawled: u64,
+    gave_up: u64,
+    until_sample: u64,
+    /// Materialized per-page attempt counts; `None` when the table had
+    /// not materialized (emptiness doubles as the "no retry yet" flag,
+    /// so the distinction is part of the state).
+    attempt_counts: Option<Vec<u32>>,
+}
+
+/// Borrowed view of the loop state a capture serializes.
+struct RunSnap<'a> {
+    attempts: u64,
+    retries: u64,
+    retry_seq: u64,
+    retry_heap: &'a BinaryHeap<Reverse<(u64, u64, Entry)>>,
+    next_ok: &'a [u64],
+    politeness: bool,
+    relevant_crawled: u64,
+    gave_up: u64,
+    until_sample: u64,
+    attempt_counts: &'a [u32],
+}
+
+/// Encode one snapshot payload into `enc`: header, run state, frontier
+/// state. Canonical throughout (the retry heap is emitted sorted), so
+/// encoding the state a snapshot decodes to reproduces its bytes —
+/// the fixed-point property the codec proptests pin.
+fn encode_snapshot_into<F: SlotFrontier>(
+    head: &SnapHead,
+    run: &RunSnap<'_>,
+    frontier: &F,
+    enc: &mut Enc,
+) {
+    debug_assert_eq!(
+        head.kind,
+        frontier.kind(),
+        "snapshot header kind must match the frontier being encoded"
+    );
+    head.encode(enc);
+    enc.u64(run.attempts);
+    enc.u64(run.retries);
+    enc.u64(run.retry_seq);
+    let mut pending: Vec<(u64, u64, Entry)> = run.retry_heap.iter().map(|&Reverse(x)| x).collect();
+    pending.sort_unstable();
+    enc.u64(pending.len() as u64);
+    for (ready, seq, e) in pending {
+        enc.u64(ready);
+        enc.u64(seq);
+        enc.u32(e.page);
+        enc.u8(e.priority);
+        enc.u8(e.distance);
+    }
+    if run.politeness {
+        enc.u64(run.next_ok.len() as u64);
+        enc.u64s(run.next_ok);
+    } else {
+        enc.u64(0);
+    }
+    enc.u64(run.relevant_crawled);
+    enc.u64(run.gave_up);
+    enc.u64(run.until_sample);
+    if run.attempt_counts.is_empty() {
+        enc.u8(0);
+    } else {
+        enc.u8(1);
+        enc.u64(run.attempt_counts.len() as u64);
+        enc.u32s(run.attempt_counts);
+    }
+    frontier.encode_state(enc);
+}
+
+/// Encode one snapshot payload as a fresh vector (the cold-path
+/// wrapper around [`encode_snapshot_into`]).
+fn encode_snapshot<F: SlotFrontier>(head: &SnapHead, run: &RunSnap<'_>, frontier: &F) -> Vec<u8> {
+    let mut enc = Enc::default();
+    encode_snapshot_into(head, run, frontier, &mut enc);
+    enc.buf
+}
+
+/// Decode the run-state section (the payload between the header and
+/// the frontier state). `now`/`crawled` live in the header; the caller
+/// copies them in afterwards.
+fn decode_run_state(
+    dec: &mut Dec<'_>,
+    num_pages: usize,
+    num_hosts: usize,
+    politeness: bool,
+) -> Result<ResumeState, SnapshotError> {
+    let attempts = dec.u64()?;
+    let retries = dec.u64()?;
+    let retry_seq = dec.u64()?;
+    let nretry = dec.len()?;
+    let mut retry_list = Vec::with_capacity(nretry.min(1024));
+    for _ in 0..nretry {
+        let ready = dec.u64()?;
+        let seq = dec.u64()?;
+        let page = dec.u32()?;
+        if page as usize >= num_pages {
+            return Err(SnapshotError::Malformed("retry page out of range"));
+        }
+        let priority = dec.u8()?;
+        let distance = dec.u8()?;
+        retry_list.push((
+            ready,
+            seq,
+            Entry {
+                page,
+                priority,
+                distance,
+            },
+        ));
+    }
+    let nok = dec.len()?;
+    if politeness {
+        if nok != num_hosts {
+            return Err(SnapshotError::Malformed("politeness table length mismatch"));
+        }
+    } else if nok != 0 {
+        return Err(SnapshotError::Malformed(
+            "politeness table present but politeness is off",
+        ));
+    }
+    let mut next_ok = vec![0u64; nok];
+    for t in &mut next_ok {
+        *t = dec.u64()?;
+    }
+    let relevant_crawled = dec.u64()?;
+    let gave_up = dec.u64()?;
+    let until_sample = dec.u64()?;
+    if until_sample == 0 {
+        return Err(SnapshotError::Malformed("sample countdown out of range"));
+    }
+    let attempt_counts = match dec.u8()? {
+        0 => None,
+        1 => {
+            if dec.len()? != num_pages {
+                return Err(SnapshotError::Malformed("attempt table length mismatch"));
+            }
+            let mut counts = vec![0u32; num_pages];
+            for c in &mut counts {
+                *c = dec.u32()?;
+            }
+            Some(counts)
+        }
+        _ => return Err(SnapshotError::Malformed("attempt table flag out of range")),
+    };
+    if attempt_counts.is_none() && !retry_list.is_empty() {
+        // The loop gates retry draining on a materialized attempt
+        // table; a retry backlog without one could never drain.
+        return Err(SnapshotError::Malformed("retries without attempt table"));
+    }
+    Ok(ResumeState {
+        now: 0,
+        crawled: 0,
+        attempts,
+        retries,
+        retry_seq,
+        retry_list,
+        next_ok,
+        relevant_crawled,
+        gave_up,
+        until_sample,
+        attempt_counts,
+    })
 }
 
 impl CrawlEngine<'_> {
@@ -283,6 +517,60 @@ impl CrawlEngine<'_> {
         S: Strategy + ?Sized,
         C: Classifier + ?Sized,
     {
+        // Config-driven snapshot auto-wiring: a `snapshot_every` knob
+        // plus a `LANGCRAWL_SNAPSHOT_DIR` environment directory turn
+        // any scheduled run into a capturing one, writing framed
+        // snapshot files the caller can later feed to
+        // [`CrawlEngine::resume`]. Capture never changes the crawl
+        // (pinned by the resume-parity suite), so this wiring is
+        // invisible to everything downstream.
+        if let Some(every) = self.config.snapshot_every {
+            if let Ok(dir) = std::env::var("LANGCRAWL_SNAPSHOT_DIR") {
+                if !dir.is_empty() {
+                    let prefix = format!("crawl-{:016x}", self.web_space().identity_fingerprint());
+                    let mut sink = DirSink::new(dir, prefix);
+                    return self.dispatch_sched(
+                        sched,
+                        strategy,
+                        classifier,
+                        sinks,
+                        scratch,
+                        Some(SnapPlan {
+                            every,
+                            sink: &mut sink,
+                        }),
+                    );
+                }
+            }
+        }
+        self.dispatch_sched(sched, strategy, classifier, sinks, scratch, None)
+    }
+
+    /// Is this the scheduler's degenerate point — the configuration at
+    /// which the host machinery cannot block, delay or reorder
+    /// anything, so the legacy rings reproduce the schedule exactly?
+    fn is_degenerate(sched: &SchedConfig) -> bool {
+        sched.effective_slots() == 1
+            && sched.shards == 0
+            && sched.politeness_gap == 0
+            && sched.politeness_spread == 0
+    }
+
+    /// Pick the frontier tier and enter the event loop (or the legacy
+    /// loop at the degenerate point).
+    fn dispatch_sched<S, C>(
+        &self,
+        sched: &SchedConfig,
+        strategy: &mut S,
+        classifier: &C,
+        sinks: &mut [&mut dyn EventSink],
+        scratch: &mut EngineScratch,
+        plan: Option<SnapPlan<'_>>,
+    ) -> (EngineOutcome, Vec<ShardStats>)
+    where
+        S: Strategy + ?Sized,
+        C: Classifier + ?Sized,
+    {
         let ws = self.web_space();
         // Degenerate-point elision, tiered like the fault layer's
         // inert-model fast path. With one slot, zero politeness and no
@@ -303,30 +591,310 @@ impl CrawlEngine<'_> {
         //    `single_slot_schedule_matches_legacy_engine`), so run it
         //    verbatim — the scheduler-overhead microbench gate prices
         //    this default path against the legacy loop directly.
-        // 2. A sink wants `SlotIdle`: run the virtual-time loop, but
-        //    over the legacy rings at ring cost instead of the sharded
-        //    frontier's heaps.
-        let degenerate = sched.effective_slots() == 1
-            && sched.shards == 0
-            && sched.politeness_gap == 0
-            && sched.politeness_spread == 0;
+        //    Snapshot capture needs the virtual-time loop's state
+        //    layout, so a capturing run skips this tier (the loop over
+        //    the rings is bit-identical anyway).
+        // 2. A sink wants `SlotIdle` (or snapshots are on): run the
+        //    virtual-time loop, but over the legacy rings at ring cost
+        //    instead of the sharded frontier's heaps.
+        let degenerate = Self::is_degenerate(sched);
         let wants = sinks.iter().fold(0u16, |m, s| m | s.interests());
-        if degenerate && wants & interest::SLOT_IDLE == 0 {
+        if plan.is_none() && degenerate && wants & interest::SLOT_IDLE == 0 {
             let frontier = UrlQueue::new(ws.num_pages(), strategy.levels());
             let outcome = self.run_with_scratch(frontier, strategy, classifier, sinks, scratch);
-            (outcome, Vec::new())
-        } else if degenerate {
-            let frontier = UrlQueue::new(ws.num_pages(), strategy.levels());
-            self.sched_loop(sched, strategy, classifier, sinks, scratch, frontier)
+            return (outcome, Vec::new());
+        }
+        let levels = strategy.levels().max(1);
+        let kind = if degenerate { KIND_RINGS } else { KIND_SHARDED };
+        let snap = plan.map(|p| SnapCtl {
+            every: p.every.max(1),
+            // Fresh runs capture first at `every` (tick 0 is the
+            // initial state [`CrawlEngine::snapshot`] hands out).
+            next_at: p.every.max(1),
+            head: self.snap_head(sched, levels as u32, kind),
+            sink: p.sink,
+            buf: Enc::default(),
+        });
+        if degenerate {
+            let frontier = UrlQueue::new(ws.num_pages(), levels);
+            self.sched_loop(
+                sched,
+                strategy,
+                classifier,
+                sinks,
+                scratch,
+                LoopCtl {
+                    frontier,
+                    init: None,
+                    snap,
+                },
+            )
         } else {
-            let frontier =
-                ShardedFrontier::for_space(ws, strategy.levels(), sched.effective_shards());
-            self.sched_loop(sched, strategy, classifier, sinks, scratch, frontier)
+            let frontier = ShardedFrontier::for_space(ws, levels, sched.effective_shards());
+            self.sched_loop(
+                sched,
+                strategy,
+                classifier,
+                sinks,
+                scratch,
+                LoopCtl {
+                    frontier,
+                    init: None,
+                    snap,
+                },
+            )
+        }
+    }
+
+    /// The identity header for snapshots of this engine's runs.
+    fn snap_head(&self, sched: &SchedConfig, levels: u32, kind: u8) -> SnapHead {
+        let ws = self.web_space();
+        SnapHead {
+            space_fp: ws.identity_fingerprint(),
+            gen_seed: ws.generation_seed(),
+            config_fp: self.config.snapshot_fingerprint(),
+            levels,
+            sched: *sched,
+            kind,
+            tick: 0,
+            crawled: 0,
+        }
+    }
+
+    /// The tick-0 snapshot of a scheduled crawl that has not started:
+    /// seeds parked in the frontier, all counters zero. Resuming it is
+    /// exactly [`CrawlEngine::run_scheduled_full`] (the resume-parity
+    /// suite pins that), which makes it the base case for snapshot
+    /// chains and a convenient fixture for codec tests.
+    pub fn snapshot<S>(&self, sched: &SchedConfig, strategy: &S) -> CrawlSnapshot
+    where
+        S: Strategy + ?Sized,
+    {
+        let ws = self.web_space();
+        let levels = strategy.levels().max(1);
+        let degenerate = Self::is_degenerate(sched);
+        let kind = if degenerate { KIND_RINGS } else { KIND_SHARDED };
+        let head = self.snap_head(sched, levels as u32, kind);
+        let politeness = sched.politeness_gap != 0 || sched.politeness_spread != 0;
+        let next_ok = if politeness {
+            vec![0u64; ws.num_hosts()]
+        } else {
+            Vec::new()
+        };
+        let sample_interval = self
+            .config
+            .sample_interval
+            .unwrap_or_else(|| (ws.num_pages() as u64 / 512).max(1));
+        let run = RunSnap {
+            attempts: 0,
+            retries: 0,
+            retry_seq: 0,
+            retry_heap: &BinaryHeap::new(),
+            next_ok: &next_ok,
+            politeness,
+            relevant_crawled: 0,
+            gave_up: 0,
+            until_sample: sample_interval,
+            attempt_counts: &[],
+        };
+        let seed = |frontier: &mut dyn SlotFrontier| {
+            for &s in ws.seeds() {
+                frontier.push(Entry {
+                    page: s,
+                    priority: 0,
+                    distance: 0,
+                });
+            }
+        };
+        let payload = if degenerate {
+            let mut frontier = UrlQueue::new(ws.num_pages(), levels);
+            seed(&mut frontier);
+            encode_snapshot(&head, &run, &frontier)
+        } else {
+            let mut frontier = ShardedFrontier::for_space(ws, levels, sched.effective_shards());
+            seed(&mut frontier);
+            encode_snapshot(&head, &run, &frontier)
+        };
+        let mut head_enc = Enc::default();
+        head.encode(&mut head_enc);
+        CrawlSnapshot::from_parts(payload, head, head_enc.buf.len())
+    }
+
+    /// [`CrawlEngine::run_scheduled_full`] with explicit snapshot
+    /// capture: every `every` ticks (at least 1) the complete crawl
+    /// state is encoded, framed and handed to `sink`. Capture is
+    /// observation-only — the outcome, events and shard stats are
+    /// bit-identical to a non-capturing run.
+    pub fn run_scheduled_snapshots<S, C>(
+        &self,
+        sched: &SchedConfig,
+        strategy: &mut S,
+        classifier: &C,
+        sinks: &mut [&mut dyn EventSink],
+        every: u64,
+        sink: &mut dyn SnapshotSink,
+    ) -> (EngineOutcome, Vec<ShardStats>)
+    where
+        S: Strategy + ?Sized,
+        C: Classifier + ?Sized,
+    {
+        let mut scratch = EngineScratch::new();
+        self.dispatch_sched(
+            sched,
+            strategy,
+            classifier,
+            sinks,
+            &mut scratch,
+            Some(SnapPlan { every, sink }),
+        )
+    }
+
+    /// Resume a crawl from a snapshot and run it to completion. The
+    /// engine must be built over the *same* web space the snapshot was
+    /// taken from (verified via the space fingerprint — the space is
+    /// regenerated from config, never stored in the snapshot) with the
+    /// same engine configuration and a strategy of the same shape; the
+    /// schedule knobs travel inside the snapshot. Events fire only for
+    /// the remainder of the crawl; counters in the final outcome are
+    /// cumulative, so the outcome equals an uninterrupted run's.
+    pub fn resume<S, C>(
+        &self,
+        snap: &CrawlSnapshot,
+        strategy: &mut S,
+        classifier: &C,
+        sinks: &mut [&mut dyn EventSink],
+    ) -> Result<(EngineOutcome, Vec<ShardStats>), SnapshotError>
+    where
+        S: Strategy + ?Sized,
+        C: Classifier + ?Sized,
+    {
+        self.resume_full(snap, strategy, classifier, sinks, None)
+    }
+
+    /// [`CrawlEngine::resume`] with capture re-enabled: the resumed run
+    /// captures immediately at the resume tick — reproducing the input
+    /// snapshot byte-for-byte, the codec's round-trip fixed point —
+    /// and every `every` ticks after.
+    pub fn resume_snapshots<S, C>(
+        &self,
+        snap: &CrawlSnapshot,
+        strategy: &mut S,
+        classifier: &C,
+        sinks: &mut [&mut dyn EventSink],
+        every: u64,
+        sink: &mut dyn SnapshotSink,
+    ) -> Result<(EngineOutcome, Vec<ShardStats>), SnapshotError>
+    where
+        S: Strategy + ?Sized,
+        C: Classifier + ?Sized,
+    {
+        self.resume_full(
+            snap,
+            strategy,
+            classifier,
+            sinks,
+            Some(SnapPlan { every, sink }),
+        )
+    }
+
+    fn resume_full<S, C>(
+        &self,
+        snap: &CrawlSnapshot,
+        strategy: &mut S,
+        classifier: &C,
+        sinks: &mut [&mut dyn EventSink],
+        plan: Option<SnapPlan<'_>>,
+    ) -> Result<(EngineOutcome, Vec<ShardStats>), SnapshotError>
+    where
+        S: Strategy + ?Sized,
+        C: Classifier + ?Sized,
+    {
+        let ws = self.web_space();
+        snap.verify_space(ws)?;
+        if snap.head.config_fp != self.config.snapshot_fingerprint() {
+            return Err(SnapshotError::ConfigMismatch("engine configuration"));
+        }
+        let levels = strategy.levels().max(1);
+        if snap.head.levels as usize != levels {
+            return Err(SnapshotError::ConfigMismatch("strategy level count"));
+        }
+        // The schedule rides in the snapshot: the frontier kind it
+        // implies must match the one the payload carries, else the
+        // header was stitched from two different runs.
+        let sched = snap.head.sched;
+        let expected_kind = if Self::is_degenerate(&sched) {
+            KIND_RINGS
+        } else {
+            KIND_SHARDED
+        };
+        if snap.head.kind != expected_kind {
+            return Err(SnapshotError::Malformed(
+                "frontier kind inconsistent with schedule",
+            ));
+        }
+        let politeness = sched.politeness_gap != 0 || sched.politeness_spread != 0;
+        let mut dec = snap.state_dec();
+        let mut rs = decode_run_state(&mut dec, ws.num_pages(), ws.num_hosts(), politeness)?;
+        rs.now = snap.head.tick;
+        rs.crawled = snap.head.crawled;
+        // Resumed capture starts AT the resume tick, so the first
+        // emitted snapshot is byte-identical to the one resumed from.
+        let snapctl = plan.map(|p| SnapCtl {
+            every: p.every.max(1),
+            next_at: snap.head.tick,
+            head: snap.head,
+            sink: p.sink,
+            buf: Enc::default(),
+        });
+        let mut scratch = EngineScratch::new();
+        if snap.head.kind == KIND_RINGS {
+            let frontier = UrlQueue::decode_state(&mut dec, ws.num_pages(), levels)?;
+            if !dec.is_empty() {
+                return Err(SnapshotError::Malformed("trailing state bytes"));
+            }
+            Ok(self.sched_loop(
+                &sched,
+                strategy,
+                classifier,
+                sinks,
+                &mut scratch,
+                LoopCtl {
+                    frontier,
+                    init: Some(rs),
+                    snap: snapctl,
+                },
+            ))
+        } else {
+            let host_of_page: Vec<u32> = ws.page_ids().map(|p| ws.host_id(p)).collect();
+            let frontier = ShardedFrontier::decode_state(
+                &mut dec,
+                host_of_page,
+                ws.num_hosts(),
+                levels,
+                sched.effective_shards(),
+            )?;
+            if !dec.is_empty() {
+                return Err(SnapshotError::Malformed("trailing state bytes"));
+            }
+            Ok(self.sched_loop(
+                &sched,
+                strategy,
+                classifier,
+                sinks,
+                &mut scratch,
+                LoopCtl {
+                    frontier,
+                    init: Some(rs),
+                    snap: snapctl,
+                },
+            ))
         }
     }
 
     /// The virtual-time event loop, monomorphized per frontier (the
     /// sharded frontier, or the legacy rings at the degenerate point).
+    /// `ctl` carries the frontier, an optional resume state (restored
+    /// verbatim in place of seeding) and an optional capture plan.
     fn sched_loop<F, S, C>(
         &self,
         sched: &SchedConfig,
@@ -334,13 +902,18 @@ impl CrawlEngine<'_> {
         classifier: &C,
         sinks: &mut [&mut dyn EventSink],
         scratch: &mut EngineScratch,
-        mut frontier: F,
+        ctl: LoopCtl<'_, F>,
     ) -> (EngineOutcome, Vec<ShardStats>)
     where
         F: SlotFrontier,
         S: Strategy + ?Sized,
         C: Classifier + ?Sized,
     {
+        let LoopCtl {
+            mut frontier,
+            init,
+            mut snap,
+        } = ctl;
         scratch.begin_run();
         let ws = self.web_space();
         let gaps = self.politeness_gaps(sched);
@@ -358,14 +931,6 @@ impl CrawlEngine<'_> {
         // Next allowed fetch *start* per host (start-to-start gap),
         // written at each start, read at the completion's release.
         let mut next_ok: Vec<u64> = vec![0; ws.num_hosts()];
-
-        for &s in ws.seeds() {
-            frontier.push(Entry {
-                page: s,
-                priority: 0,
-                distance: 0,
-            });
-        }
 
         // Same lazy fault bookkeeping as the legacy loop; the attempt
         // table lives in the scratch (see `EngineScratch`).
@@ -388,7 +953,76 @@ impl CrawlEngine<'_> {
             gave_up: 0,
         };
 
+        match init {
+            // Resume: the frontier arrived decoded; restore the loop
+            // state verbatim. Slots are empty at every capture point
+            // (see [`ResumeState`]), so nothing in-flight to rebuild.
+            Some(r) => {
+                now = r.now;
+                attempts = r.attempts;
+                retries = r.retries;
+                retry_seq = r.retry_seq;
+                for x in r.retry_list {
+                    retry_heap.push(Reverse(x));
+                }
+                if !gaps.is_empty() {
+                    next_ok = r.next_ok;
+                }
+                st.crawled = r.crawled;
+                st.relevant_crawled = r.relevant_crawled;
+                st.gave_up = r.gave_up;
+                st.until_sample = r.until_sample;
+                if let Some(counts) = r.attempt_counts {
+                    scratch.attempt_counts.extend_from_slice(&counts);
+                }
+            }
+            // Fresh run: seed the frontier from the space.
+            None => {
+                for &s in ws.seeds() {
+                    frontier.push(Entry {
+                        page: s,
+                        priority: 0,
+                        distance: 0,
+                    });
+                }
+            }
+        }
+
         'outer: loop {
+            // 0. Capture at the loop-top tick boundary — before any
+            // state moves this iteration, so a resumed run's first
+            // re-capture reproduces the snapshot it resumed from
+            // byte-for-byte. Capture only observes; the crawl is
+            // unchanged with or without it (resume-parity suite).
+            if let Some(c) = snap.as_mut() {
+                if now >= c.next_at {
+                    let mut head = c.head;
+                    head.tick = now;
+                    head.crawled = st.crawled;
+                    c.buf.buf.clear();
+                    let payload_at = frame_begin(&mut c.buf);
+                    encode_snapshot_into(
+                        &head,
+                        &RunSnap {
+                            attempts,
+                            retries,
+                            retry_seq,
+                            retry_heap: &retry_heap,
+                            next_ok: &next_ok,
+                            politeness: !gaps.is_empty(),
+                            relevant_crawled: st.relevant_crawled,
+                            gave_up: st.gave_up,
+                            until_sample: st.until_sample,
+                            attempt_counts: &scratch.attempt_counts,
+                        },
+                        &frontier,
+                        &mut c.buf,
+                    );
+                    frame_end(&mut c.buf, payload_at);
+                    c.sink.on_snapshot(now, &c.buf.buf);
+                    c.next_at = now.saturating_add(c.every);
+                }
+            }
             // 1. Due retries re-enter the frontier before slots fill, so
             // the frontier orders them against fresh discoveries —
             // identical to the legacy loop's drain-before-pop.

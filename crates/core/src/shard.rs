@@ -48,6 +48,7 @@
 
 use crate::frontier::Frontier;
 use crate::queue::Entry;
+use crate::snapshot::{Dec, Enc, SnapshotError};
 use langcrawl_rng::mix;
 use langcrawl_webgraph::{PageId, WebSpace};
 use std::cmp::Reverse;
@@ -61,6 +62,12 @@ const SHARD_SALT: u64 = 0x5ca1_ab1e_0000_0001;
 
 /// Slab sentinel: "no node" for list links and the free-list head.
 const NIL: u32 = u32::MAX;
+
+/// Sentinel page marking a detached (free-list) node, so a linear slab
+/// scan can tell live parked entries from recycled ones without chasing
+/// list links. No real page reaches this id — admission bounds pages by
+/// the space size, far below `u32::MAX`.
+const FREE_PAGE: PageId = PageId::MAX;
 
 /// One parked entry in the slab: the payload plus the `next` link of
 /// its `(host, level)` FIFO list. `seq` is the global push ordinal —
@@ -333,6 +340,7 @@ impl ShardedFrontier {
         let idx = self.heads[slot];
         debug_assert_ne!(idx, NIL, "detach_min on an empty list");
         self.heads[slot] = self.nodes[idx as usize].next;
+        self.nodes[idx as usize].page = FREE_PAGE;
         self.nodes[idx as usize].next = self.free;
         self.free = idx;
     }
@@ -482,6 +490,223 @@ impl ShardedFrontier {
             .iter()
             .filter_map(|s| s.cooling.peek().map(|&Reverse((at, _))| at))
             .min()
+    }
+
+    /// Serialize the complete frontier state into a snapshot payload.
+    ///
+    /// Canonical form, so encode∘decode∘encode is a fixed point:
+    /// parked entries as ONE flat list in slab order. A record is
+    /// `(page, priority, distance, seq)` — host comes from the page and
+    /// level from the priority clamp, so neither is stored, and per-slot
+    /// count words (mostly zero, and numerous: hosts × levels of them)
+    /// never hit the payload. Decode rebuilds the slab record by
+    /// record, so a resumed frontier's slab order *is* the record order
+    /// and re-encoding reproduces the bytes; list links are layout,
+    /// resorted from `(level, seq)` — the order the live lists held,
+    /// since seqs only grow and lists append at tail. Exposure is one
+    /// flag per host (an exposed host always exposes exactly its parked
+    /// minimum, so the token is derivable); avail heaps are not encoded
+    /// at all (stale tokens are behaviorally inert — dropping them
+    /// cannot change any observable pop); cool-downs are one globally
+    /// sorted `(ready_at, host)` list. `origin` is intentionally not
+    /// state: it is only ever `Some` *inside* a resolve, and snapshots
+    /// are taken at tick boundaries where no resolve is in flight.
+    ///
+    /// Capture rides the scheduler's steady state, so the big walks
+    /// (parked nodes, per-host flags) stage fixed stack blocks and
+    /// append them whole, and the parked scan runs linearly over the
+    /// slab ([`FREE_PAGE`] marks holes) instead of chasing list links —
+    /// the ≤5% capture-overhead gate prices every cache miss and
+    /// per-element capacity check taken here.
+    pub(crate) fn encode_state(&self, enc: &mut Enc) {
+        enc.u64(self.host_of_page.len() as u64);
+        enc.u64(self.exposed.len() as u64);
+        enc.u64(self.num_levels as u64);
+        enc.u64(self.shards.len() as u64);
+        // Flat parked-node list: count patched in after one linear
+        // scan. 14 bytes per record via two overlapping u64 stores
+        // (the second starts at the seq offset and re-covers the first
+        // word's two spare bytes), 18 records per staged block.
+        let count_at = enc.mark();
+        enc.u64(0);
+        let mut n = 0u64;
+        let mut block = [0u8; 252];
+        let mut fill = 0;
+        for node in &self.nodes {
+            if node.page == FREE_PAGE {
+                continue;
+            }
+            let w = u64::from(node.page)
+                | u64::from(node.priority) << 32
+                | u64::from(node.distance) << 40;
+            block[fill..fill + 8].copy_from_slice(&w.to_le_bytes());
+            block[fill + 6..fill + 14].copy_from_slice(&node.seq.to_le_bytes());
+            fill += 14;
+            if fill == block.len() {
+                enc.buf.extend_from_slice(&block);
+                fill = 0;
+            }
+            n += 1;
+        }
+        enc.buf.extend_from_slice(&block[..fill]);
+        enc.patch_u64(count_at, n);
+        // Exposure flag + host state, two bytes per host, staged.
+        let mut fill = 0;
+        for host in 0..self.exposed.len() {
+            block[fill] = u8::from(self.exposed[host].is_some());
+            block[fill + 1] = match self.host_state[host] {
+                HostState::Ready => 0,
+                HostState::Busy => 1,
+                HostState::Cooling => 2,
+            };
+            fill += 2;
+            if fill == block.len() {
+                enc.buf.extend_from_slice(&block);
+                fill = 0;
+            }
+        }
+        enc.buf.extend_from_slice(&block[..fill]);
+        let mut cooling: Vec<(u64, u32)> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.cooling.iter().map(|&Reverse(x)| x))
+            .collect();
+        cooling.sort_unstable();
+        enc.u64(cooling.len() as u64);
+        for (at, host) in cooling {
+            enc.u64(at);
+            enc.u32(host);
+        }
+        for s in &self.shards {
+            enc.u64(s.stats.pushes);
+            enc.u64(s.stats.pops);
+            enc.u64(s.stats.handoffs_in);
+        }
+        enc.u16s(&self.best);
+        enc.bools(&self.done);
+        enc.u64(self.pending as u64);
+        enc.u64(self.max_pending as u64);
+        enc.u64(self.pushes);
+        enc.u64(self.seq);
+        enc.u64(self.handoffs);
+    }
+
+    /// Rebuild a frontier from a snapshot payload. The shape arguments
+    /// come from the regenerated space and the snapshot header; the
+    /// payload must agree with them. Avail heaps are rebuilt from the
+    /// exposure flags (each exposed host re-exposes its parked
+    /// minimum); structural violations surface as
+    /// [`SnapshotError::Malformed`].
+    pub(crate) fn decode_state(
+        dec: &mut Dec<'_>,
+        host_of_page: Vec<u32>,
+        num_hosts: usize,
+        levels: usize,
+        shards: usize,
+    ) -> Result<ShardedFrontier, SnapshotError> {
+        let mut f = ShardedFrontier::new(host_of_page, num_hosts, levels, shards);
+        if dec.len()? != f.host_of_page.len() {
+            return Err(SnapshotError::Malformed("frontier page count mismatch"));
+        }
+        if dec.len()? != num_hosts {
+            return Err(SnapshotError::Malformed("frontier host count mismatch"));
+        }
+        if dec.len()? != f.num_levels {
+            return Err(SnapshotError::Malformed("frontier level count mismatch"));
+        }
+        if dec.len()? != f.shards.len() {
+            return Err(SnapshotError::Malformed("frontier shard count mismatch"));
+        }
+        let n = dec.len()?;
+        f.nodes.reserve(n);
+        // `(slot, seq, slab index)` for every record: sorting this
+        // relinks each `(host, level)` FIFO list in `(level, seq)`
+        // order — exactly the order the captured lists held. The slab
+        // itself fills in record order, which is what makes re-encoding
+        // a fixed point.
+        let mut links: Vec<(usize, u64, u32)> = Vec::with_capacity(n);
+        for i in 0..n {
+            let page = dec.u32()?;
+            if page as usize >= f.host_of_page.len() {
+                return Err(SnapshotError::Malformed("parked page out of range"));
+            }
+            let priority = dec.u8()?;
+            let distance = dec.u8()?;
+            let seq = dec.u64()?;
+            let host = f.host_of_page[page as usize];
+            let level = (priority as usize).min(f.num_levels - 1);
+            links.push((host as usize * f.num_levels + level, seq, i as u32));
+            f.nodes.push(Node {
+                seq,
+                page,
+                priority,
+                distance,
+                next: NIL,
+            });
+        }
+        links.sort_unstable();
+        for &(slot, _, idx) in &links {
+            if f.heads[slot] == NIL {
+                f.heads[slot] = idx;
+            } else {
+                f.nodes[f.tails[slot] as usize].next = idx;
+            }
+            f.tails[slot] = idx;
+        }
+        let mut exposed_flags = vec![false; num_hosts];
+        for (host, flag) in exposed_flags.iter_mut().enumerate() {
+            *flag = dec.bool()?;
+            f.host_state[host] = match dec.u8()? {
+                0 => HostState::Ready,
+                1 => HostState::Busy,
+                2 => HostState::Cooling,
+                _ => return Err(SnapshotError::Malformed("host state out of range")),
+            };
+        }
+        for (host, &exposed) in exposed_flags.iter().enumerate() {
+            if !exposed {
+                continue;
+            }
+            let Some((level, seq, idx)) = f.host_min(host as u32) else {
+                return Err(SnapshotError::Malformed("exposed host parks nothing"));
+            };
+            f.exposed[host] = Some((level, seq));
+            let si = f.shard_of_host[host] as usize;
+            let n = f.nodes[idx as usize];
+            f.shards[si].avail.push(Reverse((
+                level,
+                seq,
+                host as u32,
+                n.page,
+                n.priority,
+                n.distance,
+            )));
+        }
+        let ncool = dec.len()?;
+        for _ in 0..ncool {
+            let at = dec.u64()?;
+            let host = dec.u32()?;
+            if host as usize >= num_hosts {
+                return Err(SnapshotError::Malformed("cooling host out of range"));
+            }
+            let si = f.shard_of_host[host as usize] as usize;
+            f.shards[si].cooling.push(Reverse((at, host)));
+        }
+        for s in &mut f.shards {
+            s.stats.pushes = dec.u64()?;
+            s.stats.pops = dec.u64()?;
+            s.stats.handoffs_in = dec.u64()?;
+        }
+        for b in &mut f.best {
+            *b = dec.u16()?;
+        }
+        dec.bools(&mut f.done)?;
+        f.pending = dec.len()?;
+        f.max_pending = dec.len()?;
+        f.pushes = dec.u64()?;
+        f.seq = dec.u64()?;
+        f.handoffs = dec.u64()?;
+        Ok(f)
     }
 }
 

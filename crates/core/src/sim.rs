@@ -57,6 +57,12 @@ pub struct SimConfig {
     /// zero politeness) produces bit-identical reports to `None` — the
     /// scheduler conformance suite pins this.
     pub sched: Option<SchedConfig>,
+    /// Capture a crash-safe snapshot of the crawl every this many ticks
+    /// (requires the scheduler; honored when the
+    /// `LANGCRAWL_SNAPSHOT_DIR` environment variable names a directory
+    /// to write framed snapshot files into). Capture is
+    /// observation-only: the crawl is bit-identical with or without it.
+    pub snapshot_every: Option<u64>,
 }
 
 impl SimConfig {
@@ -120,6 +126,15 @@ impl SimConfig {
     /// enabling the scheduler.
     pub fn with_shards(mut self, shards: u32) -> Self {
         self.sched.get_or_insert_with(SchedConfig::default).shards = shards;
+        self
+    }
+
+    /// Capture a crawl snapshot every `every` ticks (see
+    /// [`SimConfig::snapshot_every`]). Forces the scheduler on —
+    /// snapshots describe virtual-time loop state.
+    pub fn with_snapshot_every(mut self, every: u64) -> Self {
+        self.sched.get_or_insert_with(SchedConfig::default);
+        self.snapshot_every = Some(every);
         self
     }
 }
@@ -191,6 +206,7 @@ impl<'a> Simulator<'a> {
                     .clone()
                     .unwrap_or_else(|| ws.fault().clone()),
                 retry: self.config.retry,
+                snapshot_every: self.config.snapshot_every,
             },
         );
         let mut metrics = MetricsSampler::new();

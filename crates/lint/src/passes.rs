@@ -729,6 +729,7 @@ const P1_PATHS: &[&str] = &[
     "crates/core/src/queue.rs",
     "crates/core/src/sched.rs",
     "crates/core/src/shard.rs",
+    "crates/core/src/snapshot.rs",
     "crates/webgraph/src/generate.rs",
     "crates/webgraph/src/fault.rs",
 ];

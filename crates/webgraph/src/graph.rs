@@ -227,6 +227,39 @@ impl WebSpace {
         h
     }
 
+    /// Cheap identity fingerprint: FNV-1a over the space's *defining*
+    /// inputs and shape (generation seed, page/host/edge counts, target
+    /// language, fault knobs, seed list) — O(seeds), not O(pages).
+    /// Because generation is a pure function of (generator config,
+    /// seed), two spaces that agree on this fingerprint and were built
+    /// by the same code are the same space. Crawl snapshots record it
+    /// instead of the space itself and verify it on resume.
+    ///
+    /// Like [`WebSpace::content_hash`] this is not a stable on-disk
+    /// contract across versions; snapshot files carry a format version
+    /// for that.
+    pub fn identity_fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut fold = |x: u64| {
+            for b in x.to_le_bytes() {
+                h = (h ^ b as u64).wrapping_mul(PRIME);
+            }
+        };
+        fold(self.gen_seed);
+        fold(self.pages.len() as u64);
+        fold(self.hosts.len() as u64);
+        fold(self.edges.len() as u64);
+        fold(self.target as u64);
+        fold(self.fault.fingerprint());
+        fold(self.seeds.len() as u64);
+        for &s in &self.seeds {
+            fold(s as u64);
+        }
+        h
+    }
+
     /// Structural integrity check, used by tests and after log replay:
     /// CSR well-formedness, edge targets in range, hosts contiguous,
     /// seeds valid, non-HTML pages link-free.
