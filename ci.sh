@@ -47,13 +47,32 @@ for threads in 1 4; do
 done
 
 # Determinism & safety lint: the in-tree static analyzer must find
-# nothing unsuppressed in the workspace's own sources. The JSON report
-# is kept as a CI artifact either way.
-echo "==> langcrawl-lint (self-scan)"
-cargo run -q --release --offline -p langcrawl-lint -- --json . > lint-report.json || {
+# nothing unsuppressed in the workspace's own sources. The same run
+# writes the JSON report and the resolved hot-path call graph
+# (deterministic DOT + JSON adjacency) under target/ for CI to archive.
+echo "==> langcrawl-lint (self-scan + call graph)"
+mkdir -p target
+cargo run -q --release --offline -p langcrawl-lint -- \
+    --json --graph target/lint-graph . > target/lint-report.json || {
     cargo run -q --release --offline -p langcrawl-lint -- .
     exit 1
 }
+
+# Root marker typo guard: --roots exits nonzero if any lint:root marker
+# fails to attach to an indexed fn, and the grep cross-check catches a
+# marker the parser never even saw. The lint crate itself is excluded —
+# its unit tests embed marker text in raw strings — as are the fixture
+# trees, which exercise the lint rather than carry workspace contracts.
+echo "==> langcrawl-lint --roots (root marker resolution guard)"
+cargo run -q --release --offline -p langcrawl-lint -- --roots . > target/lint-roots.txt
+declared=$(grep -rE --include='*.rs' --exclude-dir=fixtures --exclude-dir=lint \
+    -h '^[[:space:]]*// lint:root\(' crates | wc -l)
+resolved=$(wc -l < target/lint-roots.txt)
+if [ "$declared" -ne "$resolved" ]; then
+    echo "    declared $declared root markers but the resolver saw $resolved:"
+    cat target/lint-roots.txt
+    exit 1
+fi
 
 echo "==> cargo fmt --check"
 cargo fmt --all --check

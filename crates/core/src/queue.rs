@@ -96,11 +96,13 @@ impl UrlQueue {
 
     /// Try to admit an entry. Returns true if it was enqueued (first
     /// discovery, or a strictly better key than any prior admission).
-    // lint:hot-path — one call per offered outlink; rings only grow to
-    // their high-water size, everything else is array writes.
+    // lint:root(panic-free, alloc-free) — one call per offered
+    // outlink; rings only grow to their high-water size, everything
+    // else is array writes.
     #[inline]
     pub fn push(&mut self, e: Entry) -> bool {
         let idx = e.page as usize;
+        // lint:allow(no-panic-transitive): bar is page_count-sized and Entry.page < page_count by construction of the web space
         let bar = self.bar[idx];
         let raised = e.key() as u32 + 1;
         if raised >= bar {
@@ -122,7 +124,8 @@ impl UrlQueue {
     /// exactly the same order as pushing one at a time; the batch form
     /// hoists the level clamp and folds the push/high-water counter
     /// updates into locals flushed once per batch.
-    // lint:hot-path — the engine admits every fetch's outlinks here.
+    // lint:root(panic-free, alloc-free) — the engine admits every
+    // fetch's outlinks here.
     #[inline]
     pub fn push_all(&mut self, entries: &[Entry]) -> u32 {
         let last_level = self.levels.len() - 1;
@@ -130,6 +133,7 @@ impl UrlQueue {
         let mut enqueued = 0u32;
         for &e in entries {
             let idx = e.page as usize;
+            // lint:allow(no-panic-transitive): bar is page_count-sized and Entry.page < page_count by construction of the web space
             let bar = self.bar[idx];
             let raised = e.key() as u32 + 1;
             if raised >= bar {
@@ -153,10 +157,12 @@ impl UrlQueue {
 
     /// Pop the next URL to crawl: lowest priority level first, FIFO
     /// within a level; stale duplicates are skipped transparently.
-    // lint:hot-path — one call per fetch; pure ring traffic.
+    // lint:root(panic-free, alloc-free) — one call per fetch; pure
+    // ring traffic.
     #[inline]
     pub fn pop(&mut self) -> Option<Entry> {
         while let Some(level) = self.levels.iter().position(|l| !l.is_empty()) {
+            // lint:allow(no-panic-transitive): bar is page_count-sized and Entry.page < page_count by construction of the web space
             while let Some(e) = self.levels[level].pop_front() {
                 let idx = e.page as usize;
                 if e.key() as u32 >= self.bar[idx] {
@@ -178,6 +184,7 @@ impl UrlQueue {
     /// popped. Returns whether the entry was enqueued.
     pub fn requeue(&mut self, e: Entry) -> bool {
         let idx = e.page as usize;
+        // lint:allow(no-panic-transitive): bar is page_count-sized and Entry.page < page_count by construction of the web space
         if self.bar[idx] != BAR_DONE {
             return self.push(e);
         }

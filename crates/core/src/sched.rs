@@ -299,6 +299,8 @@ struct RunSnap<'a> {
 /// state. Canonical throughout (the retry heap is emitted sorted), so
 /// encoding the state a snapshot decodes to reproduces its bytes —
 /// the fixed-point property the codec proptests pin.
+// lint:root(panic-free, alloc-free) — capture runs mid-crawl into a
+// preallocated encoder, so it must neither unwind nor allocate.
 fn encode_snapshot_into<F: SlotFrontier>(
     head: &SnapHead,
     run: &RunSnap<'_>,
@@ -314,6 +316,7 @@ fn encode_snapshot_into<F: SlotFrontier>(
     enc.u64(run.attempts);
     enc.u64(run.retries);
     enc.u64(run.retry_seq);
+    // lint:allow(no-alloc-transitive): canonical capture sorts the retry heap into a fresh Vec once per explicit snapshot, off the steady-state path
     let mut pending: Vec<(u64, u64, Entry)> = run.retry_heap.iter().map(|&Reverse(x)| x).collect();
     pending.sort_unstable();
     enc.u64(pending.len() as u64);
@@ -895,6 +898,8 @@ impl CrawlEngine<'_> {
     /// sharded frontier, or the legacy rings at the degenerate point).
     /// `ctl` carries the frontier, an optional resume state (restored
     /// verbatim in place of seeding) and an optional capture plan.
+    // lint:root(panic-free) — the steady-state event loop; every
+    // simulated fetch passes through here.
     fn sched_loop<F, S, C>(
         &self,
         sched: &SchedConfig,
@@ -1051,6 +1056,7 @@ impl CrawlEngine<'_> {
                         let a = if scratch.attempt_counts.is_empty() {
                             1
                         } else {
+                            // lint:allow(no-panic-transitive): slot and host tables are fixed-size from init; indices originate from those tables
                             scratch.attempt_counts[p as usize] + 1
                         };
                         if a > 1 {

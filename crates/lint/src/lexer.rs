@@ -160,6 +160,13 @@ impl Lexer {
                     let prefix = self.literal_prefix().unwrap();
                     self.prefixed_literal(line, col, prefix);
                 }
+                // Raw identifier (`r#fn`, `r#unsafe`): one Ident token
+                // whose text keeps the `r#` prefix, so it never matches
+                // the keyword it escapes. Raw *strings* (`r#"…"`) were
+                // already claimed by the literal-prefix arm above.
+                'r' if self.peek(1) == Some('#') && self.peek(2).is_some_and(is_ident_start) => {
+                    self.raw_ident(line, col);
+                }
                 c if is_ident_start(c) => self.ident(line, col),
                 c if c.is_ascii_digit() => self.number(line, col),
                 _ => self.punct(line, col),
@@ -340,6 +347,24 @@ impl Lexer {
 
     fn ident(&mut self, line: u32, col: u32) {
         let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push_tok(TokKind::Ident, text, line, col);
+    }
+
+    /// Raw identifier: consume `r#` then the identifier body, producing
+    /// one Ident token whose text is `r#name` verbatim. Keeping the
+    /// prefix means `r#unsafe` never satisfies `is_ident("unsafe")`.
+    fn raw_ident(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        text.push(self.bump().expect("the r"));
+        text.push(self.bump().expect("the hash"));
         while let Some(c) = self.peek(0) {
             if is_ident_continue(c) {
                 text.push(c);
@@ -619,5 +644,53 @@ mod tests {
         let l = lex("/* one\ntwo\nthree */ code");
         assert!(l.comments_covering(2).next().is_some());
         assert!(l.comments_covering(4).next().is_none());
+    }
+
+    #[test]
+    fn raw_identifiers_are_single_tokens_and_not_keywords() {
+        // `r#fn` / `r#unsafe` are identifiers, not an `r`, a `#`, and a
+        // keyword — mis-lexing them would fabricate S1/P1 findings.
+        let l = lex("fn r#fn() { r#unsafe + r#match }");
+        let ids = idents("fn r#fn() { r#unsafe + r#match }");
+        assert_eq!(ids, ["fn", "r#fn", "r#unsafe", "r#match"]);
+        assert!(!l.tokens.iter().any(|t| t.is_ident("unsafe")));
+        assert!(!l.tokens.iter().any(|t| t.is_punct("#")));
+        // A raw *string* with the same leading bytes still lexes as Str.
+        let l2 = lex("r#\"fn unsafe\"#");
+        assert_eq!(
+            l2.tokens.iter().filter(|t| t.kind == TokKind::Str).count(),
+            1
+        );
+        assert!(l2.tokens.iter().all(|t| t.kind != TokKind::Ident));
+    }
+
+    #[test]
+    fn nested_turbofish_before_call_parens() {
+        // `collect::<Vec<Vec<u64>>>(…)` — the `>>` at the end must lex
+        // as two `>` puncts so angle depth balances before the `(`.
+        let l = lex("xs.iter().collect::<Vec<Vec<u64>>>()");
+        let mut depth = 0i32;
+        let mut paren_at_zero = false;
+        for t in &l.tokens {
+            if t.is_punct("<") {
+                depth += 1;
+            } else if t.is_punct(">") {
+                depth -= 1;
+            } else if t.is_punct("(") && t.col > 30 {
+                paren_at_zero = depth == 0;
+            }
+        }
+        assert_eq!(depth, 0);
+        assert!(paren_at_zero);
+    }
+
+    #[test]
+    fn line_comment_at_eof_without_newline() {
+        let l = lex("let a = 1; // trailing comment no newline");
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(l.comments[0].start_line, 1);
+        assert_eq!(l.comments[0].end_line, 1);
+        assert_eq!(l.comments[0].text, "// trailing comment no newline");
+        assert_eq!(idents("x // eof"), ["x"]);
     }
 }

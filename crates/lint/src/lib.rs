@@ -8,15 +8,26 @@
 //! workspace's own sources that rejects the hazard *classes* at CI
 //! time, before a golden ever gets the chance to fire:
 //!
-//! | id               | pass | rejects                                             |
-//! |------------------|------|-----------------------------------------------------|
-//! | `wall-clock`     | D1   | `Instant::now` / `SystemTime::now` outside bench    |
-//! | `unordered-iter` | D2   | `HashMap`/`HashSet` iteration whose order can leak  |
-//! | `rng-stream`     | D3   | duplicated / non-literal `Rng::stream` domains      |
-//! | `event-bits`     | D4   | colliding or shadowed `interest::*` bits            |
-//! | `safety-comment` | S1   | `unsafe` without a `// SAFETY:` comment             |
-//! | `no-panic`       | P1   | `unwrap`/`expect`/panicking macros in hot paths     |
-//! | `hot-path-alloc` | P2   | allocating calls in `lint:hot-path` marked functions|
+//! | id                    | pass | rejects                                             |
+//! |-----------------------|------|-----------------------------------------------------|
+//! | `wall-clock`          | D1   | `Instant::now` / `SystemTime::now` outside bench    |
+//! | `unordered-iter`      | D2   | `HashMap`/`HashSet` iteration whose order can leak  |
+//! | `rng-stream`          | D3   | duplicated / non-literal `Rng::stream` domains      |
+//! | `event-bits`          | D4   | colliding or shadowed `interest::*` bits            |
+//! | `safety-comment`      | S1   | `unsafe` without a `// SAFETY:` comment             |
+//! | `no-panic`            | P1   | `unwrap`/`expect`/panicking macros in hot paths     |
+//! | `hot-path-alloc`      | P2   | allocating calls in `lint:hot-path` marked functions|
+//! | `no-panic-transitive` | P1T  | panic sites reachable from a `lint:root(panic-free)`|
+//! | `no-alloc-transitive` | P2T  | alloc sites reachable from a `lint:root(alloc-free)`|
+//! | `deprecated-marker`   | —    | remaining lexical `lint:hot-path` markers           |
+//! | `bad-root`            | —    | a `lint:root` marker that resolves to no fn         |
+//!
+//! P1T/P2T are *call-graph-aware*: [`index`] records every fn with its
+//! panic/alloc facts and outgoing calls, [`graph`] resolves the calls
+//! (best-effort receiver typing; over-approximating to all candidates
+//! for dyn/generic dispatch) and walks the closure from each declared
+//! `// lint:root(...)` fn, reporting every reachable site with its full
+//! call chain. `--graph` emits the closure as deterministic DOT + JSON.
 //!
 //! ## Suppressions
 //!
@@ -26,6 +37,11 @@
 //! ```text
 //! // lint:allow(wall-clock): observational profiling; never feeds sim state
 //! ```
+//!
+//! For the transitive passes a suppression also works on a *call site*:
+//! an allow covering the line of a call severs that edge in the
+//! matching closure, exempting the whole callee subtree from this
+//! caller's root (see [`graph::EdgeAllow`]).
 //!
 //! A suppression with an unknown lint id or an empty reason is itself a
 //! finding (`bad-allow`), so the suppression surface stays auditable.
@@ -52,6 +68,8 @@
 #![warn(missing_docs)]
 
 pub mod findings;
+pub mod graph;
+pub mod index;
 pub mod lexer;
 pub mod passes;
 
@@ -77,6 +95,13 @@ struct Allow {
 /// findings. The walk order (and therefore the report) is fully
 /// deterministic.
 pub fn scan_path(root: &Path) -> io::Result<Report> {
+    Ok(scan_sources(&load_sources(root)?))
+}
+
+/// Read and lex every `.rs` file under `root`, in sorted path order.
+/// Exposed so the CLI can reuse one load for the report *and* the
+/// `--graph` / `--roots` outputs.
+pub fn load_sources(root: &Path) -> io::Result<Vec<SourceFile>> {
     let mut files = Vec::new();
     collect_rs_files(root, &mut files)?;
     files.sort();
@@ -95,12 +120,12 @@ pub fn scan_path(root: &Path) -> io::Result<Report> {
             .join("/");
         sources.push(SourceFile::new(rel, &src));
     }
-    Ok(scan_sources(&sources))
+    Ok(sources)
 }
 
 /// Run all passes over pre-lexed sources (exposed so tests can scan
 /// fixture sets without touching the filesystem layout).
-fn scan_sources(sources: &[SourceFile]) -> Report {
+pub fn scan_sources(sources: &[SourceFile]) -> Report {
     // Pass order: registries first (D3 needs every file's constants).
     let mut registry: Vec<StreamConst> = Vec::new();
     for file in sources {
@@ -117,9 +142,60 @@ fn scan_sources(sources: &[SourceFile]) -> Report {
         passes::safety_comment(file, &mut raw);
         passes::no_panic(file, &mut raw);
         passes::hot_path_alloc(file, &mut raw);
+        passes::deprecated_hot_path_marker(file, &mut raw);
     }
 
-    // Suppression collection + validation.
+    // Suppression collection + validation (before the transitive
+    // passes: an allow covering a call site severs that edge in the
+    // closure walk, so the graph needs the allow set).
+    let mut allows = parse_allows(sources, &mut raw);
+
+    // Transitive passes: index every fn, resolve the call graph, and
+    // walk the closure from each declared root fn.
+    let idx = index::Index::build(sources);
+    raw.extend(idx.findings.iter().cloned());
+    let edge_allows: Vec<graph::EdgeAllow> = allows
+        .iter()
+        .map(|a| graph::EdgeAllow {
+            path: a.path.clone(),
+            start_line: a.start_line,
+            end_line: a.end_line,
+            id: a.id.clone(),
+        })
+        .collect();
+    let g = graph::Graph::build(&idx, &edge_allows);
+    g.transitive_findings(&mut raw);
+    for &i in g.used_allow_indices() {
+        allows[i].used = true;
+    }
+
+    let mut report = Report {
+        files_scanned: sources.len(),
+        ..Report::default()
+    };
+    for f in raw {
+        let suppressed = allows.iter_mut().find(|a| {
+            passes::allow_covers(&a.id, f.lint)
+                && a.path == f.path
+                && a.start_line <= f.line
+                && f.line <= a.end_line
+        });
+        match suppressed {
+            Some(a) => {
+                a.used = true;
+                debug_assert!(!a.reason.is_empty());
+            }
+            None => report.findings.push(f),
+        }
+    }
+    report.allows_used = allows.iter().filter(|a| a.used).count();
+    report.sort();
+    report
+}
+
+/// Parse every `lint:allow` comment; malformed ones become `bad-allow`
+/// findings in `raw`.
+fn parse_allows(sources: &[SourceFile], raw: &mut Vec<Finding>) -> Vec<Allow> {
     let mut allows: Vec<Allow> = Vec::new();
     for file in sources {
         for c in &file.lexed.comments {
@@ -165,26 +241,24 @@ fn scan_sources(sources: &[SourceFile]) -> Report {
             });
         }
     }
+    allows
+}
 
-    let mut report = Report {
-        files_scanned: sources.len(),
-        ..Report::default()
-    };
-    for f in raw {
-        let suppressed = allows.iter_mut().find(|a| {
-            a.id == f.lint && a.path == f.path && a.start_line <= f.line && f.line <= a.end_line
-        });
-        match suppressed {
-            Some(a) => {
-                a.used = true;
-                debug_assert!(!a.reason.is_empty());
-            }
-            None => report.findings.push(f),
-        }
-    }
-    report.allows_used = allows.iter().filter(|a| a.used).count();
-    report.sort();
-    report
+/// Parse the workspace's suppressions into the form the graph's
+/// edge-severing BFS consumes — exposed so the CLI's `--graph` output
+/// reflects exactly the closure the scan gates on. Malformed allows are
+/// dropped here; the scan itself reports them.
+pub fn edge_allows(sources: &[SourceFile]) -> Vec<graph::EdgeAllow> {
+    let mut sink = Vec::new();
+    parse_allows(sources, &mut sink)
+        .into_iter()
+        .map(|a| graph::EdgeAllow {
+            path: a.path,
+            start_line: a.start_line,
+            end_line: a.end_line,
+            id: a.id,
+        })
+        .collect()
 }
 
 fn bad_allow(file: &SourceFile, line: u32, why: &str) -> Finding {
@@ -285,6 +359,19 @@ mod tests {
             ("crates/core/tests/z.rs", test_file),
         ]);
         assert!(r.is_clean(), "{}", r.to_text());
+    }
+
+    #[test]
+    fn allow_on_call_site_severs_transitive_edge_end_to_end() {
+        let src = "// lint:root(panic-free)\n\
+                   fn entry(x: Option<u64>) -> u64 {\n\
+                   // lint:allow(no-panic-transitive): boot-time only, input is static\n\
+                   helper(x)\n\
+                   }\n\
+                   fn helper(x: Option<u64>) -> u64 { x.unwrap() }\n";
+        let r = scan_snippets(&[("crates/core/src/x.rs", src)]);
+        assert!(r.is_clean(), "{}", r.to_text());
+        assert_eq!(r.allows_used, 1);
     }
 
     #[test]

@@ -27,8 +27,21 @@ pub const SAFETY_COMMENT: &str = "safety-comment";
 pub const NO_PANIC: &str = "no-panic";
 /// P2 — allocating calls inside `// lint:hot-path` marked functions.
 pub const HOT_PATH_ALLOC: &str = "hot-path-alloc";
+/// P1T — a panic site transitively reachable from a
+/// `lint:root(panic-free)` function.
+pub const NO_PANIC_TRANSITIVE: &str = "no-panic-transitive";
+/// P2T — an allocation site transitively reachable from a
+/// `lint:root(alloc-free)` function.
+pub const NO_ALLOC_TRANSITIVE: &str = "no-alloc-transitive";
+/// Migration lint: the lexical `lint:hot-path` marker is superseded by
+/// `lint:root(alloc-free)` + the call-graph closure.
+pub const DEPRECATED_MARKER: &str = "deprecated-marker";
 /// Meta-lint: a malformed or unknown `lint:allow` suppression.
 pub const BAD_ALLOW: &str = "bad-allow";
+/// Meta-lint: a `lint:root(...)` marker that does not resolve to
+/// exactly one indexed function. Deliberately *not* suppressible — a
+/// typo'd root silently shrinks the proved surface.
+pub const BAD_ROOT: &str = "bad-root";
 
 /// The ids a `lint:allow(...)` may name.
 pub const SUPPRESSIBLE: &[&str] = &[
@@ -39,7 +52,20 @@ pub const SUPPRESSIBLE: &[&str] = &[
     SAFETY_COMMENT,
     NO_PANIC,
     HOT_PATH_ALLOC,
+    NO_PANIC_TRANSITIVE,
+    NO_ALLOC_TRANSITIVE,
+    DEPRECATED_MARKER,
 ];
+
+/// Does a `lint:allow(<allow_id>)` suppress a finding of `lint`? The
+/// transitive passes alias their lexical ancestors so an existing
+/// `allow(no-panic)` / `allow(hot-path-alloc)` on a site keeps covering
+/// the same hazard when the closure reaches it.
+pub fn allow_covers(allow_id: &str, lint: &str) -> bool {
+    allow_id == lint
+        || (allow_id == NO_PANIC && lint == NO_PANIC_TRANSITIVE)
+        || (allow_id == HOT_PATH_ALLOC && lint == NO_ALLOC_TRANSITIVE)
+}
 
 /// One lexed source file with its scan-relevant classification.
 #[derive(Debug)]
@@ -899,6 +925,32 @@ pub fn hot_path_alloc(file: &SourceFile, out: &mut Vec<Finding>) {
                 ),
             ));
         }
+    }
+}
+
+/// Migration lint: flag every remaining non-test `// lint:hot-path`
+/// marker. The lexical marker only protected one function body; the
+/// call-graph closure (`lint:root(alloc-free)`) supersedes it. The
+/// marker still *works* (P2 scans it) so migration can be gradual —
+/// each remaining use costs one suppressible finding.
+pub fn deprecated_hot_path_marker(file: &SourceFile, out: &mut Vec<Finding>) {
+    if file.is_test_file {
+        return;
+    }
+    for c in &file.lexed.comments {
+        if c.is_doc() || !c.text.contains("lint:hot-path") || file.in_test(c.start_line) {
+            continue;
+        }
+        out.push(Finding {
+            lint: DEPRECATED_MARKER,
+            path: file.rel.clone(),
+            line: c.start_line,
+            col: 1,
+            message: "`lint:hot-path` is deprecated — declare `// lint:root(alloc-free)` \
+                      on the entry point instead; the call-graph closure then covers \
+                      every helper the lexical marker missed"
+                .to_string(),
+        });
     }
 }
 

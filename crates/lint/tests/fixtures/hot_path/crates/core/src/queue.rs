@@ -1,4 +1,4 @@
-// P2 fixture: allocating calls inside lint:hot-path marked functions.
+// P2 fixture: allocating calls inside marked hot-path functions.
 pub struct Q {
     items: Vec<u32>,
 }

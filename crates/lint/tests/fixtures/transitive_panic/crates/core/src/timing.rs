@@ -1,0 +1,6 @@
+// P1T fixture: a root marker must attach to a fn item.
+
+// lint:root(panic-free)
+pub struct Timer {
+    pub ticks: u64,
+}

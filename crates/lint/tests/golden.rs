@@ -95,17 +95,76 @@ fn p1_no_panic_fires_on_unwrap_expect_and_panicking_macros() {
 fn p2_hot_path_alloc_fires_only_inside_marked_functions() {
     // Three findings in the marked `admit`; the scratch-backed twin,
     // the justified snapshot, the unmarked function and the test module
-    // stay silent.
+    // stay silent. Every lexical marker outside test code additionally
+    // draws a deprecation nudge towards a root marker.
     assert_eq!(
         lints_and_lines("hot_path"),
         vec![
+            ("deprecated-marker".to_string(), 7),
             ("hot-path-alloc".to_string(), 9),  // Vec::new()
             ("hot-path-alloc".to_string(), 10), // Box::new()
             ("hot-path-alloc".to_string(), 11), // .collect()
+            ("deprecated-marker".to_string(), 16),
+            ("deprecated-marker".to_string(), 23),
         ]
     );
     let paths: Vec<String> = scan("hot_path").into_iter().map(|(_, p, _)| p).collect();
     assert!(paths.iter().all(|p| p == "crates/core/src/queue.rs"));
+}
+
+#[test]
+fn p1t_transitive_panics_fire_with_ambiguity_and_respect_leaf_allows() {
+    // One-hop reachable unwrap; an indexing site reached only through
+    // generic-dispatch over-approximation; a leaf-suppressed chain
+    // (content.rs) staying quiet; a marker on a struct flagged as a
+    // false root.
+    assert_eq!(
+        scan("transitive_panic"),
+        vec![
+            (
+                "no-panic-transitive".to_string(),
+                "crates/core/src/classifier.rs".to_string(),
+                9,
+            ),
+            (
+                "no-panic-transitive".to_string(),
+                "crates/core/src/strategy.rs".to_string(),
+                18,
+            ),
+            (
+                "bad-root".to_string(),
+                "crates/core/src/timing.rs".to_string(),
+                3,
+            ),
+        ]
+    );
+    // The finding carries the full call chain, root first.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/transitive_panic");
+    let report = langcrawl_lint::scan_path(&root).expect("fixture tree must be readable");
+    let unwrap_finding = report
+        .findings
+        .iter()
+        .find(|f| f.path.ends_with("classifier.rs"))
+        .expect("classifier finding");
+    assert!(
+        unwrap_finding.message.contains("`classify` → `one_hop`"),
+        "{}",
+        unwrap_finding.message
+    );
+}
+
+#[test]
+fn p2t_transitive_allocs_fire_and_call_site_allows_sever() {
+    // `Vec::new` one hop away and a std allocating call two hops away
+    // both fire; the cold branch behind an edge-severing allow on its
+    // call site stays quiet.
+    assert_eq!(
+        lints_and_lines("transitive_alloc"),
+        vec![
+            ("no-alloc-transitive".to_string(), 13),
+            ("no-alloc-transitive".to_string(), 17),
+        ]
+    );
 }
 
 #[test]

@@ -83,6 +83,7 @@ impl Rng {
         // The all-zero state is the one fixed point of xoshiro; SplitMix64
         // cannot produce four consecutive zeros, but guard anyway.
         if s == [0; 4] {
+            // lint:allow(no-panic-transitive): the generator state is a fixed-size array indexed by compile-time constants
             s[0] = 0x9E37_79B9_7F4A_7C15;
         }
         Rng { s }
@@ -91,6 +92,7 @@ impl Rng {
     /// The xoshiro256\*\* core step.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
+        // lint:allow(no-panic-transitive): the generator state is a fixed-size array indexed by compile-time constants
         let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];

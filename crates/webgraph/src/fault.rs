@@ -324,6 +324,7 @@ impl FaultModel {
                 transient: false,
             };
         }
+        // lint:allow(no-panic-transitive): the outcome table is page_count-sized and page ids are dense
         let entry = self.table[host as usize];
         if entry & 3 == CLASS_DEAD {
             return FetchOutcome {

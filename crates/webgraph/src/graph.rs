@@ -49,12 +49,14 @@ impl WebSpace {
     /// Metadata for a page.
     #[inline]
     pub fn meta(&self, p: PageId) -> &PageMeta {
+        // lint:allow(no-panic-transitive): PageId and HostId are dense indices bounded by the space's construction
         &self.pages[p as usize]
     }
 
     /// Outlinks of a page (empty for failed and non-HTML resources).
     #[inline]
     pub fn outlinks(&self, p: PageId) -> &[PageId] {
+        // lint:allow(no-panic-transitive): PageId and HostId are dense indices bounded by the space's construction
         let lo = self.offsets[p as usize] as usize;
         let hi = self.offsets[p as usize + 1] as usize;
         &self.edges[lo..hi]
@@ -63,6 +65,7 @@ impl WebSpace {
     /// Host metadata for a page.
     #[inline]
     pub fn host_of(&self, p: PageId) -> &HostMeta {
+        // lint:allow(no-panic-transitive): PageId and HostId are dense indices bounded by the space's construction
         &self.hosts[self.pages[p as usize].host as usize]
     }
 
@@ -107,6 +110,7 @@ impl WebSpace {
     /// ever see classifier verdicts.
     #[inline]
     pub fn is_relevant(&self, p: PageId) -> bool {
+        // lint:allow(no-panic-transitive): PageId and HostId are dense indices bounded by the space's construction
         let m = &self.pages[p as usize];
         m.is_ok_html() && m.lang == Some(self.target)
     }
