@@ -46,6 +46,17 @@ for threads in 1 4; do
         --test resume_parity --test snapshot_codec
 done
 
+# Link-analysis parity, re-run under both generation thread counts: the
+# incremental PageRank/HITS engines must produce CrawlReports identical
+# to their frozen full-recompute references on the pinned cells, and the
+# crawl-graph store must match its naive model, regardless of how many
+# threads generated the web space.
+echo "==> link-analysis parity + crawl-graph store properties (LANGCRAWL_THREADS=1,4)"
+for threads in 1 4; do
+    LANGCRAWL_THREADS=$threads cargo test -q --offline -p langcrawl-core \
+        --test link_analysis_parity --test linkgraph_props
+done
+
 # Determinism & safety lint: the in-tree static analyzer must find
 # nothing unsuppressed in the workspace's own sources. The same run
 # writes the JSON report and the resolved hot-path call graph

@@ -24,12 +24,18 @@
 
 use std::process::ExitCode;
 
-/// The compared metrics — the three throughputs the optimization PRs
-/// track against their predecessor trajectories.
+/// The compared metrics — the headline throughputs the optimization
+/// PRs track against their predecessor trajectories. The last two live
+/// inside the `link_analysis` object; the string scan finds nested keys
+/// just as well. A *baseline* trajectory may predate a metric (older
+/// commits never emitted it) — that comparison is skipped with a
+/// visible notice; a *fresh* file lacking any metric is an error.
 const METRICS: &[&str] = &[
     "queue_ops_per_s",
     "detector_bytes_per_s",
     "simulator_pages_per_s",
+    "rank_updates_per_s",
+    "pagerank_pages_per_s",
 ];
 
 /// Lowest acceptable fresh/baseline ratio: >10% regression fails.
@@ -46,20 +52,26 @@ fn extract(json: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
+/// Per-metric ratios: `None` = baseline predates the metric, skipped.
+type Ratios = Vec<(String, Option<f64>)>;
+
 /// Compare fresh against baseline; returns the per-metric ratios and
-/// whether every metric clears the floor.
-fn compare(fresh: &str, baseline: &str) -> Result<(Vec<(String, f64)>, bool), String> {
+/// whether every compared metric clears the floor.
+fn compare(fresh: &str, baseline: &str) -> Result<(Ratios, bool), String> {
     let mut ratios = Vec::new();
     let mut ok = true;
     for key in METRICS {
         let new = extract(fresh, key).ok_or_else(|| format!("fresh file lacks `{key}`"))?;
-        let old = extract(baseline, key).ok_or_else(|| format!("baseline lacks `{key}`"))?;
+        let Some(old) = extract(baseline, key) else {
+            ratios.push((key.to_string(), None));
+            continue;
+        };
         if old <= 0.0 {
             return Err(format!("baseline `{key}` is not positive ({old})"));
         }
         let ratio = new / old;
         ok &= ratio >= FLOOR;
-        ratios.push((key.to_string(), ratio));
+        ratios.push((key.to_string(), Some(ratio)));
     }
     Ok((ratios, ok))
 }
@@ -90,8 +102,15 @@ fn main() -> ExitCode {
         let (ratios, ok) = compare(&fresh, &baseline)?;
         println!("bench_compare: {fresh_path} vs {base_path} (floor {FLOOR}x)");
         for (key, ratio) in &ratios {
-            let verdict = if *ratio >= FLOOR { "ok" } else { "REGRESSED" };
-            println!("  {key:<24} {ratio:>6.2}x  [{verdict}]");
+            match ratio {
+                Some(r) => {
+                    let verdict = if *r >= FLOOR { "ok" } else { "REGRESSED" };
+                    println!("  {key:<24} {r:>6.2}x  [{verdict}]");
+                }
+                None => {
+                    println!("  {key:<24}   ----   [skipped: baseline predates this metric]");
+                }
+            }
         }
         Ok(ok)
     };
@@ -117,6 +136,17 @@ mod tests {
             "{{\n  \"git\": \"abc1234\",\n  \"queue_ops_per_s\": {queue:.0},\n  \
              \"batch_admit_ops_per_s\": 1,\n  \"detector_bytes_per_s\": {det:.0},\n  \
              \"generation\": {{\n    \"pages_per_s\": 99\n  }},\n  \
+             \"simulator_pages_per_s\": {sim:.0},\n  \
+             \"link_analysis\": {{\n    \"rank_updates_per_s\": {queue:.0},\n    \
+             \"pagerank_pages_per_s\": {sim:.0}\n  }}\n}}\n"
+        )
+    }
+
+    /// A pre-link-analysis trajectory: the flat metrics only.
+    fn old_record(queue: f64, det: f64, sim: f64) -> String {
+        format!(
+            "{{\n  \"git\": \"abc1234\",\n  \"queue_ops_per_s\": {queue:.0},\n  \
+             \"detector_bytes_per_s\": {det:.0},\n  \
              \"simulator_pages_per_s\": {sim:.0}\n}}\n"
         )
     }
@@ -128,6 +158,41 @@ mod tests {
         assert_eq!(extract(&j, "detector_bytes_per_s"), Some(457233243.0));
         assert_eq!(extract(&j, "simulator_pages_per_s"), Some(15030564.0));
         assert_eq!(extract(&j, "no_such_key"), None);
+    }
+
+    #[test]
+    fn extracts_nested_link_analysis_numbers() {
+        let j = record(100.0, 200.0, 300.0);
+        assert_eq!(extract(&j, "rank_updates_per_s"), Some(100.0));
+        assert_eq!(extract(&j, "pagerank_pages_per_s"), Some(300.0));
+    }
+
+    #[test]
+    fn baseline_predating_a_metric_is_skipped_not_fatal() {
+        // An old committed trajectory has no link_analysis object; the
+        // new metrics must be skipped (with ratio None) while the shared
+        // metrics still gate.
+        let base = old_record(100.0, 100.0, 100.0);
+        let (ratios, ok) = compare(&record(95.0, 130.0, 100.0), &base).unwrap();
+        assert!(ok, "{ratios:?}");
+        let skipped: Vec<&str> = ratios
+            .iter()
+            .filter(|(_, r)| r.is_none())
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(skipped, ["rank_updates_per_s", "pagerank_pages_per_s"]);
+        // And a regression in a shared metric still fails.
+        let (_, ok) = compare(&record(80.0, 100.0, 100.0), &base).unwrap();
+        assert!(!ok);
+    }
+
+    #[test]
+    fn link_metric_regression_fails_against_a_new_baseline() {
+        let base = record(100.0, 100.0, 100.0);
+        let (ratios, ok) = compare(&record(100.0, 100.0, 85.0), &base).unwrap();
+        assert!(!ok);
+        let pp = ratios.iter().find(|(k, _)| k == "pagerank_pages_per_s");
+        assert!(pp.is_some_and(|(_, r)| r.is_some_and(|r| (r - 0.85).abs() < 1e-9)));
     }
 
     #[test]
@@ -143,7 +208,7 @@ mod tests {
         let (ratios, ok) = compare(&record(100.0, 100.0, 89.0), &base).unwrap();
         assert!(!ok);
         let sim = ratios.iter().find(|(k, _)| k == "simulator_pages_per_s");
-        assert!(sim.is_some_and(|(_, r)| (*r - 0.89).abs() < 1e-9));
+        assert!(sim.is_some_and(|(_, r)| r.is_some_and(|r| (r - 0.89).abs() < 1e-9)));
     }
 
     #[test]
@@ -162,9 +227,11 @@ mod tests {
     }
 
     #[test]
-    fn missing_metric_is_an_error() {
+    fn missing_metric_in_the_fresh_file_is_an_error() {
         let base = record(100.0, 100.0, 100.0);
         assert!(compare("{}", &base).is_err());
-        assert!(compare(&base, "{}").is_err());
+        // A fresh file without the link metrics is also broken — only
+        // *baselines* may predate them.
+        assert!(compare(&old_record(100.0, 100.0, 100.0), &base).is_err());
     }
 }

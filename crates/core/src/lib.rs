@@ -69,6 +69,7 @@ pub mod content;
 pub mod engine;
 pub mod event;
 pub mod frontier;
+pub mod linkgraph;
 pub mod metrics;
 pub mod queue;
 pub mod retry;
@@ -86,6 +87,7 @@ pub use event::{
     interest, CrawlEvent, EventSink, MetricsSampler, PhaseTimingSink, SchedStatsSink, VisitRecorder,
 };
 pub use frontier::{BestFirstFrontier, Frontier};
+pub use linkgraph::{LinkGraph, Slot};
 pub use metrics::CrawlReport;
 pub use retry::RetryPolicy;
 pub use sched::SchedConfig;

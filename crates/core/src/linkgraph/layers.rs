@@ -1,0 +1,229 @@
+//! Online context-graph layers over a [`LinkGraph`].
+//!
+//! The context-graph crawler (§3.3 of the paper) prioritizes a page by
+//! its *layer*: the length of the shortest forward-link chain from the
+//! page to a known relevant page. The idealized strategy computes
+//! layers once, offline, by multi-source BFS over the full web; the
+//! online variant can only use the crawled subgraph, and the historical
+//! approach of re-running the BFS from scratch at every refresh is
+//! O(crawled) per refresh.
+//!
+//! Because the crawl only ever *adds* edges and relevant sources, and
+//! layers only ever *decrease*, the layer function is maintainable by
+//! pure decrease-only relaxation: when a page is crawled, its own layer
+//! is proposed (0 if relevant, else 1 + the best layer among its
+//! outlink targets), and every improvement is pushed backwards along
+//! the reverse edges already in the store. The fixpoint of this
+//! monotone relaxation is exactly the capped BFS distance on the
+//! crawled subgraph — the parity suite checks it against a from-scratch
+//! BFS reference — and each edge is relaxed only when an endpoint's
+//! layer actually improves, so total maintenance work is O(E · L) over
+//! the whole crawl instead of per refresh.
+
+use super::{LinkGraph, Slot};
+
+/// Layer value for "no known chain to a relevant page (within the
+/// cap)".
+pub const UNREACHED: u8 = u8::MAX;
+
+/// Incrementally maintained context-graph layers (see module docs).
+#[derive(Debug)]
+pub struct LayerIndex {
+    /// Deepest maintained layer; pages further out stay [`UNREACHED`].
+    max_layer: u8,
+    /// Per slot: current layer, [`UNREACHED`] while unknown.
+    layer: Vec<u8>,
+    /// Relaxation worklist (order does not affect the fixpoint — the
+    /// relaxation is monotone — and is deterministic anyway).
+    work: Vec<Slot>,
+}
+
+impl LayerIndex {
+    /// Layer index maintaining layers `0..=max_layer`.
+    pub fn new(max_layer: u8) -> Self {
+        LayerIndex {
+            max_layer: max_layer.min(UNREACHED - 1),
+            layer: Vec::new(),
+            work: Vec::new(),
+        }
+    }
+
+    /// Current layer of `slot`, or [`UNREACHED`].
+    #[inline]
+    pub fn layer_of(&self, slot: Slot) -> u8 {
+        self.layer.get(slot as usize).copied().unwrap_or(UNREACHED)
+    }
+
+    /// Absorb a freshly recorded page (slot as returned by
+    /// [`LinkGraph::record_page`]): propose its own layer from its
+    /// outlinks (or 0 if relevant) and relax every improvement
+    /// backwards along reverse edges. Growth happens up front; the
+    /// relaxation loop is the steady-state update path.
+    pub fn on_record(&mut self, g: &LinkGraph, slot: Slot, relevant: bool) {
+        let n = g.num_slots();
+        if self.layer.len() < n {
+            self.layer.resize(n, UNREACHED);
+            self.work.reserve(n.saturating_sub(self.work.capacity()));
+        }
+        self.absorb(g, slot, relevant);
+    }
+
+    /// The relaxation itself — decrease-only, worklist-driven.
+    // lint:root(panic-free, alloc-free) — the per-fetch layer update
+    // the online context-graph crawl runs on.
+    fn absorb(&mut self, g: &LinkGraph, slot: Slot, relevant: bool) {
+        // The newly crawled page's own layer: 0 if relevant, else one
+        // past the best already-known layer among its outlink targets.
+        let mut best = if relevant { 0 } else { UNREACHED };
+        if !relevant {
+            for &t in g.out_slots(slot) {
+                // lint:allow(no-panic-transitive): layer is grown to num_slots in on_record and every slot/target is < num_slots by construction
+                let lt = self.layer[t as usize];
+                if lt < UNREACHED && lt < self.max_layer && lt + 1 < best {
+                    best = lt + 1;
+                }
+            }
+        }
+        if best < self.layer[slot as usize] {
+            self.layer[slot as usize] = best;
+            self.work.push(slot);
+        }
+        // Drain: every improved node may improve its crawled
+        // in-neighbours (one forward step closer to a relevant page).
+        while let Some(y) = self.work.pop() {
+            let ly = self.layer[y as usize];
+            if ly >= self.max_layer {
+                continue;
+            }
+            let cand = ly + 1;
+            for p in g.in_slots(y) {
+                let pu = p as usize;
+                if cand < self.layer[pu] {
+                    self.layer[pu] = cand;
+                    self.work.push(p);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// From-scratch capped multi-source BFS on the crawled subgraph —
+    /// the reference the relaxation must agree with.
+    fn bfs_reference(g: &LinkGraph, relevant: &[bool], max_layer: u8) -> Vec<u8> {
+        let n = g.num_slots();
+        let mut layer = vec![UNREACHED; n];
+        let mut frontier: Vec<Slot> = (0..n as u32)
+            .filter(|&s| g.is_crawled(s) && relevant[s as usize])
+            .collect();
+        for &s in &frontier {
+            layer[s as usize] = 0;
+        }
+        let mut depth = 0u8;
+        while !frontier.is_empty() && depth < max_layer {
+            depth += 1;
+            let mut next = Vec::new();
+            for &y in &frontier {
+                for p in g.in_slots(y) {
+                    let pu = p as usize;
+                    if g.is_crawled(p) && layer[pu] == UNREACHED {
+                        layer[pu] = depth;
+                        next.push(p);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        layer
+    }
+
+    #[test]
+    fn matches_bfs_reference_on_random_growth() {
+        let mut g = LinkGraph::new();
+        let mut idx = LayerIndex::new(3);
+        let mut relevant = Vec::new();
+        let mut x = 11u64;
+        let mut step = || {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (x >> 33) as u32
+        };
+        for p in 0..200u32 {
+            let outs = [step() % 220, step() % 220];
+            let rel = step() % 5 == 0;
+            let s = g.record_page(p, &outs);
+            while relevant.len() < g.num_slots() {
+                relevant.push(false);
+            }
+            relevant[s as usize] = rel;
+            idx.on_record(&g, s, rel);
+            // Invariant checked at every step, not just the end: the
+            // online layers are exactly the capped BFS distances.
+            if p % 37 == 0 {
+                let want = bfs_reference(&g, &relevant, 3);
+                for s in 0..g.num_slots() as u32 {
+                    let got = idx.layer_of(s);
+                    let exp = if g.is_crawled(s) {
+                        want[s as usize]
+                    } else {
+                        idx.layer_of(s)
+                    };
+                    if g.is_crawled(s) {
+                        assert_eq!(got, exp, "slot {s} layer diverges at p={p}");
+                    }
+                }
+            }
+        }
+        let want = bfs_reference(&g, &relevant, 3);
+        for s in 0..g.num_slots() as u32 {
+            if g.is_crawled(s) {
+                assert_eq!(idx.layer_of(s), want[s as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn chain_layers_propagate_backwards() {
+        let mut g = LinkGraph::new();
+        let mut idx = LayerIndex::new(4);
+        // 3 → 2 → 1 → 0 (relevant), crawled in chain order.
+        let s = g.record_page(3, &[2]);
+        idx.on_record(&g, s, false);
+        let s = g.record_page(2, &[1]);
+        idx.on_record(&g, s, false);
+        let s = g.record_page(1, &[0]);
+        idx.on_record(&g, s, false);
+        assert_eq!(idx.layer_of(g.slot_of(3).unwrap()), UNREACHED);
+        // Crawling the relevant sink back-propagates the whole chain.
+        let s = g.record_page(0, &[]);
+        idx.on_record(&g, s, true);
+        assert_eq!(idx.layer_of(g.slot_of(0).unwrap()), 0);
+        assert_eq!(idx.layer_of(g.slot_of(1).unwrap()), 1);
+        assert_eq!(idx.layer_of(g.slot_of(2).unwrap()), 2);
+        assert_eq!(idx.layer_of(g.slot_of(3).unwrap()), 3);
+    }
+
+    #[test]
+    fn layers_are_capped() {
+        let mut g = LinkGraph::new();
+        let mut idx = LayerIndex::new(2);
+        for p in (1..6u32).rev() {
+            let s = g.record_page(p, &[p - 1]);
+            idx.on_record(&g, s, false);
+        }
+        let s = g.record_page(0, &[]);
+        idx.on_record(&g, s, true);
+        assert_eq!(idx.layer_of(g.slot_of(1).unwrap()), 1);
+        assert_eq!(idx.layer_of(g.slot_of(2).unwrap()), 2);
+        assert_eq!(
+            idx.layer_of(g.slot_of(3).unwrap()),
+            UNREACHED,
+            "beyond the cap"
+        );
+        assert_eq!(idx.layer_of(g.slot_of(4).unwrap()), UNREACHED);
+    }
+}

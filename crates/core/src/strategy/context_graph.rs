@@ -17,6 +17,10 @@
 //! produce — so comparisons against limited-distance are conservative.
 
 use super::{PageView, Strategy};
+use crate::linkgraph::{
+    layers::{LayerIndex, UNREACHED},
+    LinkGraph,
+};
 use crate::queue::Entry;
 use langcrawl_webgraph::{PageId, WebSpace};
 
@@ -110,6 +114,79 @@ fn compute_layers(ws: &WebSpace, max_layer: u8) -> Vec<u8> {
         }
     }
     layer
+}
+
+/// Online context-graph crawling: the idealized strategy's layer table
+/// comes from an offline oracle over the full web; this variant learns
+/// layers from the *crawled* subgraph as it grows, maintaining them
+/// incrementally by decrease-only relaxation over the shared
+/// [`LinkGraph`] ([`crate::linkgraph::layers`]) instead of re-running a
+/// multi-source BFS per refresh.
+///
+/// Pages whose layer is still unknown queue at a dedicated worst
+/// priority level rather than being discarded — the online crawler can
+/// never prove a page is beyond the horizon, only that no known chain
+/// reaches a relevant page *yet*.
+#[derive(Debug)]
+pub struct OnlineContextGraphStrategy {
+    /// Max layer (deeper pages queue at the unknown level).
+    max_layer: u8,
+    /// Crawled subgraph shared by the layer relaxation.
+    graph: LinkGraph,
+    /// Incrementally maintained layers over `graph`.
+    layers: LayerIndex,
+}
+
+impl OnlineContextGraphStrategy {
+    /// Online context-graph crawler maintaining layers `0..=max_layer`.
+    pub fn new(max_layer: u8) -> Self {
+        let max_layer = max_layer.min(u8::MAX - 2);
+        OnlineContextGraphStrategy {
+            max_layer,
+            graph: LinkGraph::new(),
+            layers: LayerIndex::new(max_layer),
+        }
+    }
+
+    /// Current learned layer of `page` ([`UNREACHED`] while unknown).
+    pub fn layer_of(&self, page: PageId) -> u8 {
+        self.graph
+            .slot_of(page)
+            .map_or(UNREACHED, |s| self.layers.layer_of(s))
+    }
+}
+
+impl Strategy for OnlineContextGraphStrategy {
+    fn name(&self) -> String {
+        format!("online-context-graph L={}", self.max_layer)
+    }
+
+    fn levels(&self) -> usize {
+        // Layers 0..=max_layer feed levels 0..=max_layer−1 (links of a
+        // layer-ℓ page queue at ℓ−1), plus the unknown-layer level.
+        self.max_layer as usize + 2
+    }
+
+    fn admit(&mut self, view: &PageView<'_>, out: &mut Vec<Entry>) {
+        let slot = self.graph.record_page(view.page, view.outlinks);
+        self.layers
+            .on_record(&self.graph, slot, view.relevance > 0.5);
+        let l = self.layers.layer_of(slot);
+        // Links of a layer-ℓ page lead (in expectation) to layer ℓ−1;
+        // unknown layers go to the dedicated back-of-queue level.
+        let priority = if l <= self.max_layer {
+            l.saturating_sub(1)
+        } else {
+            self.max_layer + 1
+        };
+        for &t in view.outlinks {
+            out.push(Entry {
+                page: t,
+                priority,
+                distance: 0,
+            });
+        }
+    }
 }
 
 impl Strategy for ContextGraphStrategy {
@@ -211,6 +288,68 @@ mod tests {
         let mut out = Vec::new();
         s.admit(&view, &mut out);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn online_learns_offline_layers_once_everything_is_crawled() {
+        // Crawl the whole space (any order) feeding the online variant:
+        // its learned layers must converge to the idealized oracle's.
+        let ws = space();
+        let oracle = ContextGraphStrategy::new(&ws, 3);
+        let mut online = OnlineContextGraphStrategy::new(3);
+        let mut out = Vec::new();
+        for (i, p) in ws.page_ids().enumerate() {
+            let view = PageView {
+                page: p,
+                relevance: if ws.is_relevant(p) { 1.0 } else { 0.0 },
+                consec_irrelevant: u8::from(!ws.is_relevant(p)),
+                outlinks: ws.outlinks(p),
+                crawled: i as u64 + 1,
+            };
+            online.admit(&view, &mut out);
+            out.clear();
+        }
+        for p in ws.page_ids() {
+            let want = oracle.layers()[p as usize];
+            let got = online.layer_of(p);
+            // Both sides cap at max_layer; beyond it each reports
+            // "unreached" with its own sentinel (u8::MAX for both).
+            assert_eq!(got, want, "page {p}");
+        }
+    }
+
+    #[test]
+    fn online_unknown_pages_queue_last() {
+        let mut s = OnlineContextGraphStrategy::new(2);
+        let mut out = Vec::new();
+        // Nothing relevant crawled yet: the first page's layer is
+        // unknown, so its links queue at the dedicated last level.
+        let view = PageView {
+            page: 7,
+            relevance: 0.0,
+            consec_irrelevant: 1,
+            outlinks: &[1, 2],
+            crawled: 1,
+        };
+        s.admit(&view, &mut out);
+        assert_eq!(s.levels(), 4);
+        assert!(out.iter().all(|e| e.priority == 3), "{out:?}");
+    }
+
+    #[test]
+    fn online_relevant_page_feeds_level_zero() {
+        let mut s = OnlineContextGraphStrategy::new(3);
+        let mut out = Vec::new();
+        let view = PageView {
+            page: 0,
+            relevance: 1.0,
+            consec_irrelevant: 0,
+            outlinks: &[1, 2],
+            crawled: 1,
+        };
+        s.admit(&view, &mut out);
+        assert_eq!(s.layer_of(0), 0);
+        assert!(out.iter().all(|e| e.priority == 0), "{out:?}");
     }
 
     #[test]

@@ -9,113 +9,79 @@
 //! distiller buys on a language-locality web.
 
 use super::{PageView, Strategy};
+use crate::linkgraph::{hits::HitsState, LinkGraph, Slot};
 use crate::queue::Entry;
+#[cfg(test)]
 use langcrawl_webgraph::PageId;
-use std::collections::HashMap;
 
 /// Soft-focused crawling plus a periodic HITS distiller.
+///
+/// The distillation is incremental ([`crate::linkgraph`]): between
+/// firings the shared [`LinkGraph`] logs which pages arrived, and the
+/// [`HitsState`] re-evaluates only the delta-touched neighbourhood of
+/// the truncated iteration — with *bit-identical* scores to a full
+/// recompute (see the [`crate::linkgraph::hits`] module docs for why
+/// dropping the per-round normalization makes that exact).
 #[derive(Debug)]
 pub struct HitsStrategy {
     /// Run the distiller every this many crawled pages.
     interval: u64,
     /// Number of top hubs whose neighbourhoods get boosted.
     top_hubs: usize,
-    /// HITS power iterations per distiller run.
-    iterations: u32,
-    /// Crawled subgraph: page → outlinks (only links among pages the
-    /// crawler has seen; the distiller can't use the uncrawled web).
-    adjacency: HashMap<PageId, Vec<PageId>>,
-    /// Relevance of crawled pages (authorities must be relevant).
-    relevant: HashMap<PageId, bool>,
+    /// Crawled subgraph (only links among pages the crawler has seen;
+    /// the distiller can't use the uncrawled web).
+    graph: LinkGraph,
+    /// Incremental truncated-HITS iterates.
+    state: HitsState,
+    /// Reusable top-hub output buffer.
+    hubs: Vec<Slot>,
 }
 
 impl HitsStrategy {
     /// Distiller with sensible defaults (run every 2 000 pages, boost
-    /// the out-neighbourhoods of the 20 best hubs, 5 power iterations).
+    /// the out-neighbourhoods of the 20 best hubs, 5 iterations).
     pub fn new() -> Self {
         Self::with_params(2_000, 20, 5)
     }
 
-    /// Fully parameterised distiller.
+    /// Fully parameterised distiller (`iterations` truncated HITS
+    /// rounds per firing).
     pub fn with_params(interval: u64, top_hubs: usize, iterations: u32) -> Self {
         HitsStrategy {
             interval: interval.max(1),
             top_hubs,
-            iterations,
-            adjacency: HashMap::new(),
-            relevant: HashMap::new(),
+            graph: LinkGraph::new(),
+            state: HitsState::new(iterations.max(1) as usize),
+            hubs: Vec::new(),
         }
     }
 
-    /// One distiller run: HITS on the crawled subgraph, returns the ids
+    /// Full-recompute reference for the parity suite: identical math
+    /// and name, but every firing re-evaluates the whole crawled
+    /// subgraph instead of the delta-touched neighbourhood.
+    pub fn full_reference(interval: u64, top_hubs: usize, iterations: u32) -> Self {
+        HitsStrategy {
+            interval: interval.max(1),
+            top_hubs,
+            graph: LinkGraph::new(),
+            state: HitsState::full_reference(iterations.max(1) as usize),
+            hubs: Vec::new(),
+        }
+    }
+
+    /// One distiller run: refresh the HITS iterates and return the ids
     /// of the current top hubs.
-    fn run_hits(&self) -> Vec<PageId> {
-        if self.adjacency.is_empty() {
-            return Vec::new();
-        }
-        // Dense index for the crawled pages, in sorted id order: the
-        // hash map's own order varies per process, and it would leak
-        // into the f64 score accumulation and the top-hub tie-breaks.
-        let mut ids: Vec<PageId> = self.adjacency.keys().copied().collect();
-        ids.sort_unstable();
-        let index: HashMap<PageId, usize> = ids.iter().enumerate().map(|(i, &p)| (p, i)).collect();
-        let n = ids.len();
-        let mut hub = vec![1.0f64; n];
-        let mut auth = vec![1.0f64; n];
-        for _ in 0..self.iterations {
-            // auth ← Σ hub over in-links (restricted to relevant pages:
-            // the "modified" Kleinberg of the focused crawler).
-            let mut next_auth = vec![0.0f64; n];
-            for (i, &p) in ids.iter().enumerate() {
-                for t in &self.adjacency[&p] {
-                    if let Some(&j) = index.get(t) {
-                        if *self.relevant.get(t).unwrap_or(&false) {
-                            next_auth[j] += hub[i];
-                        }
-                    }
-                }
-            }
-            normalize(&mut next_auth);
-            // hub ← Σ auth over out-links.
-            let mut next_hub = vec![0.0f64; n];
-            for (i, &p) in ids.iter().enumerate() {
-                for t in &self.adjacency[&p] {
-                    if let Some(&j) = index.get(t) {
-                        next_hub[i] += next_auth[j];
-                    }
-                }
-            }
-            normalize(&mut next_hub);
-            auth = next_auth;
-            hub = next_hub;
-        }
-        let _ = auth;
-        let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&a, &b| {
-            hub[b]
-                .partial_cmp(&hub[a])
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
-        order
-            .into_iter()
-            .take(self.top_hubs)
-            .map(|i| ids[i])
-            .collect()
+    #[cfg(test)]
+    fn run_hits(&mut self) -> Vec<PageId> {
+        self.state
+            .distill(&mut self.graph, self.top_hubs, &mut self.hubs);
+        self.hubs.iter().map(|&s| self.graph.page_at(s)).collect()
     }
 }
 
 impl Default for HitsStrategy {
     fn default() -> Self {
         Self::new()
-    }
-}
-
-fn normalize(v: &mut [f64]) {
-    let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
-    if norm > 0.0 {
-        for x in v {
-            *x /= norm;
-        }
     }
 }
 
@@ -130,8 +96,9 @@ impl Strategy for HitsStrategy {
 
     fn admit(&mut self, view: &PageView<'_>, out: &mut Vec<Entry>) {
         // Record the crawled subgraph.
-        self.adjacency.insert(view.page, view.outlinks.to_vec());
-        self.relevant.insert(view.page, view.relevance > 0.5);
+        let slot = self.graph.record_page(view.page, view.outlinks);
+        self.state
+            .note_page(&self.graph, slot, view.relevance > 0.5);
 
         // Base behaviour: soft-focused.
         let priority = if view.relevance > 0.5 { 0 } else { 1 };
@@ -146,15 +113,15 @@ impl Strategy for HitsStrategy {
         // Periodic distillation: boost the out-neighbourhoods of the top
         // hubs to the front of the queue.
         if view.crawled.is_multiple_of(self.interval) {
-            for hub in self.run_hits() {
-                if let Some(outs) = self.adjacency.get(&hub) {
-                    for &t in outs {
-                        out.push(Entry {
-                            page: t,
-                            priority: 0,
-                            distance: 0,
-                        });
-                    }
+            self.state
+                .distill(&mut self.graph, self.top_hubs, &mut self.hubs);
+            for &hub in &self.hubs {
+                for &t in self.graph.out_slots(hub) {
+                    out.push(Entry {
+                        page: self.graph.page_at(t),
+                        priority: 0,
+                        distance: 0,
+                    });
                 }
             }
         }
@@ -223,7 +190,7 @@ mod tests {
 
     #[test]
     fn empty_graph_distills_to_nothing() {
-        let s = HitsStrategy::new();
+        let mut s = HitsStrategy::new();
         assert!(s.run_hits().is_empty());
     }
 

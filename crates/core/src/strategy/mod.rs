@@ -12,7 +12,7 @@
 //! | §3.3.2 limited distance, non-prioritized / prioritized | [`LimitedDistanceStrategy`] |
 //! | §5.1 dataset-collection combinations (simple + tunnel) | [`CombinedStrategy`] |
 //! | §2.1 distiller (Kleinberg HITS), extension | [`HitsStrategy`] |
-//! | §2.2 context-graph crawler, extension | [`ContextGraphStrategy`] |
+//! | §2.2 context-graph crawler, extension | [`ContextGraphStrategy`] (idealized oracle), [`OnlineContextGraphStrategy`] (learned online) |
 //! | ref. \[3\] URL-ordering baselines (Cho et al.), extension | [`BacklinkCount`], [`OnlinePageRank`] |
 //! | national-archive ccTLD scoping baseline, extension | [`TldScopeStrategy`] |
 
@@ -27,7 +27,7 @@ mod url_ordering;
 
 pub use breadth_first::BreadthFirst;
 pub use combined::{CombinedBase, CombinedStrategy};
-pub use context_graph::ContextGraphStrategy;
+pub use context_graph::{ContextGraphStrategy, OnlineContextGraphStrategy};
 pub use hits::HitsStrategy;
 pub use limited_distance::LimitedDistanceStrategy;
 pub use simple::SimpleStrategy;

@@ -53,6 +53,10 @@ fn graph_output_is_byte_identical_across_runs_and_thread_counts() {
         "ShardedFrontier::pop_inner",
         "ShardedFrontier::push_all",
         "encode_snapshot_into",
+        "LinkGraph::record_page",
+        "RankState::refresh",
+        "HitsState::fire",
+        "LayerIndex::absorb",
     ] {
         assert!(dot.contains(root_fn), "graph must cover `{root_fn}`");
     }
